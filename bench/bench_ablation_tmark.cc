@@ -1,0 +1,101 @@
+// Ablations of the design choices DESIGN.md calls out, beyond the paper's
+// own parameter studies:
+//   (a) similarity kernel behind the feature walk W (Sec. 4.2 mentions that
+//       several metrics are possible; the paper uses cosine);
+//   (b) the ICA acceptance threshold lambda of Eq. (12), including the
+//       lambda -> 1 limit where T-Mark degenerates to TensorRrCc;
+//   (c) the ICA update itself (T-Mark vs TensorRrCc on the same split).
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/datasets/movies.h"
+#include "tmark/eval/table_printer.h"
+#include "tmark/hin/similarity_kernel.h"
+
+namespace {
+
+using namespace tmark;
+
+double Evaluate(const hin::Hin& hin, const core::TMarkConfig& config,
+                double fraction, int trials) {
+  Rng master(71);
+  double acc = 0.0;
+  Rng rng = master.Fork();
+  for (int t = 0; t < trials; ++t) {
+    const auto labeled = eval::StratifiedSplit(hin, fraction, &rng);
+    core::TMarkClassifier clf(config);
+    acc += eval::EvaluateClassifier(hin, &clf, labeled, false, 0.5);
+  }
+  return acc / trials;
+}
+
+}  // namespace
+
+int main() {
+  const int trials = eval::BenchTrials(3);
+  datasets::DblpOptions dblp_options;
+  dblp_options.num_authors = bench::ScaledNodes(400);
+  const hin::Hin dblp = datasets::MakeDblp(dblp_options);
+  datasets::MoviesOptions movies_options;
+  movies_options.num_movies = bench::ScaledNodes(500);
+  const hin::Hin movies = datasets::MakeMovies(movies_options);
+
+  // (a) Similarity kernels.
+  std::cout << "== Ablation (a): similarity kernel of the feature walk W "
+               "==\n";
+  {
+    eval::TablePrinter table({"kernel", "DBLP @30%", "Movies @30%"});
+    for (hin::SimilarityKernel kernel :
+         {hin::SimilarityKernel::kCosine,
+          hin::SimilarityKernel::kBinaryCosine,
+          hin::SimilarityKernel::kTfIdfCosine,
+          hin::SimilarityKernel::kDotProduct}) {
+      core::TMarkConfig config;
+      config.similarity = kernel;
+      core::TMarkConfig mconfig = config;
+      mconfig.alpha = 0.9;
+      table.AddRow({ToString(kernel),
+                    FormatDouble(Evaluate(dblp, config, 0.3, trials), 3),
+                    FormatDouble(Evaluate(movies, mconfig, 0.3, trials), 3)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n";
+
+  // (b) Lambda sweep.
+  std::cout << "== Ablation (b): ICA acceptance threshold lambda (Eq. 12) "
+               "==\n";
+  {
+    eval::TablePrinter table({"lambda", "DBLP @10%", "DBLP @50%"});
+    for (double lambda : {0.5, 0.7, 0.85, 0.95, 1.0}) {
+      core::TMarkConfig config;
+      config.lambda = lambda;
+      table.AddRow({FormatDouble(lambda, 2),
+                    FormatDouble(Evaluate(dblp, config, 0.1, trials), 3),
+                    FormatDouble(Evaluate(dblp, config, 0.5, trials), 3)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n";
+
+  // (c) ICA update on/off.
+  std::cout << "== Ablation (c): ICA label update (T-Mark) vs fixed restart "
+               "(TensorRrCc) ==\n";
+  {
+    eval::TablePrinter table({"variant", "DBLP @10%", "Movies @10%"});
+    for (bool ica : {true, false}) {
+      core::TMarkConfig config;
+      config.ica_update = ica;
+      core::TMarkConfig mconfig = config;
+      mconfig.alpha = 0.9;
+      table.AddRow({ica ? "T-Mark (ICA on)" : "TensorRrCc (ICA off)",
+                    FormatDouble(Evaluate(dblp, config, 0.1, trials), 3),
+                    FormatDouble(Evaluate(movies, mconfig, 0.1, trials), 3)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fit-cost comparison across all methods on one fixed HIN — contextualizes
+// the O(q T D) analysis of Sec. 4.5: the tensor methods cost a handful of
+// sparse passes, the classifier-based baselines pay per-epoch training, and
+// the neural baselines dominate the budget.
+
+#include <benchmark/benchmark.h>
+
+#include "tmark/baselines/registry.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/eval/experiment.h"
+
+namespace {
+
+using namespace tmark;
+
+const hin::Hin& SharedHin() {
+  static const hin::Hin* hin = [] {
+    datasets::DblpOptions options;
+    options.num_authors = 300;
+    return new hin::Hin(datasets::MakeDblp(options));
+  }();
+  return *hin;
+}
+
+const std::vector<std::size_t>& SharedSplit() {
+  static const std::vector<std::size_t>* labeled = [] {
+    Rng rng(5);
+    return new std::vector<std::size_t>(
+        eval::StratifiedSplit(SharedHin(), 0.3, &rng));
+  }();
+  return *labeled;
+}
+
+void FitMethod(benchmark::State& state, const std::string& name) {
+  const hin::Hin& hin = SharedHin();
+  const auto& labeled = SharedSplit();
+  for (auto _ : state) {
+    auto clf = baselines::MakeClassifier(name);
+    clf->Fit(hin, labeled);
+    benchmark::DoNotOptimize(clf->Confidences());
+  }
+}
+
+void BM_Fit_TMark(benchmark::State& s) { FitMethod(s, "T-Mark"); }
+void BM_Fit_TensorRrCc(benchmark::State& s) { FitMethod(s, "TensorRrCc"); }
+void BM_Fit_ICA(benchmark::State& s) { FitMethod(s, "ICA"); }
+void BM_Fit_Hcc(benchmark::State& s) { FitMethod(s, "Hcc"); }
+void BM_Fit_WvrnRl(benchmark::State& s) { FitMethod(s, "wvRN+RL"); }
+void BM_Fit_Emr(benchmark::State& s) { FitMethod(s, "EMR"); }
+void BM_Fit_Hn(benchmark::State& s) { FitMethod(s, "HN"); }
+void BM_Fit_Gi(benchmark::State& s) { FitMethod(s, "GI"); }
+void BM_Fit_ZooBp(benchmark::State& s) { FitMethod(s, "ZooBP"); }
+void BM_Fit_RankClass(benchmark::State& s) { FitMethod(s, "RankClass"); }
+void BM_Fit_GNetMine(benchmark::State& s) { FitMethod(s, "GNetMine"); }
+
+BENCHMARK(BM_Fit_TMark)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_TensorRrCc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_ICA)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_Hcc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_WvrnRl)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_Emr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_Hn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_Gi)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_ZooBp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_RankClass)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fit_GNetMine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Micro-benchmarks for the Sec. 4.5 complexity claims: the contraction
+// kernels O x1 x x3 z and R x1 x x2 x cost O(D) in the stored non-zeros D,
+// independent of the dense n^2 m volume. The per-item time should stay
+// roughly flat as D grows (linear total cost), and far below the dense
+// reference.
+
+#include <benchmark/benchmark.h>
+
+#include "tmark/common/random.h"
+#include "tmark/tensor/transition_tensors.h"
+
+namespace {
+
+using namespace tmark;
+
+tensor::SparseTensor3 RandomTensor(std::size_t n, std::size_t m,
+                                   std::size_t entries_target,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<tensor::TensorEntry> entries;
+  entries.reserve(entries_target);
+  for (std::size_t e = 0; e < entries_target; ++e) {
+    entries.push_back({static_cast<std::uint32_t>(rng.UniformInt(n)),
+                       static_cast<std::uint32_t>(rng.UniformInt(n)),
+                       static_cast<std::uint32_t>(rng.UniformInt(m)), 1.0});
+  }
+  return tensor::SparseTensor3::FromEntries(n, m, std::move(entries));
+}
+
+void BM_ApplyO(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 16;
+  const std::size_t d = 8 * n;  // D scales linearly with n
+  const tensor::TransitionTensors t =
+      tensor::TransitionTensors::Build(RandomTensor(n, m, d, 7));
+  const la::Vector x = la::UniformProbability(n);
+  const la::Vector z = la::UniformProbability(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.ApplyO(x, z));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_ApplyO)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ApplyR(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 16;
+  const std::size_t d = 8 * n;
+  const tensor::TransitionTensors t =
+      tensor::TransitionTensors::Build(RandomTensor(n, m, d, 11));
+  const la::Vector x = la::UniformProbability(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.ApplyR(x, x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_ApplyR)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BuildTransitionTensors(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tensor::SparseTensor3 a = RandomTensor(n, 16, 8 * n, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::TransitionTensors::Build(a));
+  }
+}
+BENCHMARK(BM_BuildTransitionTensors)->Arg(1000)->Arg(8000);
+
+void BM_DenseReferenceApplyO(benchmark::State& state) {
+  // Dense n^2 m contraction for contrast with the O(D) kernel.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 16;
+  const tensor::TransitionTensors t =
+      tensor::TransitionTensors::Build(RandomTensor(n, m, 8 * n, 17));
+  const la::Vector x = la::UniformProbability(n);
+  const la::Vector z = la::UniformProbability(m);
+  for (auto _ : state) {
+    la::Vector y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < m; ++k) {
+          acc += t.OEntry(i, j, k) * x[j] * z[k];
+        }
+      }
+      y[i] = acc;
+    }
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_DenseReferenceApplyO)->Arg(200);
+
+void BM_Matricization(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tensor::SparseTensor3 a = RandomTensor(n, 16, 8 * n, 19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.SumOverRelations());
+  }
+}
+BENCHMARK(BM_Matricization)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// End-to-end cost of T-Mark, validating the O(q T D) analysis of Sec. 4.5
+// and the ablation of the design choices called out in DESIGN.md:
+//   * runtime scales linearly in nodes (D ~ n for fixed density),
+//   * linearly in the number of classes q,
+//   * the ICA update (T-Mark) costs little over TensorRrCc.
+
+#include <benchmark/benchmark.h>
+
+#include "tmark/core/tensor_rrcc.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/eval/experiment.h"
+
+namespace {
+
+using namespace tmark;
+
+hin::Hin MakeHin(std::size_t n, std::size_t q, std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = n;
+  for (std::size_t c = 0; c < q; ++c) {
+    config.class_names.push_back("C" + std::to_string(c));
+  }
+  config.vocab_size = 40 * q;
+  config.words_per_node = 15.0;
+  config.feature_signal = 0.75;
+  config.seed = seed;
+  for (int k = 0; k < 4; ++k) {
+    datasets::RelationSpec spec;
+    spec.name = "r" + std::to_string(k);
+    spec.same_class_prob = 0.8;
+    spec.edges_per_member = 3.0;
+    config.relations.push_back(spec);
+  }
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> ThirdLabeled(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  return labeled;
+}
+
+void BM_TMarkFit_Nodes(benchmark::State& state) {
+  const hin::Hin hin =
+      MakeHin(static_cast<std::size_t>(state.range(0)), 3, 51);
+  const auto labeled = ThirdLabeled(hin);
+  for (auto _ : state) {
+    core::TMarkClassifier clf;
+    clf.Fit(hin, labeled);
+    benchmark::DoNotOptimize(clf.Confidences());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(hin.NumLinks()));
+}
+BENCHMARK(BM_TMarkFit_Nodes)->Arg(250)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TMarkFit_Classes(benchmark::State& state) {
+  const hin::Hin hin =
+      MakeHin(600, static_cast<std::size_t>(state.range(0)), 53);
+  const auto labeled = ThirdLabeled(hin);
+  for (auto _ : state) {
+    core::TMarkClassifier clf;
+    clf.Fit(hin, labeled);
+    benchmark::DoNotOptimize(clf.Confidences());
+  }
+}
+BENCHMARK(BM_TMarkFit_Classes)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TensorRrCcFit(benchmark::State& state) {
+  // Ablation: T-Mark without the ICA update (the ICDM'17 predecessor).
+  const hin::Hin hin =
+      MakeHin(static_cast<std::size_t>(state.range(0)), 3, 51);
+  const auto labeled = ThirdLabeled(hin);
+  for (auto _ : state) {
+    core::TensorRrCcClassifier clf;
+    clf.Fit(hin, labeled);
+    benchmark::DoNotOptimize(clf.Confidences());
+  }
+}
+BENCHMARK(BM_TensorRrCcFit)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_StratifiedSplit(benchmark::State& state) {
+  const hin::Hin hin = MakeHin(2000, 4, 55);
+  Rng rng(57);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::StratifiedSplit(hin, 0.3, &rng));
+  }
+}
+BENCHMARK(BM_StratifiedSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Table 5: top-10 directors of each movie genre, ranked by the stationary
+// link-importance distribution z of T-Mark (each director is one link
+// type). Paper shape: named prolific directors dominate their home genres
+// (Reitman tops Documentary; Hitchcock appears across Romance/Thriller/War;
+// Kurosawa leads Adventure) and rankings differ across the five genres.
+
+#include <iostream>
+#include <set>
+
+#include "bench/common.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/movies.h"
+#include "tmark/eval/table_printer.h"
+
+int main() {
+  using namespace tmark;
+  datasets::MoviesOptions options;
+  options.num_movies = bench::ScaledNodes(700);
+  const hin::Hin hin = datasets::MakeMovies(options);
+  std::cout << "== Table 5: top-10 directors per genre (T-Mark link "
+               "ranking over " << hin.num_relations()
+            << " directors) ==\n";
+
+  Rng rng(22);
+  const auto labeled = eval::StratifiedSplit(hin, 0.3, &rng);
+  core::TMarkConfig tconfig;
+  tconfig.alpha = 0.9;
+  core::TMarkClassifier clf(tconfig);
+  clf.Fit(hin, labeled);
+
+  const std::size_t kTop = 10;
+  std::vector<std::string> headers = {"Rank"};
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    headers.push_back(hin.class_name(c));
+  }
+  eval::TablePrinter table(headers);
+  std::vector<std::vector<std::size_t>> rankings;
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    rankings.push_back(clf.RankRelationsForClass(c));
+  }
+  for (std::size_t r = 0; r < kTop; ++r) {
+    std::vector<std::string> row = {std::to_string(r + 1)};
+    for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+      row.push_back(hin.relation_name(rankings[c][r]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  // Quantify the paper's observation that genre rankings differ: count
+  // distinct directors across the five top-10 columns.
+  std::set<std::string> distinct;
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    for (std::size_t r = 0; r < kTop; ++r) {
+      distinct.insert(hin.relation_name(rankings[c][r]));
+    }
+  }
+  std::cout << "\ndistinct directors across the five top-10 lists: "
+            << distinct.size() << " / " << 5 * kTop
+            << " slots (paper: \"almost different rankings in five "
+               "genres\")\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef TMARK_BENCH_COMMON_H_
+#define TMARK_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure reproduction binaries. Each binary
+// regenerates one table or figure of the paper; TMARK_BENCH_TRIALS and
+// TMARK_BENCH_SCALE (see eval::BenchTrials / eval::BenchScale) trade
+// fidelity for wall-clock.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tmark/common/string_util.h"
+#include "tmark/eval/experiment.h"
+#include "tmark/eval/table_printer.h"
+#include "tmark/hin/hin.h"
+
+namespace tmark::bench {
+
+/// Prints the paper-style sweep table: one row per training fraction, one
+/// column per method, plus (optionally) the paper's reported T-Mark column
+/// for eyeball comparison.
+inline void PrintSweepTable(const hin::Hin& hin,
+                            const std::vector<std::string>& methods,
+                            const eval::SweepConfig& config,
+                            const std::vector<double>& paper_tmark,
+                            const std::string& metric_name) {
+  std::vector<eval::MethodSweep> sweeps;
+  sweeps.reserve(methods.size());
+  for (const std::string& method : methods) {
+    std::cerr << "  fitting " << method << " ..." << std::endl;
+    sweeps.push_back(eval::RunSweep(hin, method, config));
+  }
+  std::vector<std::string> headers = {"Percentage"};
+  for (const std::string& m : methods) headers.push_back(m);
+  if (!paper_tmark.empty()) headers.push_back("[paper T-Mark]");
+  eval::TablePrinter table(headers);
+  for (std::size_t f = 0; f < config.train_fractions.size(); ++f) {
+    std::vector<std::string> row = {
+        FormatDouble(config.train_fractions[f], 1)};
+    for (const eval::MethodSweep& sweep : sweeps) {
+      row.push_back(FormatDouble(sweep.cells[f].mean, 3));
+    }
+    if (!paper_tmark.empty()) {
+      row.push_back(FormatDouble(paper_tmark[f], 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "(" << metric_name << ", mean over " << config.trials
+            << " trials; paper column: reported values for T-Mark)\n";
+}
+
+/// Scales a node count by TMARK_BENCH_SCALE with a sane floor.
+inline std::size_t ScaledNodes(std::size_t base) {
+  const double scaled = static_cast<double>(base) * eval::BenchScale();
+  return scaled < 60.0 ? 60 : static_cast<std::size_t>(scaled);
+}
+
+}  // namespace tmark::bench
+
+#endif  // TMARK_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Domain example: multi-label index-term prediction on the ACM-style
+// publication HIN (Sec. 6.4). Shows the multi-label prediction API, the
+// macro-F1 evaluation, the per-class link-importance profile of Fig. 5,
+// and a comparison against the related-work extension baselines
+// (RankClass, GNetMine, ZooBP) that share T-Mark's propagation flavor.
+
+#include <cstdio>
+
+#include "tmark/baselines/registry.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/acm.h"
+#include "tmark/eval/experiment.h"
+#include "tmark/ml/metrics.h"
+
+int main() {
+  using namespace tmark;
+
+  datasets::AcmOptions options;
+  options.num_publications = 450;
+  const hin::Hin hin = datasets::MakeAcm(options);
+  std::printf("ACM HIN: %zu publications, %zu link types, %zu index "
+              "terms (multi-label)\n\n",
+              hin.num_nodes(), hin.num_relations(), hin.num_classes());
+
+  Rng rng(42);
+  const auto labeled = eval::StratifiedSplit(hin, 0.2, &rng);
+
+  // Macro-F1 of T-Mark against propagation-style alternatives.
+  std::printf("macro-F1 with 20%% labels:\n");
+  for (const char* method : {"T-Mark", "RankClass", "GNetMine", "ZooBP"}) {
+    auto clf = baselines::MakeClassifier(method, /*alpha=*/0.9, 0.6);
+    const double f1 = eval::EvaluateClassifier(hin, clf.get(), labeled,
+                                               /*multi_label=*/true, 0.5);
+    std::printf("  %-10s %.3f\n", method, f1);
+  }
+
+  // Fig. 5's question: which link types matter for which index terms?
+  core::TMarkConfig config;
+  config.alpha = 0.9;
+  core::TMarkClassifier tmark(config);
+  tmark.Fit(hin, labeled);
+  std::printf("\nlink importance per index term (stationary z):\n  %-36s",
+              "");
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    std::printf(" %-11s", hin.relation_name(k).c_str());
+  }
+  std::printf("\n");
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    std::printf("  %-36s", hin.class_name(c).c_str());
+    for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+      std::printf(" %-11.3f", tmark.LinkImportance().At(k, c));
+    }
+    std::printf("\n");
+  }
+
+  // Multi-label prediction for one unlabeled publication.
+  std::vector<bool> is_labeled(hin.num_nodes(), false);
+  for (std::size_t node : labeled) is_labeled[node] = true;
+  const auto sets = tmark.PredictMultiLabel(0.5);
+  for (std::size_t node = 0; node < hin.num_nodes(); ++node) {
+    if (is_labeled[node] || hin.labels(node).size() < 2) continue;
+    std::printf("\nexample publication %zu — predicted terms:", node);
+    for (std::size_t c : sets[node]) {
+      std::printf(" [%s]", hin.class_name(c).c_str());
+    }
+    std::printf("\n  ground truth:");
+    for (std::uint32_t c : hin.labels(node)) {
+      std::printf(" [%s]", hin.class_name(c).c_str());
+    }
+    std::printf("\n");
+    break;
+  }
+  return 0;
+}

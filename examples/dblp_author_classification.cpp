@@ -1,0 +1,65 @@
+// Domain example: classify DBLP authors into research areas from their
+// conference links and publication-title words, then compare T-Mark against
+// a classical ICA baseline under scarce supervision — the regime the paper
+// highlights (Table 3, <= 20% labels).
+//
+// Also demonstrates the serialization API: the generated HIN is written to
+// and reloaded from a file, as a downstream user would do with real data.
+
+#include <cstdio>
+#include <string>
+
+#include "tmark/baselines/ica.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/eval/experiment.h"
+#include "tmark/hin/hin_io.h"
+
+int main() {
+  using namespace tmark;
+
+  // 1. Build (or in real use: load) the author HIN.
+  datasets::DblpOptions options;
+  options.num_authors = 400;
+  const hin::Hin generated = datasets::MakeDblp(options);
+  const std::string path = "/tmp/tmark_dblp_example.hin";
+  if (!hin::SaveHinToFile(generated, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const hin::Hin hin = hin::LoadHinFromFile(path);
+  std::printf("loaded %zu authors, %zu conference link types, %zu areas "
+              "from %s\n\n",
+              hin.num_nodes(), hin.num_relations(), hin.num_classes(),
+              path.c_str());
+
+  // 2. Label only 10%% of the authors, stratified by area.
+  Rng rng(2026);
+  const std::vector<std::size_t> labeled =
+      eval::StratifiedSplit(hin, 0.10, &rng);
+  std::printf("labeled %zu / %zu authors (10%%)\n", labeled.size(),
+              hin.num_nodes());
+
+  // 3. T-Mark vs ICA on the held-out authors.
+  core::TMarkClassifier tmark;
+  const double acc_tmark =
+      eval::EvaluateClassifier(hin, &tmark, labeled, false, 0.5);
+  baselines::IcaClassifier ica;
+  const double acc_ica =
+      eval::EvaluateClassifier(hin, &ica, labeled, false, 0.5);
+  std::printf("\nheld-out accuracy:  T-Mark %.3f   ICA %.3f\n", acc_tmark,
+              acc_ica);
+
+  // 4. Which conferences define each area? (Table 2's question.)
+  std::printf("\ntop-3 conferences per area (T-Mark link ranking):\n");
+  for (std::size_t area = 0; area < hin.num_classes(); ++area) {
+    const std::vector<std::size_t> ranking =
+        tmark.RankRelationsForClass(area);
+    std::printf("  %-3s:", hin.class_name(area).c_str());
+    for (std::size_t r = 0; r < 3; ++r) {
+      std::printf(" %s", hin.relation_name(ranking[r]).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

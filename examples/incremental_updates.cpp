@@ -1,0 +1,76 @@
+// Extension example: incremental (warm-start) refitting. A live HIN keeps
+// acquiring labels — rerunning T-Mark from scratch wastes the work the
+// chain already did. TMarkClassifier::Refit seeds Algorithm 1 from the
+// previous stationary distributions, cutting iterations while landing on
+// the same unique fixed point (Theorem 3 guarantees uniqueness for a fixed
+// restart vector).
+
+#include <cstdio>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/eval/experiment.h"
+
+namespace {
+
+using namespace tmark;
+
+std::size_t TotalIterations(const core::TMarkClassifier& clf) {
+  std::size_t total = 0;
+  for (const core::ConvergenceTrace& trace : clf.Traces()) {
+    total += trace.residuals.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  datasets::DblpOptions options;
+  options.num_authors = 400;
+  const hin::Hin hin = datasets::MakeDblp(options);
+
+  // Labels arrive in waves: 10% -> 20% -> 40% of the authors.
+  Rng rng(99);
+  const auto wave1 = eval::StratifiedSplit(hin, 0.10, &rng);
+  const auto wave2 = eval::StratifiedSplit(hin, 0.20, &rng);
+  const auto wave3 = eval::StratifiedSplit(hin, 0.40, &rng);
+
+  core::TMarkConfig config;
+  config.ica_update = false;  // fixed restart -> unique fixed point
+  core::TMarkClassifier incremental(config);
+
+  std::printf("%-28s %-12s %-10s\n", "stage", "iterations", "accuracy");
+  incremental.Fit(hin, wave1);
+  std::printf("%-28s %-12zu %.3f\n", "cold fit @10% labels",
+              TotalIterations(incremental),
+              eval::EvaluateClassifier(hin, &incremental, wave1, false, 0.5));
+
+  // Same problem, warm start: the chain is already at its fixed point.
+  {
+    core::TMarkClassifier same = incremental;
+    same.Refit(hin, wave1);
+    std::printf("%-28s %-12zu (already stationary)\n",
+                "refit, unchanged problem", TotalIterations(same));
+  }
+
+  for (const auto* wave : {&wave2, &wave3}) {
+    // Warm-started update as new labels arrive.
+    core::TMarkClassifier cold(config);
+    cold.Fit(hin, *wave);
+    const std::size_t cold_iters = TotalIterations(cold);
+
+    incremental.Refit(hin, *wave);
+    const std::size_t warm_iters = TotalIterations(incremental);
+    const double drift =
+        incremental.Confidences().MaxAbsDiff(cold.Confidences());
+    std::printf("refit @%2.0f%% labels             %zu (cold: %zu)   "
+                "max drift vs cold fit: %.2e\n",
+                100.0 * static_cast<double>(wave->size()) /
+                    static_cast<double>(hin.num_nodes()),
+                warm_iters, cold_iters, drift);
+  }
+  std::printf("\nwarm starts land on the same unique fixed point; when the "
+              "problem is unchanged they are\nalready stationary, and when labels shift they converge from nearby.\n");
+  return 0;
+}

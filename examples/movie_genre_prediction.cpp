@@ -1,0 +1,61 @@
+// Domain example: predict movie genres from director links and user tags —
+// the *sparse-link* regime of the paper's Movies experiment (Table 4),
+// where ensembling all link types (EMR) is competitive with tensor-based
+// propagation, and link ranking surfaces each genre's signature directors
+// (Table 5).
+
+#include <cstdio>
+
+#include "tmark/baselines/emr.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/movies.h"
+#include "tmark/eval/experiment.h"
+
+int main() {
+  using namespace tmark;
+
+  datasets::MoviesOptions options;
+  options.num_movies = 500;
+  options.num_directors = 300;
+  const hin::Hin hin = datasets::MakeMovies(options);
+  std::printf("movie HIN: %zu movies, %zu director link types, %zu "
+              "genres, %zu stored links (sparse!)\n\n",
+              hin.num_nodes(), hin.num_relations(), hin.num_classes(),
+              hin.NumLinks());
+
+  Rng rng(7);
+  const std::vector<std::size_t> labeled =
+      eval::StratifiedSplit(hin, 0.3, &rng);
+
+  // T-Mark with the paper's Movies settings.
+  core::TMarkConfig config;
+  config.alpha = 0.9;
+  config.gamma = 0.6;
+  core::TMarkClassifier tmark(config);
+  const double acc_tmark =
+      eval::EvaluateClassifier(hin, &tmark, labeled, false, 0.5);
+
+  // EMR: the method the paper reports as strongest on this dataset.
+  baselines::EmrClassifier emr;
+  const double acc_emr =
+      eval::EvaluateClassifier(hin, &emr, labeled, false, 0.5);
+
+  std::printf("held-out accuracy with 30%% labels:  T-Mark %.3f   EMR "
+              "%.3f\n", acc_tmark, acc_emr);
+  std::printf("(the paper's Table 4 regime: sparse director links favor "
+              "EMR's aggregation)\n\n");
+
+  // Genre-defining directors from the stationary link importance.
+  std::printf("top-5 directors per genre (T-Mark link ranking):\n");
+  for (std::size_t genre = 0; genre < hin.num_classes(); ++genre) {
+    const std::vector<std::size_t> ranking =
+        tmark.RankRelationsForClass(genre);
+    std::printf("  %-12s:", hin.class_name(genre).c_str());
+    for (std::size_t r = 0; r < 5; ++r) {
+      std::printf("%s%s", r == 0 ? " " : ", ",
+                  hin.relation_name(ranking[r]).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

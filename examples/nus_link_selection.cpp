@@ -1,0 +1,65 @@
+// Domain example: the link-selection workflow of the paper's Sec. 6.3,
+// applied to image tagging. Given a pool of candidate tag link types, use
+// T-Mark's stationary link importance to identify the tags that actually
+// discriminate the classes, then show that a HIN restricted to relevant
+// tags (Tagset1) classifies far better than one built from merely popular
+// tags (Tagset2) — no matter how much labeled data the popular-tag HIN
+// gets.
+
+#include <cstdio>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/nus.h"
+#include "tmark/eval/experiment.h"
+
+namespace {
+
+using namespace tmark;
+
+double Evaluate(const hin::Hin& hin, double fraction, std::uint64_t seed,
+                core::TMarkClassifier* clf) {
+  Rng rng(seed);
+  const std::vector<std::size_t> labeled =
+      eval::StratifiedSplit(hin, fraction, &rng);
+  return eval::EvaluateClassifier(hin, clf, labeled, false, 0.5);
+}
+
+}  // namespace
+
+int main() {
+  datasets::NusOptions options;
+  options.num_images = 700;
+  const hin::Hin relevant = datasets::MakeNus(options);
+  options.tagset = datasets::NusTagset::kTagset2;
+  const hin::Hin popular = datasets::MakeNus(options);
+
+  core::TMarkConfig config;
+  config.alpha = 0.9;
+  config.gamma = 0.4;
+
+  std::printf("accuracy by labeled fraction (T-Mark):\n");
+  std::printf("  %%labeled   relevant-tags HIN   popular-tags HIN\n");
+  core::TMarkClassifier clf1(config), clf2(config);
+  for (double fraction : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double acc1 = Evaluate(relevant, fraction, 17, &clf1);
+    const double acc2 = Evaluate(popular, fraction, 17, &clf2);
+    std::printf("  %5.0f%%      %.3f               %.3f\n",
+                100.0 * fraction, acc1, acc2);
+  }
+  std::printf("\nthe popular-tag HIN stalls: its links are frequent but "
+              "class-blind (Sec. 6.3).\n\n");
+
+  // Which tags did T-Mark rank as class-defining on the relevant HIN?
+  std::printf("tag relevance ranking from the stationary z (top 8 per "
+              "class):\n");
+  for (std::size_t c = 0; c < relevant.num_classes(); ++c) {
+    std::printf("  %-7s:", relevant.class_name(c).c_str());
+    const std::vector<std::size_t> ranking = clf1.RankRelationsForClass(c);
+    for (std::size_t r = 0; r < 8; ++r) {
+      std::printf("%s%s", r == 0 ? " " : ", ",
+                  relevant.relation_name(ranking[r]).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

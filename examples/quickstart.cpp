@@ -1,0 +1,84 @@
+// Quickstart: build a tiny heterogeneous information network by hand,
+// classify its unlabeled nodes with T-Mark, and read off the link ranking.
+//
+// The scenario is a six-person collaboration network with two link types —
+// "co-author" (strongly tied to research community) and "same-building"
+// (where people sit, nearly unrelated to community) — and bag-of-words
+// profiles. Two people per community are labeled; T-Mark labels the rest
+// and reports which link type actually mattered.
+
+#include <cstdio>
+
+#include "tmark/core/tmark.h"
+#include "tmark/hin/hin_builder.h"
+
+int main() {
+  using namespace tmark;
+
+  // 1. Assemble the HIN: 6 nodes, 2 link types, 4-word vocabulary.
+  hin::HinBuilder builder(/*num_nodes=*/6, /*feature_dim=*/4);
+  const std::size_t ml = builder.AddClass("machine-learning");
+  const std::size_t db = builder.AddClass("databases");
+  const std::size_t coauthor = builder.AddRelation("co-author");
+  const std::size_t building = builder.AddRelation("same-building");
+
+  // Co-authorship follows communities: {0,1,2} are ML folks, {3,4,5} DB.
+  builder.AddUndirectedEdge(coauthor, 0, 1);
+  builder.AddUndirectedEdge(coauthor, 1, 2);
+  builder.AddUndirectedEdge(coauthor, 0, 2);
+  builder.AddUndirectedEdge(coauthor, 3, 4);
+  builder.AddUndirectedEdge(coauthor, 4, 5);
+  // Office assignment is mixed — a noisy link type.
+  builder.AddUndirectedEdge(building, 0, 3);
+  builder.AddUndirectedEdge(building, 1, 4);
+  builder.AddUndirectedEdge(building, 2, 3);
+  builder.AddUndirectedEdge(building, 2, 5);
+
+  // Word counts: dims {0,1} are ML jargon, {2,3} DB jargon.
+  const double profiles[6][4] = {
+      {3, 2, 0, 0}, {2, 2, 1, 0}, {3, 1, 0, 1},
+      {0, 1, 2, 3}, {0, 0, 3, 2}, {1, 0, 2, 2},
+  };
+  for (std::size_t node = 0; node < 6; ++node) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      if (profiles[node][d] > 0) {
+        builder.AddFeature(node, d, profiles[node][d]);
+      }
+    }
+  }
+
+  // Ground truth for everyone (the classifier only sees the labeled split).
+  for (std::size_t node : {0, 1, 2}) builder.SetLabel(node, ml);
+  for (std::size_t node : {3, 4, 5}) builder.SetLabel(node, db);
+  const hin::Hin hin = std::move(builder).Build();
+
+  // 2. Fit T-Mark with one labeled node per community.
+  core::TMarkConfig config;
+  config.alpha = 0.8;   // restart strength (trust in the labels)
+  config.gamma = 0.5;   // balance between links and features
+  core::TMarkClassifier classifier(config);
+  classifier.Fit(hin, /*labeled=*/{0, 4});
+
+  // 3. Read predictions and confidences.
+  std::printf("node  predicted           truth               conf(ML) "
+              "conf(DB)\n");
+  const std::vector<std::size_t> predicted =
+      classifier.PredictSingleLabel();
+  for (std::size_t node = 0; node < hin.num_nodes(); ++node) {
+    std::printf("%4zu  %-18s  %-18s  %.4f   %.4f\n", node,
+                hin.class_name(predicted[node]).c_str(),
+                hin.class_name(hin.PrimaryLabel(node)).c_str(),
+                classifier.Confidences().At(node, ml),
+                classifier.Confidences().At(node, db));
+  }
+
+  // 4. The simultaneous link ranking: co-author should dominate.
+  std::printf("\nlink importance (class %s):\n",
+              hin.class_name(ml).c_str());
+  for (std::size_t rank_pos : classifier.RankRelationsForClass(ml)) {
+    std::printf("  %-14s z = %.4f\n",
+                hin.relation_name(rank_pos).c_str(),
+                classifier.LinkImportance().At(rank_pos, ml));
+  }
+  return 0;
+}

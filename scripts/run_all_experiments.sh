@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Rebuilds the project and regenerates every table and figure of the paper,
+# teeing outputs next to the build tree. Knobs:
+#   TMARK_BENCH_TRIALS  splits averaged per table cell (default 3)
+#   TMARK_BENCH_SCALE   node-count multiplier (default 1.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,72 @@
+#include "tmark/baselines/emr.h"
+
+#include <algorithm>
+
+#include "tmark/baselines/relational_features.h"
+#include "tmark/common/check.h"
+
+namespace tmark::baselines {
+namespace {
+
+la::DenseMatrix SelectRows(const la::DenseMatrix& all,
+                           const std::vector<std::size_t>& rows) {
+  la::DenseMatrix out(rows.size(), all.cols());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(all.RowPtr(rows[r]), all.RowPtr(rows[r]) + all.cols(),
+              out.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+EmrClassifier::EmrClassifier(EmrConfig config) : config_(config) {}
+
+void EmrClassifier::Fit(const hin::Hin& hin,
+                        const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t n = hin.num_nodes();
+  const std::size_t q = hin.num_classes();
+  const la::DenseMatrix content = ContentFeatures(hin);
+  const std::vector<la::SparseMatrix> members =
+      SelectRelationChannels(hin, config_.max_members);
+
+  std::vector<std::size_t> y_train;
+  y_train.reserve(labeled.size());
+  for (std::size_t node : labeled) y_train.push_back(hin.PrimaryLabel(node));
+
+  auto clamp = [&](la::DenseMatrix* p) {
+    for (std::size_t node : labeled) {
+      double* row = p->RowPtr(node);
+      std::fill(row, row + q, 0.0);
+      row[hin.PrimaryLabel(node)] = 1.0;
+    }
+  };
+
+  la::DenseMatrix vote_sum(n, q);
+  for (const la::SparseMatrix& link : members) {
+    // Per-member ICA with an SVM base on [content | member's neighbor block].
+    ml::LinearSvm bootstrap(config_.base);
+    bootstrap.Fit(SelectRows(content, labeled), y_train, q);
+    la::DenseMatrix probs = bootstrap.PredictProba(content);
+    clamp(&probs);
+    for (int it = 0; it < config_.member_iterations; ++it) {
+      const la::DenseMatrix rel = NeighborLabelDistribution(link, probs);
+      const la::DenseMatrix x = ConcatColumns({&content, &rel});
+      ml::LinearSvm model(config_.base);
+      model.Fit(SelectRows(x, labeled), y_train, q);
+      probs = model.PredictProba(x);
+      clamp(&probs);
+    }
+    vote_sum.AddInPlace(probs);
+  }
+  vote_sum.ScaleInPlace(1.0 / static_cast<double>(members.size()));
+  confidences_ = std::move(vote_sum);
+}
+
+const la::DenseMatrix& EmrClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

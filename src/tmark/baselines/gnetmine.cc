@@ -1,0 +1,59 @@
+#include "tmark/baselines/gnetmine.h"
+
+#include "tmark/baselines/relational_features.h"
+#include "tmark/common/check.h"
+#include "tmark/ml/graph_conv.h"  // SymmetricNormalize
+
+namespace tmark::baselines {
+
+GNetMineClassifier::GNetMineClassifier(GNetMineConfig config)
+    : config_(config) {
+  TMARK_CHECK(config.mu > 0.0 && config.mu <= 1.0);
+}
+
+void GNetMineClassifier::Fit(const hin::Hin& hin,
+                             const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t n = hin.num_nodes();
+  const std::size_t m = hin.num_relations();
+
+  std::vector<la::SparseMatrix> smoothers;
+  smoothers.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    smoothers.push_back(ml::SymmetricNormalize(hin.relation(k)));
+  }
+  const la::DenseMatrix y = LabeledOneHot(hin, labeled);
+  la::DenseMatrix f = y;
+  const double spread = (1.0 - config_.mu) / static_cast<double>(m);
+  for (int it = 0; it < config_.iterations; ++it) {
+    la::DenseMatrix next(n, hin.num_classes());
+    for (const la::SparseMatrix& s : smoothers) {
+      next.AddInPlace(s.MatMulDense(f));
+    }
+    next.ScaleInPlace(spread);
+    la::DenseMatrix injected = y;
+    injected.ScaleInPlace(config_.mu);
+    next.AddInPlace(injected);
+    f = std::move(next);
+  }
+  // Normalize rows into confidences (rows of isolated unlabeled nodes stay
+  // uniform).
+  confidences_ = la::DenseMatrix(n, hin.num_classes());
+  const double uniform = 1.0 / static_cast<double>(hin.num_classes());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = f.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < hin.num_classes(); ++c) sum += row[c];
+    double* out = confidences_.RowPtr(i);
+    for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+      out[c] = sum > 0.0 ? row[c] / sum : uniform;
+    }
+  }
+}
+
+const la::DenseMatrix& GNetMineClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

@@ -1,0 +1,46 @@
+#ifndef TMARK_BASELINES_GNETMINE_H_
+#define TMARK_BASELINES_GNETMINE_H_
+
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+
+namespace tmark::baselines {
+
+/// GNetMine hyper-parameters.
+struct GNetMineConfig {
+  /// Trade-off mu between graph smoothness and fitting the labels: the
+  /// fixed-point weight of the label injection term.
+  double mu = 0.2;
+  int iterations = 60;
+};
+
+/// GNetMine (Ji et al., ECML-PKDD 2010) — graph-regularized transductive
+/// classification on heterogeneous information networks; the method whose
+/// DBLP extraction the paper's Sec. 6.1 evaluation reuses. Minimizes the
+/// per-relation quadratic smoothness penalty plus a label-fitting term,
+/// solved by the standard fixed-point iteration
+///
+///   F <- (1 - mu) * (1/m) * sum_k S_k F + mu * Y
+///
+/// with S_k the symmetric-normalized adjacency of relation k and Y the
+/// one-hot labeled matrix. All relations share one weight (the paper's
+/// criticism: no relative importance of links).
+class GNetMineClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit GNetMineClassifier(GNetMineConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+  const la::DenseMatrix& Confidences() const override;
+  std::string Name() const override { return "GNetMine"; }
+
+ private:
+  GNetMineConfig config_;
+  la::DenseMatrix confidences_;
+};
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_GNETMINE_H_

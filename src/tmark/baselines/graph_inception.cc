@@ -1,0 +1,33 @@
+#include "tmark/baselines/graph_inception.h"
+
+#include "tmark/common/check.h"
+
+namespace tmark::baselines {
+
+GraphInceptionClassifier::GraphInceptionClassifier(
+    ml::GraphInceptionNetConfig config)
+    : config_(config) {}
+
+void GraphInceptionClassifier::Fit(const hin::Hin& hin,
+                                   const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  std::vector<la::SparseMatrix> adjacencies;
+  adjacencies.reserve(hin.num_relations());
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    adjacencies.push_back(hin.relation(k));
+  }
+  std::vector<std::size_t> y(hin.num_nodes(), 0);
+  for (std::size_t node = 0; node < hin.num_nodes(); ++node) {
+    if (!hin.labels(node).empty()) y[node] = hin.PrimaryLabel(node);
+  }
+  ml::GraphInceptionNet net(config_);
+  net.Fit(hin.features(), adjacencies, y, labeled, hin.num_classes());
+  confidences_ = net.Proba();
+}
+
+const la::DenseMatrix& GraphInceptionClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

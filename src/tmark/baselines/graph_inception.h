@@ -1,0 +1,33 @@
+#ifndef TMARK_BASELINES_GRAPH_INCEPTION_H_
+#define TMARK_BASELINES_GRAPH_INCEPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+#include "tmark/ml/graph_conv.h"
+
+namespace tmark::baselines {
+
+/// Graph Inception baseline (GraphInception, Xiong et al. TKDE 2019): a
+/// transductive graph-convolutional network mixing per-relation, multi-hop
+/// propagated features. Its parameter count scales with the number of
+/// relations, which reproduces the low-label-rate overfitting the paper
+/// reports for GI in Tables 3, 4 and 11.
+class GraphInceptionClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit GraphInceptionClassifier(ml::GraphInceptionNetConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+  const la::DenseMatrix& Confidences() const override;
+  std::string Name() const override { return "GI"; }
+
+ private:
+  ml::GraphInceptionNetConfig config_;
+  la::DenseMatrix confidences_;
+};
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_GRAPH_INCEPTION_H_

@@ -1,0 +1,117 @@
+#include "tmark/baselines/hcc.h"
+
+#include <algorithm>
+
+#include "tmark/baselines/relational_features.h"
+#include "tmark/common/check.h"
+#include "tmark/hin/meta_path.h"
+
+namespace tmark::baselines {
+namespace {
+
+la::DenseMatrix SelectRows(const la::DenseMatrix& all,
+                           const std::vector<std::size_t>& rows) {
+  la::DenseMatrix out(rows.size(), all.cols());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(all.RowPtr(rows[r]), all.RowPtr(rows[r]) + all.cols(),
+              out.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+HccClassifier::HccClassifier(HccConfig config) : config_(config) {}
+
+void HccClassifier::Fit(const hin::Hin& hin,
+                        const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t q = hin.num_classes();
+  const la::DenseMatrix content = ContentFeatures(hin);
+
+  // Channels: per-relation links plus (optionally) composed meta-paths.
+  std::vector<la::SparseMatrix> channels =
+      SelectRelationChannels(hin, config_.max_channels);
+  if (config_.use_meta_paths) {
+    const std::vector<la::SparseMatrix> metas = hin::AllLength2MetaPaths(
+        hin, /*min_links=*/hin.num_nodes(), config_.max_meta_paths);
+    for (const la::SparseMatrix& mp : metas) {
+      channels.push_back(hin::BinarizeLinks(mp));
+    }
+  }
+
+  // Bootstrap with content only.
+  std::vector<std::size_t> train_nodes = labeled;
+  std::vector<std::size_t> train_labels;
+  train_labels.reserve(labeled.size());
+  for (std::size_t node : labeled) {
+    train_labels.push_back(hin.PrimaryLabel(node));
+  }
+  ml::LogisticRegression bootstrap(config_.base);
+  bootstrap.Fit(SelectRows(content, train_nodes), train_labels, q);
+  la::DenseMatrix probs = bootstrap.PredictProba(content);
+
+  auto clamp = [&](la::DenseMatrix* p) {
+    for (std::size_t node : labeled) {
+      double* row = p->RowPtr(node);
+      std::fill(row, row + q, 0.0);
+      row[hin.PrimaryLabel(node)] = 1.0;
+    }
+  };
+  clamp(&probs);
+
+  std::vector<bool> is_labeled(hin.num_nodes(), false);
+  for (std::size_t node : labeled) is_labeled[node] = true;
+
+  for (int it = 0; it < config_.iterations; ++it) {
+    // Per-channel relational blocks.
+    std::vector<la::DenseMatrix> blocks;
+    blocks.reserve(channels.size());
+    std::vector<const la::DenseMatrix*> parts{&content};
+    for (const la::SparseMatrix& ch : channels) {
+      blocks.push_back(NeighborLabelDistribution(ch, probs));
+    }
+    for (const la::DenseMatrix& b : blocks) parts.push_back(&b);
+    const la::DenseMatrix x = ConcatColumns(parts);
+
+    // Semi-supervised augmentation: adopt confident predictions.
+    train_nodes = labeled;
+    train_labels.clear();
+    for (std::size_t node : labeled) {
+      train_labels.push_back(hin.PrimaryLabel(node));
+    }
+    if (config_.semi_supervised && it > 0) {
+      double top = 0.0;
+      for (std::size_t node = 0; node < hin.num_nodes(); ++node) {
+        if (is_labeled[node]) continue;
+        const la::Vector row = probs.Row(node);
+        top = std::max(top, row[la::ArgMax(row)]);
+      }
+      const double cutoff = config_.confidence_threshold * top;
+      if (cutoff > 0.0) {
+        for (std::size_t node = 0; node < hin.num_nodes(); ++node) {
+          if (is_labeled[node]) continue;
+          const la::Vector row = probs.Row(node);
+          const std::size_t best = la::ArgMax(row);
+          if (row[best] >= cutoff) {
+            train_nodes.push_back(node);
+            train_labels.push_back(best);
+          }
+        }
+      }
+    }
+
+    ml::LogisticRegression model(config_.base);
+    model.Fit(SelectRows(x, train_nodes), train_labels, q);
+    probs = model.PredictProba(x);
+    clamp(&probs);
+  }
+  confidences_ = std::move(probs);
+}
+
+const la::DenseMatrix& HccClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

@@ -1,0 +1,32 @@
+#include "tmark/baselines/highway_net.h"
+
+#include "tmark/baselines/relational_features.h"
+#include "tmark/common/check.h"
+
+namespace tmark::baselines {
+
+HighwayNetClassifier::HighwayNetClassifier(ml::HighwayMlpConfig config)
+    : config_(config) {}
+
+void HighwayNetClassifier::Fit(const hin::Hin& hin,
+                               const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const la::DenseMatrix content = ContentFeatures(hin);
+  la::DenseMatrix train(labeled.size(), content.cols());
+  std::vector<std::size_t> y(labeled.size());
+  for (std::size_t r = 0; r < labeled.size(); ++r) {
+    std::copy(content.RowPtr(labeled[r]),
+              content.RowPtr(labeled[r]) + content.cols(), train.RowPtr(r));
+    y[r] = hin.PrimaryLabel(labeled[r]);
+  }
+  ml::HighwayMlp net(config_);
+  net.Fit(train, y, hin.num_classes());
+  confidences_ = net.PredictProba(content);
+}
+
+const la::DenseMatrix& HighwayNetClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

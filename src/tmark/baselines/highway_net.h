@@ -1,0 +1,32 @@
+#ifndef TMARK_BASELINES_HIGHWAY_NET_H_
+#define TMARK_BASELINES_HIGHWAY_NET_H_
+
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+#include "tmark/ml/mlp.h"
+
+namespace tmark::baselines {
+
+/// Highway Network baseline (Srivastava et al. 2015): a content-only deep
+/// classifier over the node features — it ignores the link structure
+/// entirely, which is why it trails the collective methods on link-rich
+/// HINs while staying competitive where features dominate (Movies).
+class HighwayNetClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit HighwayNetClassifier(ml::HighwayMlpConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+  const la::DenseMatrix& Confidences() const override;
+  std::string Name() const override { return "HN"; }
+
+ private:
+  ml::HighwayMlpConfig config_;
+  la::DenseMatrix confidences_;
+};
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_HIGHWAY_NET_H_

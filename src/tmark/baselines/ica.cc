@@ -1,0 +1,72 @@
+#include "tmark/baselines/ica.h"
+
+#include "tmark/baselines/relational_features.h"
+#include "tmark/common/check.h"
+
+namespace tmark::baselines {
+namespace {
+
+/// Extracts the rows of `all` indexed by `rows`.
+la::DenseMatrix SelectRows(const la::DenseMatrix& all,
+                           const std::vector<std::size_t>& rows) {
+  la::DenseMatrix out(rows.size(), all.cols());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(all.RowPtr(rows[r]), all.RowPtr(rows[r]) + all.cols(),
+              out.RowPtr(r));
+  }
+  return out;
+}
+
+std::vector<std::size_t> PrimaryLabels(const hin::Hin& hin,
+                                       const std::vector<std::size_t>& nodes) {
+  std::vector<std::size_t> out(nodes.size());
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    out[r] = hin.PrimaryLabel(nodes[r]);
+  }
+  return out;
+}
+
+}  // namespace
+
+IcaClassifier::IcaClassifier(IcaConfig config) : config_(config) {}
+
+void IcaClassifier::Fit(const hin::Hin& hin,
+                        const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t q = hin.num_classes();
+  const la::DenseMatrix content = ContentFeatures(hin);
+  const la::SparseMatrix graph = hin.AggregatedRelation();
+  const std::vector<std::size_t> y_train = PrimaryLabels(hin, labeled);
+
+  // Bootstrap: content-only classifier.
+  ml::LogisticRegression bootstrap(config_.base);
+  bootstrap.Fit(SelectRows(content, labeled), y_train, q);
+  la::DenseMatrix probs = bootstrap.PredictProba(content);
+
+  // Clamp labeled nodes to their known labels throughout.
+  auto clamp = [&](la::DenseMatrix* p) {
+    for (std::size_t node : labeled) {
+      double* row = p->RowPtr(node);
+      std::fill(row, row + q, 0.0);
+      row[hin.PrimaryLabel(node)] = 1.0;
+    }
+  };
+  clamp(&probs);
+
+  for (int it = 0; it < config_.iterations; ++it) {
+    const la::DenseMatrix rel = NeighborLabelDistribution(graph, probs);
+    const la::DenseMatrix x = ConcatColumns({&content, &rel});
+    ml::LogisticRegression model(config_.base);
+    model.Fit(SelectRows(x, labeled), y_train, q);
+    probs = model.PredictProba(x);
+    clamp(&probs);
+  }
+  confidences_ = std::move(probs);
+}
+
+const la::DenseMatrix& IcaClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

@@ -1,0 +1,40 @@
+#ifndef TMARK_BASELINES_ICA_H_
+#define TMARK_BASELINES_ICA_H_
+
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+#include "tmark/ml/logistic_regression.h"
+
+namespace tmark::baselines {
+
+/// ICA hyper-parameters.
+struct IcaConfig {
+  int iterations = 8;  ///< Collective-inference rounds after bootstrap.
+  ml::LogisticRegressionConfig base;
+};
+
+/// Iterative Classification Algorithm (Sen et al. 2008), the classic
+/// collective-classification baseline. Following the paper's protocol, all
+/// link types are aggregated into a single graph. Each node is represented
+/// by [content features | aggregated neighbor-label distribution]; a softmax
+/// base classifier is bootstrapped on content only, then inference and
+/// relational-feature refresh alternate for a fixed number of rounds.
+class IcaClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit IcaClassifier(IcaConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+  const la::DenseMatrix& Confidences() const override;
+  std::string Name() const override { return "ICA"; }
+
+ private:
+  IcaConfig config_;
+  la::DenseMatrix confidences_;
+};
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_ICA_H_

@@ -1,0 +1,74 @@
+#include "tmark/baselines/rankclass.h"
+
+#include "tmark/common/check.h"
+#include "tmark/hin/label_vector.h"
+
+namespace tmark::baselines {
+
+RankClassClassifier::RankClassClassifier(RankClassConfig config)
+    : config_(config) {
+  TMARK_CHECK(config.alpha > 0.0 && config.alpha < 1.0);
+  TMARK_CHECK(config.weight_smoothing >= 0.0);
+}
+
+void RankClassClassifier::Fit(const hin::Hin& hin,
+                              const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t n = hin.num_nodes();
+  const std::size_t m = hin.num_relations();
+  const std::size_t q = hin.num_classes();
+
+  // Column-normalized relation matrices (random-walk transitions).
+  std::vector<la::SparseMatrix> transitions;
+  transitions.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    transitions.push_back(hin.relation(k).NormalizeColumnsSparse(nullptr));
+  }
+
+  confidences_ = la::DenseMatrix(n, q);
+  relation_weights_ = la::DenseMatrix(m, q);
+
+  for (std::size_t c = 0; c < q; ++c) {
+    const la::Vector l = hin::InitialLabelVector(hin, labeled, c);
+    la::Vector x = l;
+    la::Vector w(m, 1.0 / static_cast<double>(m));
+    for (int it = 0; it < config_.iterations; ++it) {
+      // Ranking step under the current relation mixture.
+      la::Vector next(n, 0.0);
+      for (std::size_t k = 0; k < m; ++k) {
+        if (w[k] == 0.0) continue;
+        la::Axpy(w[k], transitions[k].MatVec(x), &next);
+      }
+      la::Scale(1.0 - config_.alpha, &next);
+      la::Axpy(config_.alpha, l, &next);
+      // Walk mass can leak through empty columns; re-project.
+      const double total = la::Sum(next);
+      if (total > 0.0) la::Scale(1.0 / total, &next);
+      x = std::move(next);
+
+      // Reweighting step: relations connecting high-ranked nodes gain.
+      double wsum = 0.0;
+      for (std::size_t k = 0; k < m; ++k) {
+        w[k] = transitions[k].Bilinear(x, x) +
+               config_.weight_smoothing / static_cast<double>(m);
+        wsum += w[k];
+      }
+      TMARK_CHECK(wsum > 0.0);
+      la::Scale(1.0 / wsum, &w);
+    }
+    for (std::size_t i = 0; i < n; ++i) confidences_.At(i, c) = x[i];
+    for (std::size_t k = 0; k < m; ++k) relation_weights_.At(k, c) = w[k];
+  }
+}
+
+const la::DenseMatrix& RankClassClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+const la::DenseMatrix& RankClassClassifier::RelationWeights() const {
+  TMARK_CHECK_MSG(relation_weights_.rows() > 0, "classifier is not fitted");
+  return relation_weights_;
+}
+
+}  // namespace tmark::baselines

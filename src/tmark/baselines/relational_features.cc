@@ -1,0 +1,98 @@
+#include "tmark/baselines/relational_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tmark/common/check.h"
+
+namespace tmark::baselines {
+
+la::DenseMatrix ContentFeatures(const hin::Hin& hin) {
+  const la::SparseMatrix& f = hin.features();
+  la::DenseMatrix out = f.ToDense();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    double sq = 0.0;
+    for (std::size_t d = 0; d < out.cols(); ++d) sq += row[d] * row[d];
+    if (sq > 0.0) {
+      const double inv = 1.0 / std::sqrt(sq);
+      for (std::size_t d = 0; d < out.cols(); ++d) row[d] *= inv;
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix NeighborLabelDistribution(const la::SparseMatrix& graph,
+                                          const la::DenseMatrix& label_probs) {
+  TMARK_CHECK(graph.cols() == label_probs.rows());
+  la::DenseMatrix agg = graph.MatMulDense(label_probs);
+  for (std::size_t i = 0; i < agg.rows(); ++i) {
+    double* row = agg.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < agg.cols(); ++c) sum += row[c];
+    if (sum > 0.0) {
+      for (std::size_t c = 0; c < agg.cols(); ++c) row[c] /= sum;
+    }
+  }
+  return agg;
+}
+
+la::DenseMatrix ConcatColumns(
+    const std::vector<const la::DenseMatrix*>& parts) {
+  TMARK_CHECK(!parts.empty());
+  const std::size_t rows = parts[0]->rows();
+  std::size_t cols = 0;
+  for (const la::DenseMatrix* p : parts) {
+    TMARK_CHECK_MSG(p->rows() == rows, "all blocks must have equal height");
+    cols += p->cols();
+  }
+  la::DenseMatrix out(rows, cols);
+  std::size_t offset = 0;
+  for (const la::DenseMatrix* p : parts) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy(p->RowPtr(r), p->RowPtr(r) + p->cols(),
+                out.RowPtr(r) + offset);
+    }
+    offset += p->cols();
+  }
+  return out;
+}
+
+la::DenseMatrix LabeledOneHot(const hin::Hin& hin,
+                              const std::vector<std::size_t>& labeled) {
+  la::DenseMatrix out(hin.num_nodes(), hin.num_classes());
+  for (std::size_t node : labeled) {
+    out.At(node, hin.PrimaryLabel(node)) = 1.0;
+  }
+  return out;
+}
+
+std::vector<la::SparseMatrix> SelectRelationChannels(
+    const hin::Hin& hin, std::size_t max_channels) {
+  TMARK_CHECK(max_channels >= 1);
+  const std::size_t m = hin.num_relations();
+  std::vector<la::SparseMatrix> out;
+  if (m <= max_channels) {
+    for (std::size_t k = 0; k < m; ++k) out.push_back(hin.relation(k));
+    return out;
+  }
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return hin.relation(a).NumNonZeros() > hin.relation(b).NumNonZeros();
+  });
+  la::SparseMatrix rest(hin.num_nodes(), hin.num_nodes());
+  for (std::size_t r = 0; r < m; ++r) {
+    if (r + 1 < max_channels) {
+      out.push_back(hin.relation(order[r]));
+    } else {
+      rest = rest.Add(hin.relation(order[r]));
+    }
+  }
+  out.push_back(std::move(rest));
+  return out;
+}
+
+}  // namespace tmark::baselines

@@ -1,0 +1,42 @@
+#ifndef TMARK_BASELINES_RELATIONAL_FEATURES_H_
+#define TMARK_BASELINES_RELATIONAL_FEATURES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/hin/hin.h"
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/sparse_matrix.h"
+
+namespace tmark::baselines {
+
+/// Densified, row-L2-normalized content features of the HIN — the standard
+/// input representation for the classifier-based baselines.
+la::DenseMatrix ContentFeatures(const hin::Hin& hin);
+
+/// Label-distribution aggregation over a link matrix: row i of the result is
+/// the (L1-normalized) sum of `label_probs` rows over i's in-neighbors in
+/// `graph` (graph convention: row = destination, column = source). Isolated
+/// nodes get all-zero rows. This is the relational feature block of the
+/// ICA / Hcc family (Sen et al. 2008; Kong et al. 2012).
+la::DenseMatrix NeighborLabelDistribution(const la::SparseMatrix& graph,
+                                          const la::DenseMatrix& label_probs);
+
+/// Horizontal concatenation of equally-tall blocks.
+la::DenseMatrix ConcatColumns(const std::vector<const la::DenseMatrix*>& parts);
+
+/// One-hot matrix of training labels: row = node, one-hot at the primary
+/// label for nodes in `labeled`, zeros elsewhere.
+la::DenseMatrix LabeledOneHot(const hin::Hin& hin,
+                              const std::vector<std::size_t>& labeled);
+
+/// Channel selection shared by baselines that cannot afford one model per
+/// relation on HINs with hundreds of link types: returns up to
+/// `max_channels` link matrices — the largest relations verbatim, the
+/// remainder (if any) pooled into a final aggregate channel.
+std::vector<la::SparseMatrix> SelectRelationChannels(const hin::Hin& hin,
+                                                     std::size_t max_channels);
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_RELATIONAL_FEATURES_H_

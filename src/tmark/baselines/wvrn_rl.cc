@@ -1,0 +1,113 @@
+#include "tmark/baselines/wvrn_rl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmark/common/check.h"
+#include "tmark/hin/feature_similarity.h"
+
+namespace tmark::baselines {
+namespace {
+
+/// Mined content links: top-k cosine neighbors per node, weighted by
+/// similarity. Self-similarity is excluded.
+la::SparseMatrix ContentKnnLinks(const hin::Hin& hin, std::size_t k) {
+  const std::size_t n = hin.num_nodes();
+  const hin::FeatureSimilarity sim =
+      hin::FeatureSimilarity::Build(hin.features());
+  std::vector<la::Triplet> trips;
+  trips.reserve(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Similarity of node i to everyone: column i of C (= row, symmetric).
+    la::Vector e(n, 0.0);
+    e[i] = 1.0;
+    // C e_i = F_hat (F_hat^T e_i); reuse Apply's internals via cosine calls
+    // would be O(n log) — instead compute through the public operator by
+    // undoing its column normalization: Apply uses W = C D^{-1}; we want C.
+    // Simpler and exact: use pairwise Cosine on the node's neighbors in
+    // feature space via the two-pass product below.
+    // (One sparse pass over F per node keeps the total cost O(n * nnz/n * k).)
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double c = sim.Cosine(i, j);
+      if (c > 0.0) scored.emplace_back(c, j);
+    }
+    const std::size_t take = std::min(k, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (std::size_t t = 0; t < take; ++t) {
+      trips.push_back({static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(scored[t].second),
+                       scored[t].first});
+      trips.push_back({static_cast<std::uint32_t>(scored[t].second),
+                       static_cast<std::uint32_t>(i), scored[t].first});
+    }
+  }
+  return la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+}
+
+}  // namespace
+
+WvrnRlClassifier::WvrnRlClassifier(WvrnRlConfig config) : config_(config) {}
+
+void WvrnRlClassifier::Fit(const hin::Hin& hin,
+                           const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t n = hin.num_nodes();
+  const std::size_t q = hin.num_classes();
+
+  la::SparseMatrix graph = hin.AggregatedRelation();
+  if (config_.content_knn > 0) {
+    graph = graph.Add(ContentKnnLinks(hin, config_.content_knn));
+  }
+  const la::Vector wsum = graph.RowSums();
+
+  // Class prior from the labeled set.
+  la::Vector prior(q, 0.0);
+  for (std::size_t node : labeled) prior[hin.PrimaryLabel(node)] += 1.0;
+  la::NormalizeL1(&prior);
+
+  la::DenseMatrix probs(n, q);
+  std::vector<bool> is_labeled(n, false);
+  for (std::size_t node : labeled) is_labeled[node] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = probs.RowPtr(i);
+    if (is_labeled[i]) {
+      row[hin.PrimaryLabel(i)] = 1.0;
+    } else {
+      std::copy(prior.begin(), prior.end(), row);
+    }
+  }
+
+  double k_t = config_.k0;
+  for (int it = 0; it < config_.iterations; ++it) {
+    const la::DenseMatrix votes = graph.MatMulDense(probs);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_labeled[i]) continue;
+      double* row = probs.RowPtr(i);
+      if (wsum[i] > 0.0) {
+        const double* vrow = votes.RowPtr(i);
+        double sum = 0.0;
+        for (std::size_t c = 0; c < q; ++c) sum += vrow[c];
+        if (sum > 0.0) {
+          for (std::size_t c = 0; c < q; ++c) {
+            row[c] = (1.0 - k_t) * row[c] + k_t * vrow[c] / sum;
+          }
+        }
+      }
+    }
+    k_t *= config_.decay;
+  }
+  confidences_ = std::move(probs);
+}
+
+const la::DenseMatrix& WvrnRlClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

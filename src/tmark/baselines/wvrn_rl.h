@@ -1,0 +1,49 @@
+#ifndef TMARK_BASELINES_WVRN_RL_H_
+#define TMARK_BASELINES_WVRN_RL_H_
+
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+
+namespace tmark::baselines {
+
+/// wvRN+RL hyper-parameters.
+struct WvrnRlConfig {
+  int iterations = 50;
+  /// Simulated-annealing schedule of relaxation labeling: the influence of
+  /// the fresh estimate at round t is k0 * decay^t.
+  double k0 = 1.0;
+  double decay = 0.95;
+  /// Content is transformed into structure by connecting each node to its
+  /// `content_knn` most cosine-similar peers (Macskassy 2007's "mined
+  /// links"), weighted by similarity.
+  std::size_t content_knn = 5;
+};
+
+/// Weighted-vote relational neighbor classifier with relaxation labeling
+/// (Macskassy & Provost 2007; Macskassy 2007). All explicit link types are
+/// aggregated, content similarity is converted into additional mined links,
+/// and label estimates relax to a fixed point:
+///
+///   wvRN(i) = sum_j w_ij P(j) / sum_j w_ij
+///   P_{t+1}(i) = (1 - k_t) P_t(i) + k_t wvRN_t(i)   (unlabeled i)
+///
+/// Labeled nodes stay clamped at their known label.
+class WvrnRlClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit WvrnRlClassifier(WvrnRlConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+  const la::DenseMatrix& Confidences() const override;
+  std::string Name() const override { return "wvRN+RL"; }
+
+ private:
+  WvrnRlConfig config_;
+  la::DenseMatrix confidences_;
+};
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_WVRN_RL_H_

@@ -1,0 +1,76 @@
+#include "tmark/baselines/zoobp.h"
+
+#include "tmark/common/check.h"
+#include "tmark/ml/graph_conv.h"  // SymmetricNormalize
+
+namespace tmark::baselines {
+
+ZooBpClassifier::ZooBpClassifier(ZooBpConfig config) : config_(config) {
+  TMARK_CHECK_MSG(config.epsilon > 0.0 && config.epsilon < 1.0,
+                  "epsilon must lie in (0, 1)");
+}
+
+void ZooBpClassifier::Fit(const hin::Hin& hin,
+                          const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(!labeled.empty());
+  const std::size_t n = hin.num_nodes();
+  const std::size_t q = hin.num_classes();
+  const std::size_t m = hin.num_relations();
+
+  // Symmetric-normalized propagation matrix per relation; spectral radius
+  // <= 1, so scaling by epsilon/m keeps the total update a contraction.
+  std::vector<la::SparseMatrix> channels;
+  channels.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    channels.push_back(ml::SymmetricNormalize(hin.relation(k)));
+  }
+
+  // Residual prior beliefs: labeled nodes inject +-(1 - 1/q) centered
+  // one-hot residuals; unlabeled start neutral.
+  const double center = 1.0 / static_cast<double>(q);
+  la::DenseMatrix prior(n, q);
+  for (std::size_t node : labeled) {
+    double* row = prior.RowPtr(node);
+    for (std::size_t c = 0; c < q; ++c) row[c] = -center;
+    row[hin.PrimaryLabel(node)] += 1.0;
+  }
+
+  const double strength =
+      config_.epsilon * config_.homophily / static_cast<double>(m);
+  la::DenseMatrix beliefs = prior;
+  for (int it = 0; it < config_.iterations; ++it) {
+    la::DenseMatrix propagated(n, q);
+    for (const la::SparseMatrix& s : channels) {
+      propagated.AddInPlace(s.MatMulDense(beliefs));
+    }
+    propagated.ScaleInPlace(strength);
+    propagated.AddInPlace(prior);
+    beliefs = std::move(propagated);
+  }
+
+  // Convert residuals back to per-node confidence rows (shift + clamp to
+  // non-negative, renormalize).
+  confidences_ = la::DenseMatrix(n, q);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* out = confidences_.RowPtr(i);
+    const double* b = beliefs.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < q; ++c) {
+      out[c] = b[c] + center;
+      if (out[c] < 0.0) out[c] = 0.0;
+      sum += out[c];
+    }
+    if (sum > 0.0) {
+      for (std::size_t c = 0; c < q; ++c) out[c] /= sum;
+    } else {
+      for (std::size_t c = 0; c < q; ++c) out[c] = center;
+    }
+  }
+}
+
+const la::DenseMatrix& ZooBpClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+}  // namespace tmark::baselines

@@ -1,0 +1,50 @@
+#ifndef TMARK_BASELINES_ZOOBP_H_
+#define TMARK_BASELINES_ZOOBP_H_
+
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+
+namespace tmark::baselines {
+
+/// ZooBP hyper-parameters.
+struct ZooBpConfig {
+  /// Interaction strength epsilon of the linearized propagation matrices.
+  /// Convergence requires it small; the effective per-relation strength is
+  /// epsilon / num_relations.
+  double epsilon = 0.4;
+  int iterations = 60;
+  /// Homophily assumption per relation: +1 couples same classes (all the
+  /// paper's link types are homophilous).
+  double homophily = 1.0;
+};
+
+/// ZooBP-style linearized belief propagation on HINs (Eswaran et al., VLDB
+/// 2017), cited in the paper's related work as the BP approach to
+/// heterogeneous graphs. Beliefs are kept as residuals b = p - 1/q; labeled
+/// nodes inject a constant prior residual and every relation propagates
+/// through its symmetric-normalized adjacency:
+///
+///   b <- b0 + (epsilon * homophily / m) * sum_k S_k b
+///
+/// With small epsilon the affine map is a contraction, so the iteration
+/// converges to the unique linearized-BP fixed point. Implemented here as
+/// an optional extra baseline (not part of the paper's comparison tables).
+class ZooBpClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit ZooBpClassifier(ZooBpConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+  const la::DenseMatrix& Confidences() const override;
+  std::string Name() const override { return "ZooBP"; }
+
+ private:
+  ZooBpConfig config_;
+  la::DenseMatrix confidences_;
+};
+
+}  // namespace tmark::baselines
+
+#endif  // TMARK_BASELINES_ZOOBP_H_

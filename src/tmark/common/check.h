@@ -1,0 +1,51 @@
+#ifndef TMARK_COMMON_CHECK_H_
+#define TMARK_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tmark {
+
+/// Error thrown when a TMARK_CHECK contract is violated. Deriving from
+/// std::logic_error makes violations testable with EXPECT_THROW while still
+/// aborting unittested code paths loudly.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TMARK_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace tmark
+
+/// Contract check: evaluates `cond`; on failure throws tmark::CheckError with
+/// file/line context. Used for preconditions on public APIs.
+#define TMARK_CHECK(cond)                                             \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::tmark::internal::CheckFail(#cond, __FILE__, __LINE__, "");    \
+    }                                                                 \
+  } while (false)
+
+/// Contract check with an explanatory message (any streamable expression).
+#define TMARK_CHECK_MSG(cond, msg)                                    \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream tmark_check_os_;                             \
+      tmark_check_os_ << msg;                                         \
+      ::tmark::internal::CheckFail(#cond, __FILE__, __LINE__,         \
+                                   tmark_check_os_.str());            \
+    }                                                                 \
+  } while (false)
+
+#endif  // TMARK_COMMON_CHECK_H_

@@ -1,0 +1,79 @@
+#include "tmark/core/har.h"
+
+#include "tmark/common/check.h"
+#include "tmark/tensor/transition_tensors.h"
+
+namespace tmark::core {
+namespace {
+
+/// Per-slice transpose: entry (i, j, k) -> (j, i, k). The destination-
+/// normalized tensor of the transpose is exactly the source-normalized
+/// tensor H of the original.
+tensor::SparseTensor3 TransposeSlices(const tensor::SparseTensor3& a) {
+  std::vector<la::SparseMatrix> slices;
+  slices.reserve(a.num_relations());
+  for (std::size_t k = 0; k < a.num_relations(); ++k) {
+    slices.push_back(a.Slice(k).Transpose());
+  }
+  return tensor::SparseTensor3::FromSlices(std::move(slices));
+}
+
+}  // namespace
+
+HarResult HarRank(const tensor::SparseTensor3& adjacency,
+                  const HarConfig& config) {
+  const std::size_t n = adjacency.num_nodes();
+  const std::size_t m = adjacency.num_relations();
+  TMARK_CHECK(n > 0 && m > 0);
+  TMARK_CHECK(config.alpha >= 0.0 && config.alpha < 1.0);
+  TMARK_CHECK(config.beta >= 0.0 && config.beta < 1.0);
+  TMARK_CHECK(config.gamma >= 0.0 && config.gamma < 1.0);
+
+  const tensor::TransitionTensors fwd =
+      tensor::TransitionTensors::Build(adjacency);
+  const tensor::TransitionTensors bwd =
+      tensor::TransitionTensors::Build(TransposeSlices(adjacency));
+
+  const la::Vector x0 = la::UniformProbability(n);
+  const la::Vector y0 = la::UniformProbability(n);
+  const la::Vector z0 = la::UniformProbability(m);
+
+  HarResult result;
+  la::Vector x = x0, y = y0, z = z0;
+  for (int t = 0; t < config.max_iterations; ++t) {
+    // Authority from hubs, hubs from authorities, relevance from both.
+    la::Vector x_next = fwd.ApplyO(y, z);
+    la::Scale(1.0 - config.alpha, &x_next);
+    la::Axpy(config.alpha, x0, &x_next);
+
+    la::Vector y_next = bwd.ApplyO(x_next, z);
+    la::Scale(1.0 - config.beta, &y_next);
+    la::Axpy(config.beta, y0, &y_next);
+
+    la::Vector z_next = fwd.ApplyR(x_next, y_next);
+    la::Scale(1.0 - config.gamma, &z_next);
+    la::Axpy(config.gamma, z0, &z_next);
+
+    la::NormalizeL1(&x_next);
+    la::NormalizeL1(&y_next);
+    la::NormalizeL1(&z_next);
+
+    const double rho = la::L1Distance(x_next, x) +
+                       la::L1Distance(y_next, y) +
+                       la::L1Distance(z_next, z);
+    result.residuals.push_back(rho);
+    x = std::move(x_next);
+    y = std::move(y_next);
+    z = std::move(z_next);
+    if (rho < config.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.authority = std::move(x);
+  result.hub = std::move(y);
+  result.relevance = std::move(z);
+  return result;
+}
+
+}  // namespace tmark::core

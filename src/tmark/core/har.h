@@ -1,0 +1,46 @@
+#ifndef TMARK_CORE_HAR_H_
+#define TMARK_CORE_HAR_H_
+
+#include <vector>
+
+#include "tmark/la/vector_ops.h"
+#include "tmark/tensor/sparse_tensor3.h"
+
+namespace tmark::core {
+
+/// Configuration of the HAR fixed-point iteration. The restart weights damp
+/// each of the three coupled equations toward its prior distribution.
+struct HarConfig {
+  double alpha = 0.15;  ///< Authority restart weight.
+  double beta = 0.15;   ///< Hub restart weight.
+  double gamma = 0.15;  ///< Relevance restart weight.
+  double epsilon = 1e-10;
+  int max_iterations = 500;
+};
+
+/// Result of a HAR run.
+struct HarResult {
+  la::Vector authority;   ///< x: how strongly nodes are pointed to.
+  la::Vector hub;         ///< y: how strongly nodes point to authorities.
+  la::Vector relevance;   ///< z: how much each relation carries the above.
+  std::vector<double> residuals;
+  bool converged = false;
+};
+
+/// HAR — hub, authority and relevance scores in multi-relational data
+/// (Li, Ng & Ye, SDM 2012), the directed sibling of MultiRank that the
+/// paper's Sec. 2.2 builds its lineage on. Solves the coupled equations
+///
+///   x = (1 - alpha) * (O  x2 y x3 z) + alpha  * x0     (authority)
+///   y = (1 - beta)  * (H  x1 x x3 z) + beta   * y0     (hub)
+///   z = (1 - gamma) * (R  x1 x x2 y) + gamma  * z0     (relevance)
+///
+/// where O normalizes A over destinations, H over sources and R over
+/// relations; all priors are uniform. With positive restart weights the
+/// iteration contracts to a unique positive solution.
+HarResult HarRank(const tensor::SparseTensor3& adjacency,
+                  const HarConfig& config = {});
+
+}  // namespace tmark::core
+
+#endif  // TMARK_CORE_HAR_H_

@@ -1,0 +1,121 @@
+#include "tmark/core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "tmark/common/check.h"
+#include "tmark/common/string_util.h"
+
+namespace tmark::core {
+namespace {
+
+constexpr char kHeader[] = "# tmark-model v1";
+
+}  // namespace
+
+void SaveTMarkModel(const TMarkClassifier& classifier, std::ostream& out) {
+  const la::DenseMatrix& conf = classifier.Confidences();  // checks fitted
+  const la::DenseMatrix& link = classifier.LinkImportance();
+  const TMarkConfig& config = classifier.config();
+  out << kHeader << "\n";
+  out << std::setprecision(17);
+  out << "alpha " << config.alpha << "\n";
+  out << "gamma " << config.gamma << "\n";
+  out << "lambda " << config.lambda << "\n";
+  out << "ica " << (config.ica_update ? 1 : 0) << "\n";
+  out << "kernel " << hin::ToString(config.similarity) << "\n";
+  out << "shape " << conf.rows() << " " << link.rows() << " " << conf.cols()
+      << "\n";
+  for (std::size_t i = 0; i < conf.rows(); ++i) {
+    out << "conf " << i;
+    for (std::size_t c = 0; c < conf.cols(); ++c) {
+      out << " " << conf.At(i, c);
+    }
+    out << "\n";
+  }
+  for (std::size_t k = 0; k < link.rows(); ++k) {
+    out << "link " << k;
+    for (std::size_t c = 0; c < link.cols(); ++c) {
+      out << " " << link.At(k, c);
+    }
+    out << "\n";
+  }
+}
+
+bool SaveTMarkModelToFile(const TMarkClassifier& classifier,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveTMarkModel(classifier, out);
+  return static_cast<bool>(out);
+}
+
+TMarkClassifier LoadTMarkModel(std::istream& in) {
+  std::string line;
+  TMARK_CHECK_MSG(std::getline(in, line) && Strip(line) == kHeader,
+                  "missing tmark-model header");
+  TMarkConfig config;
+  std::size_t n = 0, m = 0, q = 0;
+  la::DenseMatrix conf, link;
+  bool have_shape = false;
+  while (std::getline(in, line)) {
+    line = Strip(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    if (directive == "alpha") {
+      ls >> config.alpha;
+    } else if (directive == "gamma") {
+      ls >> config.gamma;
+    } else if (directive == "lambda") {
+      ls >> config.lambda;
+    } else if (directive == "ica") {
+      int v = 1;
+      ls >> v;
+      config.ica_update = v != 0;
+    } else if (directive == "kernel") {
+      std::string name;
+      ls >> name;
+      config.similarity = hin::SimilarityKernelFromString(name);
+    } else if (directive == "shape") {
+      ls >> n >> m >> q;
+      TMARK_CHECK_MSG(!ls.fail() && n > 0 && m > 0 && q > 0,
+                      "malformed shape line: " << line);
+      conf = la::DenseMatrix(n, q);
+      link = la::DenseMatrix(m, q);
+      have_shape = true;
+    } else if (directive == "conf") {
+      TMARK_CHECK_MSG(have_shape, "conf before shape");
+      std::size_t i;
+      ls >> i;
+      TMARK_CHECK_MSG(!ls.fail() && i < n, "conf row out of range: " << line);
+      for (std::size_t c = 0; c < q; ++c) ls >> conf.At(i, c);
+      TMARK_CHECK_MSG(!ls.fail(), "short conf row: " << line);
+    } else if (directive == "link") {
+      TMARK_CHECK_MSG(have_shape, "link before shape");
+      std::size_t k;
+      ls >> k;
+      TMARK_CHECK_MSG(!ls.fail() && k < m, "link row out of range: " << line);
+      for (std::size_t c = 0; c < q; ++c) ls >> link.At(k, c);
+      TMARK_CHECK_MSG(!ls.fail(), "short link row: " << line);
+    } else {
+      TMARK_CHECK_MSG(false, "unknown directive: " << directive);
+    }
+  }
+  TMARK_CHECK_MSG(have_shape, "model file missing shape line");
+  TMarkClassifier classifier(config);
+  classifier.confidences_ = std::move(conf);
+  classifier.link_importance_ = std::move(link);
+  return classifier;
+}
+
+TMarkClassifier LoadTMarkModelFromFile(const std::string& path) {
+  std::ifstream in(path);
+  TMARK_CHECK_MSG(static_cast<bool>(in), "cannot open " << path);
+  return LoadTMarkModel(in);
+}
+
+}  // namespace tmark::core

@@ -1,0 +1,38 @@
+#ifndef TMARK_CORE_MODEL_IO_H_
+#define TMARK_CORE_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "tmark/core/tmark.h"
+
+namespace tmark::core {
+
+/// Serializes a fitted classifier — its configuration plus the stationary
+/// confidence and link-importance matrices — in a line-oriented text format
+/// (`# tmark-model v1`). Requires the classifier to be fitted.
+///
+/// A saved model serves predictions and rankings without refitting, and
+/// because Refit warm-starts from the stored stationary point, it also
+/// resumes incremental workflows across processes:
+///
+///   SaveTMarkModel(clf, out);             // process 1
+///   TMarkClassifier clf = LoadTMarkModel(in);  // process 2
+///   clf.Refit(hin, updated_labels);       // converges from the stored state
+void SaveTMarkModel(const TMarkClassifier& classifier, std::ostream& out);
+
+/// Convenience wrapper writing to `path`; returns false on I/O failure.
+bool SaveTMarkModelToFile(const TMarkClassifier& classifier,
+                          const std::string& path);
+
+/// Parses the format written by SaveTMarkModel. Throws CheckError on
+/// malformed input.
+TMarkClassifier LoadTMarkModel(std::istream& in);
+
+/// Convenience wrapper reading from `path`; throws CheckError if the file
+/// cannot be opened or parsed.
+TMarkClassifier LoadTMarkModelFromFile(const std::string& path);
+
+}  // namespace tmark::core
+
+#endif  // TMARK_CORE_MODEL_IO_H_

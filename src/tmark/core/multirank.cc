@@ -1,0 +1,43 @@
+#include "tmark/core/multirank.h"
+
+#include "tmark/common/check.h"
+
+namespace tmark::core {
+
+MultiRankResult MultiRank(const tensor::TransitionTensors& tensors,
+                          const MultiRankConfig& config) {
+  const std::size_t n = tensors.num_nodes();
+  const std::size_t m = tensors.num_relations();
+  TMARK_CHECK(n > 0 && m > 0);
+  MultiRankResult result;
+  la::Vector x = la::UniformProbability(n);
+  la::Vector z = la::UniformProbability(m);
+  for (int t = 0; t < config.max_iterations; ++t) {
+    la::Vector x_next = tensors.ApplyO(x, z);
+    la::Vector z_next = tensors.ApplyR(x_next, x_next);
+    // Re-project onto the simplex: the updates preserve the sums exactly in
+    // real arithmetic, but the z = (sum x)^2 coupling amplifies rounding
+    // error cubically per iteration if left uncorrected.
+    la::NormalizeL1(&x_next);
+    la::NormalizeL1(&z_next);
+    const double rho =
+        la::L1Distance(x_next, x) + la::L1Distance(z_next, z);
+    result.residuals.push_back(rho);
+    x = std::move(x_next);
+    z = std::move(z_next);
+    if (rho < config.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.node_scores = std::move(x);
+  result.relation_scores = std::move(z);
+  return result;
+}
+
+MultiRankResult MultiRank(const tensor::SparseTensor3& adjacency,
+                          const MultiRankConfig& config) {
+  return MultiRank(tensor::TransitionTensors::Build(adjacency), config);
+}
+
+}  // namespace tmark::core

@@ -1,0 +1,45 @@
+#ifndef TMARK_CORE_MULTIRANK_H_
+#define TMARK_CORE_MULTIRANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/la/vector_ops.h"
+#include "tmark/tensor/sparse_tensor3.h"
+#include "tmark/tensor/transition_tensors.h"
+
+namespace tmark::core {
+
+/// Configuration for the MultiRank fixed-point iteration.
+struct MultiRankConfig {
+  double epsilon = 1e-10;   ///< L1 convergence tolerance on (x, z) jointly.
+  int max_iterations = 500;
+};
+
+/// Result of a MultiRank run: the stationary co-ranking of nodes and
+/// relations plus the residual trace.
+struct MultiRankResult {
+  la::Vector node_scores;       ///< Stationary x (length n, sums to 1).
+  la::Vector relation_scores;   ///< Stationary z (length m, sums to 1).
+  std::vector<double> residuals;  ///< rho_t per iteration.
+  bool converged = false;
+};
+
+/// MultiRank (Ng, Li & Ye, KDD 2011): the *unsupervised* co-ranking scheme
+/// T-Mark builds on. Solves the coupled stationary equations
+///
+///   x = O x1_bar x x3_bar z,     z = R x1_bar x x2_bar x
+///
+/// by fixed-point iteration from the uniform pair. T-Mark extends this with
+/// feature similarities, label restart and the ICA update; MultiRank itself
+/// is exposed both as a substrate test-bed and as a link-ranking utility.
+MultiRankResult MultiRank(const tensor::TransitionTensors& tensors,
+                          const MultiRankConfig& config = {});
+
+/// Convenience overload building the transition tensors from adjacency.
+MultiRankResult MultiRank(const tensor::SparseTensor3& adjacency,
+                          const MultiRankConfig& config = {});
+
+}  // namespace tmark::core
+
+#endif  // TMARK_CORE_MULTIRANK_H_

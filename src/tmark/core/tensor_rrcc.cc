@@ -1,0 +1,5 @@
+#include "tmark/core/tensor_rrcc.h"
+
+// TensorRrCcClassifier is a pure configuration of TMarkClassifier; this
+// translation unit anchors the class's vtable.
+namespace tmark::core {}  // namespace tmark::core

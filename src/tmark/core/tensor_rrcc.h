@@ -1,0 +1,35 @@
+#ifndef TMARK_CORE_TENSOR_RRCC_H_
+#define TMARK_CORE_TENSOR_RRCC_H_
+
+#include <string>
+
+#include "tmark/core/tmark.h"
+
+namespace tmark::core {
+
+/// TensorRrCc — "tensor based relations ranking for multi-relational
+/// collective classification" (Han et al., ICDM 2017), the direct
+/// predecessor of T-Mark and a baseline column in every table of the paper.
+///
+/// It is exactly the T-Mark fixed point *without* the ICA label update: the
+/// restart vector stays fixed at the Eq. (11) training distribution for the
+/// whole iteration. Expressed here as a configuration of TMarkClassifier so
+/// the two methods share one audited numeric core; the class exists so the
+/// experiment registry and tables can name it.
+class TensorRrCcClassifier : public TMarkClassifier {
+ public:
+  explicit TensorRrCcClassifier(TMarkConfig config = {})
+      : TMarkClassifier(Disable(config)) {}
+
+  std::string Name() const override { return "TensorRrCc"; }
+
+ private:
+  static TMarkConfig Disable(TMarkConfig config) {
+    config.ica_update = false;
+    return config;
+  }
+};
+
+}  // namespace tmark::core
+
+#endif  // TMARK_CORE_TENSOR_RRCC_H_

@@ -1,0 +1,118 @@
+#include "tmark/core/tmark.h"
+
+#include <algorithm>
+
+#include "tmark/common/check.h"
+#include "tmark/hin/label_vector.h"
+
+namespace tmark::core {
+
+TMarkClassifier::TMarkClassifier(TMarkConfig config) : config_(config) {
+  TMARK_CHECK_MSG(config.alpha > 0.0 && config.alpha < 1.0,
+                  "alpha must lie in (0, 1)");
+  TMARK_CHECK_MSG(config.gamma >= 0.0 && config.gamma <= 1.0,
+                  "gamma must lie in [0, 1]");
+  TMARK_CHECK_MSG(config.lambda >= 0.0 && config.lambda <= 1.0,
+                  "lambda must lie in [0, 1]");
+  TMARK_CHECK(config.alpha + config.beta() <= 1.0 + 1e-12);
+}
+
+void TMarkClassifier::Fit(const hin::Hin& hin,
+                          const std::vector<std::size_t>& labeled) {
+  FitInternal(hin, labeled, /*warm_start=*/false);
+}
+
+void TMarkClassifier::Refit(const hin::Hin& hin,
+                            const std::vector<std::size_t>& labeled) {
+  const bool compatible = confidences_.rows() == hin.num_nodes() &&
+                          confidences_.cols() == hin.num_classes() &&
+                          link_importance_.rows() == hin.num_relations();
+  FitInternal(hin, labeled, /*warm_start=*/compatible);
+}
+
+void TMarkClassifier::FitInternal(const hin::Hin& hin,
+                                  const std::vector<std::size_t>& labeled,
+                                  bool warm_start) {
+  const std::size_t n = hin.num_nodes();
+  const std::size_t m = hin.num_relations();
+  const std::size_t q = hin.num_classes();
+  TMARK_CHECK(n > 0 && m > 0 && q > 0);
+  TMARK_CHECK_MSG(!labeled.empty(), "T-Mark needs at least one labeled node");
+
+  const tensor::TransitionTensors tensors =
+      tensor::TransitionTensors::Build(hin.ToAdjacencyTensor());
+  const hin::FeatureSimilarity similarity =
+      hin::FeatureSimilarity::Build(hin.features(), config_.similarity);
+
+  const double alpha = config_.alpha;
+  const double beta = config_.beta();
+  const double rel_weight = 1.0 - alpha - beta;
+
+  la::DenseMatrix prev_x = std::move(confidences_);
+  la::DenseMatrix prev_z = std::move(link_importance_);
+  confidences_ = la::DenseMatrix(n, q);
+  link_importance_ = la::DenseMatrix(m, q);
+  traces_.clear();
+  traces_.reserve(q);
+
+  for (std::size_t c = 0; c < q; ++c) {
+    la::Vector l = hin::InitialLabelVector(hin, labeled, c);
+    la::Vector x = l;  // Start the walker on the labeled nodes (Sec. 4.3).
+    la::Vector z = la::UniformProbability(m);
+    if (warm_start) {
+      // Seed from the previous stationary point (incremental mode).
+      x = prev_x.Col(c);
+      z = prev_z.Col(c);
+    }
+
+    ConvergenceTrace trace;
+    trace.class_index = c;
+    for (int t = 1; t <= config_.max_iterations; ++t) {
+      if (config_.ica_update && t > 2) {
+        l = hin::UpdatedLabelVector(hin, labeled, c, x, config_.lambda);
+      }
+      la::Vector x_next = tensors.ApplyO(x, z);
+      la::Scale(rel_weight, &x_next);
+      la::Vector wx = similarity.Apply(x);
+      la::Axpy(beta, wx, &x_next);
+      la::Axpy(alpha, l, &x_next);
+      la::Vector z_next = tensors.ApplyR(x_next, x_next);
+      // Simplex re-projection guards against the cubic amplification of
+      // rounding error through the z = (sum x)^2 coupling (see MultiRank).
+      la::NormalizeL1(&x_next);
+      la::NormalizeL1(&z_next);
+
+      const double rho =
+          la::L1Distance(x_next, x) + la::L1Distance(z_next, z);
+      trace.residuals.push_back(rho);
+      x = std::move(x_next);
+      z = std::move(z_next);
+      if (rho < config_.epsilon) {
+        trace.converged = true;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) confidences_.At(i, c) = x[i];
+    for (std::size_t k = 0; k < m; ++k) link_importance_.At(k, c) = z[k];
+    traces_.push_back(std::move(trace));
+  }
+}
+
+const la::DenseMatrix& TMarkClassifier::Confidences() const {
+  TMARK_CHECK_MSG(confidences_.rows() > 0, "classifier is not fitted");
+  return confidences_;
+}
+
+const la::DenseMatrix& TMarkClassifier::LinkImportance() const {
+  TMARK_CHECK_MSG(link_importance_.rows() > 0, "classifier is not fitted");
+  return link_importance_;
+}
+
+std::vector<std::size_t> TMarkClassifier::RankRelationsForClass(
+    std::size_t c) const {
+  const la::DenseMatrix& z = LinkImportance();
+  TMARK_CHECK(c < z.cols());
+  return la::ArgSortDescending(z.Col(c));
+}
+
+}  // namespace tmark::core

@@ -1,0 +1,116 @@
+#ifndef TMARK_CORE_TMARK_H_
+#define TMARK_CORE_TMARK_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tmark/hin/classifier.h"
+#include "tmark/hin/feature_similarity.h"
+#include "tmark/hin/similarity_kernel.h"
+#include "tmark/hin/hin.h"
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/vector_ops.h"
+#include "tmark/tensor/transition_tensors.h"
+
+namespace tmark::core {
+
+/// Hyper-parameters of Algorithm 1.
+struct TMarkConfig {
+  /// Restart weight alpha in (0, 1): probability of returning to the label
+  /// distribution each step. Paper default 0.8 on DBLP, 0.9 elsewhere.
+  double alpha = 0.8;
+  /// Scale gamma in [0, 1] between relational and feature information;
+  /// beta = gamma * (1 - alpha) is the weight of the feature walk W x.
+  /// gamma = 0 uses only links, gamma = 1 only features.
+  double gamma = 0.6;
+  /// Relative confidence threshold lambda of the ICA update (Eq. 12): a node
+  /// is accepted into the restart set when x_i > lambda * max(x).
+  double lambda = 0.7;
+  /// Convergence tolerance on rho_t = |x_t - x_{t-1}|_1 + |z_t - z_{t-1}|_1.
+  double epsilon = 1e-8;
+  int max_iterations = 100;
+  /// Node-similarity kernel behind the feature walk W (Sec. 4.2). The
+  /// paper uses cosine; the alternatives are ablated in
+  /// bench_ablation_tmark.
+  hin::SimilarityKernel similarity = hin::SimilarityKernel::kCosine;
+  /// Enables the ICA label update between iterations. Disabling it recovers
+  /// the ICDM'17 predecessor method (TensorRrCc), used as a baseline in
+  /// every table of the paper.
+  bool ica_update = true;
+
+  /// The feature-walk weight beta = gamma * (1 - alpha) (Sec. 4.4).
+  double beta() const { return gamma * (1.0 - alpha); }
+};
+
+/// Per-class convergence trace (residual rho per iteration — Fig. 10).
+struct ConvergenceTrace {
+  std::size_t class_index = 0;
+  std::vector<double> residuals;
+  bool converged = false;
+};
+
+/// The T-Mark collective classifier (Algorithm 1).
+///
+/// For each class c the fixed-point iteration
+///
+///   x_t = (1 - alpha - beta) * (O x1 x_{t-1} x3 z_{t-1})
+///         + beta * W x_{t-1} + alpha * l_c                       (Eq. 10)
+///   z_t = R x1 x_t x2 x_t                                        (Eq. 8)
+///
+/// is run to stationarity, with the restart vector l_c refreshed by the ICA
+/// rule (Eq. 12) from iteration 3 onward. The stationary x vectors, stacked
+/// over classes, are the classification confidences; the stationary z
+/// vectors are the per-class relative importance of the link types.
+class TMarkClassifier : public hin::CollectiveClassifier {
+ public:
+  explicit TMarkClassifier(TMarkConfig config = {});
+
+  void Fit(const hin::Hin& hin,
+           const std::vector<std::size_t>& labeled) override;
+
+  /// Incremental mode: re-runs Algorithm 1 initialized from the previous
+  /// stationary distributions instead of the label vectors. After modest
+  /// changes to the HIN (new edges, extra labels) the chain starts near its
+  /// fixed point and converges in a fraction of the cold-start iterations
+  /// while reaching the same unique solution (Theorem 3). Falls back to a
+  /// cold Fit when no compatible previous state exists.
+  void Refit(const hin::Hin& hin, const std::vector<std::size_t>& labeled);
+
+  /// n x q stationary node probabilities; column c is x-bar for class c.
+  const la::DenseMatrix& Confidences() const override;
+
+  std::string Name() const override { return "T-Mark"; }
+
+  /// m x q stationary relation probabilities; column c is z-bar for class c.
+  const la::DenseMatrix& LinkImportance() const;
+
+  /// Relation indices sorted by decreasing importance for class c.
+  std::vector<std::size_t> RankRelationsForClass(std::size_t c) const;
+
+  /// Per-class residual traces of the last Fit (Fig. 10 data).
+  const std::vector<ConvergenceTrace>& Traces() const { return traces_; }
+
+  const TMarkConfig& config() const { return config_; }
+
+ protected:
+  TMarkConfig config_;
+
+ private:
+  // Model deserialization restores the stationary matrices directly.
+  friend TMarkClassifier LoadTMarkModel(std::istream& in);
+
+  /// Shared implementation of Fit/Refit; `warm_start` seeds each class's
+  /// iteration from the previous stationary vectors when available.
+  void FitInternal(const hin::Hin& hin,
+                   const std::vector<std::size_t>& labeled, bool warm_start);
+
+  la::DenseMatrix confidences_;      ///< n x q.
+  la::DenseMatrix link_importance_;  ///< m x q.
+  std::vector<ConvergenceTrace> traces_;
+};
+
+}  // namespace tmark::core
+
+#endif  // TMARK_CORE_TMARK_H_

@@ -1,0 +1,36 @@
+#ifndef TMARK_DATASETS_DBLP_H_
+#define TMARK_DATASETS_DBLP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmark/hin/hin.h"
+
+namespace tmark::datasets {
+
+/// Options for the synthetic DBLP author network (Sec. 6.1).
+struct DblpOptions {
+  std::size_t num_authors = 800;
+  std::uint64_t seed = 2023;
+};
+
+/// Synthetic stand-in for the DBLP author-classification HIN of Ji et al.
+/// (2010): authors as nodes, four research areas (DB, DM, AI, IR) as
+/// classes, and the paper's 20 conferences (Table 1) as link types — two
+/// authors share a conference link when they published at that venue.
+/// Conference/area alignment mirrors Table 1, with the cross-area bleed
+/// (CIKM toward DB, ICDE toward DM, SIGIR toward AI, IJCAI toward IR,
+/// diffuse CVPR and WSDM) that Table 2's ranking discussion reports.
+hin::Hin MakeDblp(const DblpOptions& options = {});
+
+/// The four research-area names in class-index order.
+std::vector<std::string> DblpAreaNames();
+
+/// Table 1: the five conferences of each research area, by area index.
+std::vector<std::vector<std::string>> DblpAreaConferences();
+
+}  // namespace tmark::datasets
+
+#endif  // TMARK_DATASETS_DBLP_H_

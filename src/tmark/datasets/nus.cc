@@ -1,0 +1,123 @@
+#include "tmark/datasets/nus.h"
+
+#include "tmark/common/check.h"
+#include "tmark/datasets/synthetic_hin.h"
+
+namespace tmark::datasets {
+namespace {
+
+constexpr std::size_t kScene = 0;
+constexpr std::size_t kObject = 1;
+
+struct TagSpec {
+  const char* name;
+  std::size_t concept_class;  ///< Dominant class of the images it links.
+  double volume;        ///< edges_per_member (tag popularity).
+};
+
+/// Table 6 tags. Class assignment follows the Table 9 top-12 split (scene
+/// tags: sky/clouds/sunset/...; object tags: portrait/cat/animals/...).
+/// Volumes decay down the table so the T-Mark ranking lands near it.
+constexpr TagSpec kTagset1[] = {
+    {"sky", kScene, 5.0},        {"water", kScene, 4.6},
+    {"clouds", kScene, 4.8},     {"landscape", kScene, 4.2},
+    {"sunset", kScene, 4.4},     {"architecture", kScene, 4.0},
+    {"portrait", kObject, 5.0},  {"reflection", kScene, 3.8},
+    {"animal", kObject, 4.0},    {"building", kScene, 3.2},
+    {"animals", kObject, 4.4},   {"lake", kScene, 3.4},
+    {"mountains", kScene, 2.6},  {"cute", kObject, 2.8},
+    {"abandoned", kScene, 3.6},  {"grass", kScene, 2.4},
+    {"mountain", kScene, 2.4},   {"window", kScene, 3.0},
+    {"cat", kObject, 4.6},       {"sunrise", kScene, 2.4},
+    {"zoo", kObject, 3.6},       {"bridge", kScene, 3.6},
+    {"cloud", kScene, 2.2},      {"dog", kObject, 3.0},
+    {"fall", kObject, 2.2},      {"face", kObject, 4.2},
+    {"square", kScene, 2.0},     {"rain", kObject, 3.4},
+    {"airplane", kObject, 2.6},  {"eyes", kObject, 2.0},
+    {"home", kScene, 1.8},       {"cold", kScene, 1.8},
+    {"windows", kScene, 1.8},    {"sign", kScene, 1.6},
+    {"flying", kObject, 1.8},    {"plane", kObject, 1.6},
+    {"arizona", kScene, 1.4},    {"manhattan", kScene, 1.4},
+    {"peace", kObject, 1.4},     {"rural", kScene, 1.4},
+    {"sports", kObject, 3.2},
+};
+
+/// Table 7 tags: high-frequency, weakly class-aligned. The leading generic
+/// tags (nature/sky/blue/...) are nearly class-blind, matching the Table 10
+/// observation that both classes rank the same tags on top.
+constexpr TagSpec kTagset2[] = {
+    {"nature", kScene, 6.0},        {"sky", kScene, 6.0},
+    {"blue", kScene, 5.6},          {"water", kScene, 5.4},
+    {"clouds", kScene, 5.2},        {"red", kObject, 5.0},
+    {"green", kScene, 4.8},         {"bravo", kScene, 4.8},
+    {"landscape", kScene, 4.6},     {"explore", kObject, 4.4},
+    {"sunset", kScene, 4.4},        {"white", kObject, 4.2},
+    {"night", kScene, 4.0},         {"architecture", kScene, 3.8},
+    {"portrait", kObject, 3.8},     {"city", kScene, 3.6},
+    {"travel", kScene, 3.6},        {"trees", kScene, 3.4},
+    {"california", kScene, 3.2},    {"reflection", kScene, 3.2},
+    {"animal", kObject, 3.0},       {"girl", kObject, 3.0},
+    {"interestingness", kScene, 2.8}, {"building", kScene, 2.8},
+    {"river", kScene, 2.6},         {"animals", kObject, 2.6},
+    {"lake", kScene, 2.4},          {"abandoned", kScene, 2.4},
+    {"window", kScene, 2.2},        {"cat", kObject, 2.2},
+    {"sunrise", kScene, 2.0},       {"zoo", kObject, 2.0},
+    {"bridge", kScene, 1.8},        {"dog", kObject, 1.8},
+    {"baby", kObject, 1.6},         {"buildings", kScene, 1.6},
+    {"food", kObject, 1.4},         {"storm", kScene, 1.4},
+    {"moon", kScene, 1.2},          {"skyline", kScene, 1.2},
+    {"cats", kObject, 1.0},
+};
+
+}  // namespace
+
+std::vector<std::string> NusClassNames() { return {"Scene", "Object"}; }
+
+std::vector<std::string> NusTagNames(NusTagset tagset) {
+  std::vector<std::string> out;
+  if (tagset == NusTagset::kTagset1) {
+    for (const TagSpec& t : kTagset1) out.push_back(t.name);
+  } else {
+    for (const TagSpec& t : kTagset2) out.push_back(t.name);
+  }
+  return out;
+}
+
+hin::Hin MakeNus(const NusOptions& options) {
+  SyntheticHinConfig config;
+  config.num_nodes = options.num_images;
+  config.class_names = NusClassNames();
+  config.vocab_size = 500;  // SIFT bag-of-words length 500 (Sec. 6.3).
+  config.words_per_node = 30.0;
+  config.feature_signal = 0.12;  // SIFT features are weak on this task
+  config.label_noise = options.label_noise;
+  config.seed = options.seed;
+
+  const bool relevant = options.tagset == NusTagset::kTagset1;
+  const TagSpec* tags = relevant ? kTagset1 : kTagset2;
+  const std::size_t count = relevant
+                                ? sizeof(kTagset1) / sizeof(kTagset1[0])
+                                : sizeof(kTagset2) / sizeof(kTagset2[0]);
+  for (std::size_t t = 0; t < count; ++t) {
+    RelationSpec spec;
+    spec.name = tags[t].name;
+    spec.edges_per_member = tags[t].volume;
+    if (relevant) {
+      // Discriminative tags: strongly class-pure links.
+      spec.same_class_prob = 0.88;
+      spec.class_preference.assign(2, 0.06);
+      spec.class_preference[tags[t].concept_class] = 1.0;
+    } else {
+      // Frequent tags: links barely better than chance.
+      // Planted 0.04 realizes ~0.52 same-class purity once the uniform
+      // fallback (50% same-class for q = 2) is accounted for.
+      spec.same_class_prob = 0.04;
+      spec.class_preference.assign(2, 0.49);
+      spec.class_preference[tags[t].concept_class] = 0.51;
+    }
+    config.relations.push_back(std::move(spec));
+  }
+  return GenerateSyntheticHin(config);
+}
+
+}  // namespace tmark::datasets

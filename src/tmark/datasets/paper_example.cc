@@ -1,0 +1,41 @@
+#include "tmark/datasets/paper_example.h"
+
+#include "tmark/hin/hin_builder.h"
+
+namespace tmark::datasets {
+
+hin::Hin MakePaperExample() {
+  // Node indices: p1 = 0, p2 = 1, p3 = 2, p4 = 3.
+  hin::HinBuilder builder(/*num_nodes=*/4, /*feature_dim=*/2);
+  builder.AddClass("DM");
+  builder.AddClass("CV");
+
+  const std::size_t coauthor = builder.AddRelation("co-author");
+  const std::size_t citation = builder.AddRelation("citation");
+  const std::size_t same_conf = builder.AddRelation("same conference");
+
+  builder.AddUndirectedEdge(coauthor, 0, 1);     // p1 -- p2 (Jiawei Han)
+  builder.AddDirectedEdge(citation, 2, 1);       // p3 cites p2
+  builder.AddDirectedEdge(citation, 2, 3);       // p3 cites p4
+  builder.AddDirectedEdge(citation, 3, 0);       // p4 cites p1
+  builder.AddUndirectedEdge(same_conf, 1, 2);    // p2 -- p3 (WWW)
+
+  // Features realizing the Sec. 4.3 cosine matrix: f1 = f4, f2 = f3,
+  // orthogonal across the two groups.
+  builder.AddFeature(0, 0, 1.0);
+  builder.AddFeature(3, 0, 1.0);
+  builder.AddFeature(1, 1, 1.0);
+  builder.AddFeature(2, 1, 1.0);
+
+  builder.SetLabel(0, 0);  // p1 = DM
+  builder.SetLabel(1, 1);  // p2 = CV
+  builder.SetLabel(2, 1);  // p3 ground truth CV (held out in the example)
+  builder.SetLabel(3, 0);  // p4 ground truth DM (held out in the example)
+  return std::move(builder).Build();
+}
+
+std::vector<std::size_t> PaperExampleLabeledNodes() { return {0, 1}; }
+
+std::vector<std::size_t> PaperExampleHeldOutTruth() { return {1, 0}; }
+
+}  // namespace tmark::datasets

@@ -1,0 +1,129 @@
+#include "tmark/datasets/synthetic_hin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+#include "tmark/hin/hin_builder.h"
+
+namespace tmark::datasets {
+
+hin::Hin GenerateSyntheticHin(const SyntheticHinConfig& config) {
+  const std::size_t n = config.num_nodes;
+  const std::size_t q = config.class_names.size();
+  TMARK_CHECK(n > 0 && q >= 2);
+  TMARK_CHECK(!config.relations.empty());
+  TMARK_CHECK(config.vocab_size >= q);
+  Rng rng(config.seed);
+
+  hin::HinBuilder builder(n, config.vocab_size);
+  for (const std::string& name : config.class_names) builder.AddClass(name);
+
+  // Labels: latent primary class drives links/features; the observed label
+  // is the latent one except for a label_noise fraction of nodes.
+  std::vector<std::size_t> primary(n);
+  std::vector<std::vector<std::size_t>> by_class(q);
+  for (std::size_t i = 0; i < n; ++i) {
+    primary[i] = static_cast<std::size_t>(rng.UniformInt(q));
+    by_class[primary[i]].push_back(i);
+    std::size_t observed = primary[i];
+    if (config.label_noise > 0.0 && rng.Bernoulli(config.label_noise)) {
+      observed = static_cast<std::size_t>(rng.UniformInt(q));
+    }
+    builder.SetLabel(i, observed);
+    if (config.secondary_label_prob > 0.0 &&
+        rng.Bernoulli(config.secondary_label_prob)) {
+      std::size_t extra = static_cast<std::size_t>(rng.UniformInt(q - 1));
+      if (extra >= observed) ++extra;
+      builder.SetLabel(i, extra);
+    }
+  }
+  for (std::size_t c = 0; c < q; ++c) {
+    TMARK_CHECK_MSG(!by_class[c].empty(),
+                    "class " << config.class_names[c]
+                             << " received no nodes; increase num_nodes");
+  }
+
+  // Features: class topic blocks + uniform noise.
+  const std::size_t block = config.vocab_size / q;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int words = rng.Poisson(config.words_per_node);
+    for (int w = 0; w < words; ++w) {
+      std::size_t word;
+      if (rng.Bernoulli(config.feature_signal)) {
+        word = primary[i] * block +
+               static_cast<std::size_t>(rng.UniformInt(block));
+      } else {
+        word = static_cast<std::size_t>(rng.UniformInt(config.vocab_size));
+      }
+      builder.AddFeature(i, word, 1.0);
+    }
+  }
+
+  // Relations.
+  for (const RelationSpec& spec : config.relations) {
+    TMARK_CHECK_MSG(spec.class_preference.empty() ||
+                        spec.class_preference.size() == q,
+                    "class_preference of relation "
+                        << spec.name << " must be empty or size q");
+    TMARK_CHECK_MSG(spec.same_class_prob + spec.cross_class_prob <= 1.0,
+                    "same_class_prob + cross_class_prob must be <= 1 for "
+                        << spec.name);
+    const std::size_t k = builder.AddRelation(spec.name);
+
+    // Source sampling weights per class.
+    std::vector<double> class_weights(q, 1.0);
+    if (!spec.class_preference.empty()) {
+      class_weights = spec.class_preference;
+    }
+    // Participation mass: sum over classes of |class| * weight, used to set
+    // the edge budget so edges_per_member means "per participating node".
+    double mass = 0.0;
+    double max_w = 0.0;
+    for (std::size_t c = 0; c < q; ++c) {
+      mass += static_cast<double>(by_class[c].size()) * class_weights[c];
+      max_w = std::max(max_w, class_weights[c]);
+    }
+    TMARK_CHECK_MSG(max_w > 0.0, "relation " << spec.name
+                                             << " has all-zero preference");
+    const std::size_t num_edges = static_cast<std::size_t>(
+        std::llround(spec.edges_per_member * mass / max_w));
+
+    std::vector<double> pick_class(q);
+    for (std::size_t c = 0; c < q; ++c) {
+      pick_class[c] =
+          class_weights[c] * static_cast<double>(by_class[c].size());
+    }
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const std::size_t sc = rng.Categorical(pick_class);
+      const std::vector<std::size_t>& pool = by_class[sc];
+      const std::size_t src = pool[rng.UniformInt(pool.size())];
+      std::size_t dst;
+      const double roll = rng.Uniform();
+      if (roll < spec.same_class_prob && pool.size() > 1) {
+        do {
+          dst = pool[rng.UniformInt(pool.size())];
+        } while (dst == src);
+      } else if (roll < spec.same_class_prob + spec.cross_class_prob) {
+        // Deliberately cross-class: pick a class other than the source's.
+        std::size_t other = static_cast<std::size_t>(rng.UniformInt(q - 1));
+        if (other >= sc) ++other;
+        const std::vector<std::size_t>& opool = by_class[other];
+        dst = opool[rng.UniformInt(opool.size())];
+      } else {
+        do {
+          dst = static_cast<std::size_t>(rng.UniformInt(n));
+        } while (dst == src);
+      }
+      if (spec.directed) {
+        builder.AddDirectedEdge(k, src, dst);
+      } else {
+        builder.AddUndirectedEdge(k, src, dst);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace tmark::datasets

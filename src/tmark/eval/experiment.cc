@@ -1,0 +1,123 @@
+#include "tmark/eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "tmark/baselines/registry.h"
+#include "tmark/common/check.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::eval {
+
+std::vector<std::size_t> StratifiedSplit(const hin::Hin& hin, double fraction,
+                                         Rng* rng) {
+  TMARK_CHECK(rng != nullptr);
+  TMARK_CHECK(fraction > 0.0 && fraction < 1.0);
+  std::vector<std::vector<std::size_t>> by_class(hin.num_classes());
+  for (std::size_t node : hin.NodesWithLabels()) {
+    by_class[hin.PrimaryLabel(node)].push_back(node);
+  }
+  std::vector<std::size_t> labeled;
+  for (std::vector<std::size_t>& pool : by_class) {
+    if (pool.empty()) continue;
+    const std::size_t take = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(fraction * static_cast<double>(pool.size()))));
+    rng->Shuffle(&pool);
+    labeled.insert(labeled.end(), pool.begin(),
+                   pool.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(take, pool.size())));
+  }
+  std::sort(labeled.begin(), labeled.end());
+  return labeled;
+}
+
+double EvaluateClassifier(const hin::Hin& hin,
+                          hin::CollectiveClassifier* classifier,
+                          const std::vector<std::size_t>& labeled,
+                          bool multi_label, double multi_label_threshold) {
+  TMARK_CHECK(classifier != nullptr);
+  classifier->Fit(hin, labeled);
+  std::vector<bool> is_labeled(hin.num_nodes(), false);
+  for (std::size_t node : labeled) is_labeled[node] = true;
+  std::vector<std::size_t> test;
+  for (std::size_t node : hin.NodesWithLabels()) {
+    if (!is_labeled[node]) test.push_back(node);
+  }
+  TMARK_CHECK_MSG(!test.empty(), "no held-out labeled nodes to score");
+
+  if (!multi_label) {
+    const std::vector<std::size_t> pred = classifier->PredictSingleLabel();
+    std::vector<std::size_t> truth_v, pred_v;
+    truth_v.reserve(test.size());
+    pred_v.reserve(test.size());
+    for (std::size_t node : test) {
+      truth_v.push_back(hin.PrimaryLabel(node));
+      pred_v.push_back(pred[node]);
+    }
+    return ml::Accuracy(truth_v, pred_v);
+  }
+  const std::vector<std::vector<std::size_t>> pred =
+      classifier->PredictMultiLabel(multi_label_threshold);
+  std::vector<std::vector<std::size_t>> truth_v, pred_v;
+  truth_v.reserve(test.size());
+  pred_v.reserve(test.size());
+  for (std::size_t node : test) {
+    std::vector<std::size_t> t(hin.labels(node).begin(),
+                               hin.labels(node).end());
+    truth_v.push_back(std::move(t));
+    pred_v.push_back(pred[node]);
+  }
+  return ml::MultiLabelMacroF1(truth_v, pred_v, hin.num_classes());
+}
+
+MethodSweep RunSweep(const hin::Hin& hin, const std::string& method,
+                     const SweepConfig& config) {
+  MethodSweep sweep;
+  sweep.method = method;
+  Rng master(config.seed);
+  for (double fraction : config.train_fractions) {
+    std::vector<double> scores;
+    scores.reserve(static_cast<std::size_t>(config.trials));
+    Rng rng = master.Fork();
+    for (int trial = 0; trial < config.trials; ++trial) {
+      const std::vector<std::size_t> labeled =
+          StratifiedSplit(hin, fraction, &rng);
+      auto classifier =
+          baselines::MakeClassifier(method, config.alpha, config.gamma,
+                                    config.lambda);
+      scores.push_back(EvaluateClassifier(hin, classifier.get(), labeled,
+                                          config.multi_label,
+                                          config.multi_label_threshold));
+    }
+    SweepCell cell;
+    for (double s : scores) cell.mean += s;
+    cell.mean /= static_cast<double>(scores.size());
+    for (double s : scores) {
+      cell.stddev += (s - cell.mean) * (s - cell.mean);
+    }
+    cell.stddev = scores.size() > 1
+                      ? std::sqrt(cell.stddev /
+                                  static_cast<double>(scores.size() - 1))
+                      : 0.0;
+    sweep.cells.push_back(cell);
+  }
+  return sweep;
+}
+
+int BenchTrials(int default_trials) {
+  const char* env = std::getenv("TMARK_BENCH_TRIALS");
+  if (env == nullptr) return default_trials;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_trials;
+}
+
+double BenchScale() {
+  const char* env = std::getenv("TMARK_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace tmark::eval

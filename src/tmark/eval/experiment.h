@@ -1,0 +1,66 @@
+#ifndef TMARK_EVAL_EXPERIMENT_H_
+#define TMARK_EVAL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmark/common/random.h"
+#include "tmark/hin/classifier.h"
+#include "tmark/hin/hin.h"
+
+namespace tmark::eval {
+
+/// Protocol of a training-fraction sweep (the paper's Tables 3, 4, 8, 11).
+struct SweepConfig {
+  std::vector<double> train_fractions = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                         0.6, 0.7, 0.8, 0.9};
+  int trials = 3;          ///< Random splits averaged per cell (paper: 10).
+  std::uint64_t seed = 77;
+  bool multi_label = false;        ///< Macro-F1 on label sets instead of accuracy.
+  double multi_label_threshold = 0.5;  ///< Relative confidence cutoff.
+  /// T-Mark family parameters forwarded to the registry.
+  double alpha = 0.8;
+  double gamma = 0.6;
+  double lambda = 0.7;  ///< ICA acceptance threshold; ~1 disables it.
+};
+
+/// One table cell: mean and standard deviation over trials.
+struct SweepCell {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// One method's row of cells, aligned with SweepConfig::train_fractions.
+struct MethodSweep {
+  std::string method;
+  std::vector<SweepCell> cells;
+};
+
+/// Stratified sample of labeled training nodes: `fraction` of each class's
+/// labeled nodes (at least one per class). Deterministic given *rng.
+std::vector<std::size_t> StratifiedSplit(const hin::Hin& hin, double fraction,
+                                         Rng* rng);
+
+/// Fits `classifier` on the split and scores it on the held-out labeled
+/// nodes: accuracy of the primary label (single-label) or macro-F1 over
+/// label sets (multi-label).
+double EvaluateClassifier(const hin::Hin& hin,
+                          hin::CollectiveClassifier* classifier,
+                          const std::vector<std::size_t>& labeled,
+                          bool multi_label, double multi_label_threshold);
+
+/// Runs the full sweep for one registry method name.
+MethodSweep RunSweep(const hin::Hin& hin, const std::string& method,
+                     const SweepConfig& config);
+
+/// Environment-driven scaling for benches: TMARK_BENCH_TRIALS overrides the
+/// trial count (default `default_trials`), TMARK_BENCH_SCALE scales node
+/// counts multiplicatively (default 1.0).
+int BenchTrials(int default_trials);
+double BenchScale();
+
+}  // namespace tmark::eval
+
+#endif  // TMARK_EVAL_EXPERIMENT_H_

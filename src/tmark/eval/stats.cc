@@ -1,0 +1,96 @@
+#include "tmark/eval/stats.h"
+
+#include <cmath>
+
+#include "tmark/common/check.h"
+
+namespace tmark::eval {
+
+double Mean(const std::vector<double>& sample) {
+  TMARK_CHECK(!sample.empty());
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double SampleStdDev(const std::vector<double>& sample) {
+  if (sample.size() < 2) return 0.0;
+  const double mean = Mean(sample);
+  double ss = 0.0;
+  for (double v : sample) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(sample.size() - 1));
+}
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+namespace {
+
+double TwoSidedP(double t) {
+  return 2.0 * (1.0 - NormalCdf(std::abs(t)));
+}
+
+}  // namespace
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TMARK_CHECK(a.size() >= 2 && b.size() >= 2);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = SampleStdDev(a) * SampleStdDev(a);
+  const double vb = SampleStdDev(b) * SampleStdDev(b);
+  const double se2 = va / na + vb / nb;
+  TTestResult result;
+  if (se2 == 0.0) {
+    // Zero variance in both samples: means either match exactly or differ
+    // with certainty.
+    result.t_statistic = Mean(a) == Mean(b) ? 0.0 : INFINITY;
+    result.p_value = Mean(a) == Mean(b) ? 1.0 : 0.0;
+    result.degrees_of_freedom = na + nb - 2.0;
+    return result;
+  }
+  result.t_statistic = (Mean(a) - Mean(b)) / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  result.degrees_of_freedom = den > 0.0 ? num / den : na + nb - 2.0;
+  result.p_value = TwoSidedP(result.t_statistic);
+  return result;
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TMARK_CHECK(a.size() == b.size() && a.size() >= 2);
+  std::vector<double> diff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double sd = SampleStdDev(diff);
+  TTestResult result;
+  result.degrees_of_freedom = static_cast<double>(a.size() - 1);
+  if (sd == 0.0) {
+    result.t_statistic = Mean(diff) == 0.0 ? 0.0 : INFINITY;
+    result.p_value = Mean(diff) == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic =
+      Mean(diff) / (sd / std::sqrt(static_cast<double>(a.size())));
+  result.p_value = TwoSidedP(result.t_statistic);
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> KFoldIndices(std::size_t count,
+                                                   std::size_t folds) {
+  TMARK_CHECK(folds >= 2 && folds <= count);
+  std::vector<std::vector<std::size_t>> out(folds);
+  const std::size_t base = count / folds;
+  const std::size_t extra = count % folds;
+  std::size_t next = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    const std::size_t size = base + (f < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) out[f].push_back(next++);
+  }
+  return out;
+}
+
+}  // namespace tmark::eval

@@ -1,0 +1,47 @@
+#ifndef TMARK_EVAL_STATS_H_
+#define TMARK_EVAL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tmark::eval {
+
+/// Sample mean. Requires a non-empty sample.
+double Mean(const std::vector<double>& sample);
+
+/// Unbiased sample standard deviation (n-1 denominator); 0 for n < 2.
+double SampleStdDev(const std::vector<double>& sample);
+
+/// Result of a two-sample location test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value (normal approximation of the t distribution —
+  /// adequate for the >= 10-trial comparisons the harness runs).
+  double p_value = 1.0;
+};
+
+/// Welch's unequal-variance t-test for the difference of means between two
+/// independent samples (e.g. per-trial accuracies of two methods).
+/// Requires both samples to have >= 2 elements.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Paired t-test on per-trial differences (same splits, two methods).
+/// Requires >= 2 pairs and equal sizes. Degenerate all-equal differences
+/// yield p = 1.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Standard normal CDF (used by the t approximations; exposed for tests).
+double NormalCdf(double z);
+
+/// Splits `count` items into `folds` contiguous index folds of near-equal
+/// size for cross-validation; every index lands in exactly one fold.
+/// Requires 2 <= folds <= count.
+std::vector<std::vector<std::size_t>> KFoldIndices(std::size_t count,
+                                                   std::size_t folds);
+
+}  // namespace tmark::eval
+
+#endif  // TMARK_EVAL_STATS_H_

@@ -1,0 +1,31 @@
+#ifndef TMARK_EVAL_TABLE_PRINTER_H_
+#define TMARK_EVAL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tmark::eval {
+
+/// Minimal fixed-width table formatter for the bench binaries; prints rows
+/// aligned under a header, in the layout of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders header, separator and rows to `out`.
+  void Print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tmark::eval
+
+#endif  // TMARK_EVAL_TABLE_PRINTER_H_

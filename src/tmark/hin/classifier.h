@@ -1,0 +1,63 @@
+#ifndef TMARK_HIN_CLASSIFIER_H_
+#define TMARK_HIN_CLASSIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tmark/hin/hin.h"
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::hin {
+
+/// Common interface for all collective classifiers (T-Mark, TensorRrCc and
+/// every baseline). A classifier is fitted on a HIN together with the index
+/// set of labeled (training) nodes, and afterwards exposes an n x q
+/// confidence matrix from which single- and multi-label predictions are
+/// derived uniformly across methods.
+class CollectiveClassifier {
+ public:
+  virtual ~CollectiveClassifier() = default;
+
+  /// Fits on `hin` using `labeled` as the supervised node set. May be called
+  /// again to refit on a different split.
+  virtual void Fit(const Hin& hin, const std::vector<std::size_t>& labeled) = 0;
+
+  /// Per-node, per-class confidence scores (n x q); valid after Fit.
+  virtual const la::DenseMatrix& Confidences() const = 0;
+
+  /// Display name used in experiment tables.
+  virtual std::string Name() const = 0;
+
+  /// Arg-max prediction per node.
+  std::vector<std::size_t> PredictSingleLabel() const {
+    const la::DenseMatrix& conf = Confidences();
+    std::vector<std::size_t> out(conf.rows(), 0);
+    for (std::size_t i = 0; i < conf.rows(); ++i) {
+      out[i] = la::ArgMax(conf.Row(i));
+    }
+    return out;
+  }
+
+  /// Multi-label prediction: class c is assigned to node i when its
+  /// confidence is at least `relative_threshold` times the node's maximum
+  /// confidence. The arg-max class is always included.
+  std::vector<std::vector<std::size_t>> PredictMultiLabel(
+      double relative_threshold) const {
+    const la::DenseMatrix& conf = Confidences();
+    std::vector<std::vector<std::size_t>> out(conf.rows());
+    for (std::size_t i = 0; i < conf.rows(); ++i) {
+      const la::Vector row = conf.Row(i);
+      const double cutoff = relative_threshold * row[la::ArgMax(row)];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c] >= cutoff && row[c] > 0.0) out[i].push_back(c);
+      }
+      if (out[i].empty()) out[i].push_back(la::ArgMax(row));
+    }
+    return out;
+  }
+};
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_CLASSIFIER_H_

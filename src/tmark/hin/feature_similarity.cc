@@ -1,0 +1,123 @@
+#include "tmark/hin/feature_similarity.h"
+
+#include <cmath>
+
+#include "tmark/common/check.h"
+
+namespace tmark::hin {
+
+FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
+                                           SimilarityKernel kernel) {
+  TMARK_CHECK_MSG(features.IsNonNegative(),
+                  "feature similarity assumes non-negative features");
+  const std::size_t n = features.rows();
+  FeatureSimilarity fs;
+  fs.kernel_ = kernel;
+
+  // Kernel-specific transform G such that C = G G^T.
+  la::SparseMatrix transformed = features;
+  if (kernel == SimilarityKernel::kBinaryCosine) {
+    for (double& v : transformed.mutable_values()) v = v > 0.0 ? 1.0 : 0.0;
+  } else if (kernel == SimilarityKernel::kTfIdfCosine) {
+    // idf_j = log(1 + n / df_j) where df_j counts rows containing word j.
+    la::Vector df(features.cols(), 0.0);
+    for (std::size_t p = 0; p < features.values().size(); ++p) {
+      if (features.values()[p] > 0.0) df[features.col_idx()[p]] += 1.0;
+    }
+    la::Vector idf(features.cols(), 0.0);
+    for (std::size_t j = 0; j < features.cols(); ++j) {
+      if (df[j] > 0.0) {
+        idf[j] = std::log(1.0 + static_cast<double>(n) / df[j]);
+      }
+    }
+    transformed = transformed.ScaleColumns(idf);
+  }
+
+  // Row-L2 normalization (skipped for the raw dot-product kernel).
+  la::Vector inv_norm(n, 0.0);
+  {
+    la::Vector sq(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t p = transformed.row_ptr()[i];
+           p < transformed.row_ptr()[i + 1]; ++p) {
+        sq[i] += transformed.values()[p] * transformed.values()[p];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sq[i] > 0.0) {
+        inv_norm[i] = kernel == SimilarityKernel::kDotProduct
+                          ? 1.0
+                          : 1.0 / std::sqrt(sq[i]);
+      } else {
+        fs.dangling_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  fs.fhat_ = transformed.ScaleRows(inv_norm);
+
+  // Column sums of C = F_hat F_hat^T: c = F_hat (F_hat^T 1).
+  la::Vector ones(n, 1.0);
+  la::Vector t = fs.fhat_.TransposeMatVec(ones);
+  fs.col_sums_ = fs.fhat_.MatVec(t);
+  // Numerical floor: nodes with features have c_ii = 1, so col sum >= 1.
+  for (std::uint32_t j : fs.dangling_) fs.col_sums_[j] = 0.0;
+  return fs;
+}
+
+la::Vector FeatureSimilarity::Apply(const la::Vector& x) const {
+  const std::size_t n = num_nodes();
+  TMARK_CHECK(x.size() == n);
+  la::Vector u(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (col_sums_[j] > 0.0) u[j] = x[j] / col_sums_[j];
+  }
+  la::Vector t = fhat_.TransposeMatVec(u);
+  la::Vector y = fhat_.MatVec(t);
+  // Dangling nodes spread their mass uniformly.
+  double dangling_mass = 0.0;
+  for (std::uint32_t j : dangling_) dangling_mass += x[j];
+  if (dangling_mass != 0.0) {
+    const double add = dangling_mass / static_cast<double>(n);
+    for (double& v : y) v += add;
+  }
+  return y;
+}
+
+la::DenseMatrix FeatureSimilarity::Dense() const {
+  const std::size_t n = num_nodes();
+  la::DenseMatrix w(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    la::Vector e(n, 0.0);
+    e[j] = 1.0;
+    const la::Vector col = Apply(e);
+    for (std::size_t i = 0; i < n; ++i) w.At(i, j) = col[i];
+  }
+  return w;
+}
+
+double FeatureSimilarity::Cosine(std::size_t i, std::size_t j) const {
+  const std::size_t n = num_nodes();
+  TMARK_CHECK(i < n && j < n);
+  // Dot product of the two normalized rows (both sorted by column index).
+  double s = 0.0;
+  std::size_t pi = fhat_.row_ptr()[i];
+  std::size_t pj = fhat_.row_ptr()[j];
+  const std::size_t ei = fhat_.row_ptr()[i + 1];
+  const std::size_t ej = fhat_.row_ptr()[j + 1];
+  while (pi < ei && pj < ej) {
+    const std::uint32_t ci = fhat_.col_idx()[pi];
+    const std::uint32_t cj = fhat_.col_idx()[pj];
+    if (ci == cj) {
+      s += fhat_.values()[pi] * fhat_.values()[pj];
+      ++pi;
+      ++pj;
+    } else if (ci < cj) {
+      ++pi;
+    } else {
+      ++pj;
+    }
+  }
+  return s;
+}
+
+}  // namespace tmark::hin

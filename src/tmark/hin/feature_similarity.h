@@ -1,0 +1,69 @@
+#ifndef TMARK_HIN_FEATURE_SIMILARITY_H_
+#define TMARK_HIN_FEATURE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tmark/hin/similarity_kernel.h"
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/sparse_matrix.h"
+#include "tmark/la/vector_ops.h"
+
+namespace tmark::hin {
+
+/// The feature-based transition operator W of Sec. 4.2: the column-normalized
+/// cosine-similarity matrix of node features,
+///
+///   C[i,j] = cos(f_i, f_j),   W = C * diag(colsums(C))^{-1}.
+///
+/// The n x n matrix is never materialized. With F_hat the row-L2-normalized
+/// feature matrix, C = F_hat * F_hat^T, so
+///
+///   W x = F_hat * (F_hat^T * (x ./ colsums)),
+///
+/// two sparse passes costing O(nnz(F)) per application. Column sums are
+/// likewise computed once as F_hat * (F_hat^T * 1). Nodes with all-zero
+/// features produce zero columns; those are treated as dangling and mapped to
+/// the uniform column 1/n, keeping W column-stochastic.
+class FeatureSimilarity {
+ public:
+  /// Builds the operator from a non-negative n x d feature matrix. All
+  /// kernels share the factorized form C = G G^T for a (kernel-dependent)
+  /// transformed feature matrix G, so Apply stays O(nnz(F)).
+  static FeatureSimilarity Build(
+      const la::SparseMatrix& features,
+      SimilarityKernel kernel = SimilarityKernel::kCosine);
+
+  std::size_t num_nodes() const { return col_sums_.size(); }
+
+  /// Applies W to x (length n). Maps probability vectors to probability
+  /// vectors.
+  la::Vector Apply(const la::Vector& x) const;
+
+  /// W[i][j] materialized densely — small inputs / tests only.
+  la::DenseMatrix Dense() const;
+
+  /// Pairwise similarity under the chosen kernel (exact cosine for the
+  /// default kernel; inner product of transformed rows in general).
+  double Cosine(std::size_t i, std::size_t j) const;
+
+  /// Node indices whose feature vector is all-zero (dangling columns of W).
+  const std::vector<std::uint32_t>& dangling_nodes() const {
+    return dangling_;
+  }
+
+  /// The kernel this operator was built with.
+  SimilarityKernel kernel() const { return kernel_; }
+
+ private:
+  FeatureSimilarity() = default;
+
+  SimilarityKernel kernel_ = SimilarityKernel::kCosine;
+  la::SparseMatrix fhat_;     ///< Kernel-transformed features G (n x d).
+  la::Vector col_sums_;       ///< colsums(C); 0 for dangling nodes.
+  std::vector<std::uint32_t> dangling_;
+};
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_FEATURE_SIMILARITY_H_

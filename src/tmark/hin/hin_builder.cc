@@ -1,0 +1,77 @@
+#include "tmark/hin/hin_builder.h"
+
+#include <algorithm>
+
+#include "tmark/common/check.h"
+
+namespace tmark::hin {
+
+HinBuilder::HinBuilder(std::size_t num_nodes, std::size_t feature_dim)
+    : num_nodes_(num_nodes),
+      feature_dim_(feature_dim),
+      labels_(num_nodes) {}
+
+std::size_t HinBuilder::AddRelation(const std::string& name) {
+  relation_names_.push_back(name);
+  edges_.emplace_back();
+  return relation_names_.size() - 1;
+}
+
+std::size_t HinBuilder::AddClass(const std::string& name) {
+  class_names_.push_back(name);
+  return class_names_.size() - 1;
+}
+
+void HinBuilder::AddDirectedEdge(std::size_t k, std::size_t src,
+                                 std::size_t dst, double weight) {
+  TMARK_CHECK(k < edges_.size());
+  TMARK_CHECK(src < num_nodes_ && dst < num_nodes_);
+  TMARK_CHECK_MSG(weight > 0.0, "edge weights must be positive");
+  // Tensor convention: A[i, j, k] with j the source; CSR row = i = dst.
+  edges_[k].push_back({static_cast<std::uint32_t>(dst),
+                       static_cast<std::uint32_t>(src), weight});
+}
+
+void HinBuilder::AddUndirectedEdge(std::size_t k, std::size_t a,
+                                   std::size_t b, double weight) {
+  AddDirectedEdge(k, a, b, weight);
+  if (a != b) AddDirectedEdge(k, b, a, weight);
+}
+
+void HinBuilder::SetLabel(std::size_t node, std::size_t c) {
+  TMARK_CHECK(node < num_nodes_);
+  TMARK_CHECK(c < class_names_.size());
+  std::vector<std::uint32_t>& ls = labels_[node];
+  const auto it = std::lower_bound(ls.begin(), ls.end(),
+                                   static_cast<std::uint32_t>(c));
+  if (it == ls.end() || *it != c) ls.insert(it, static_cast<std::uint32_t>(c));
+}
+
+void HinBuilder::AddFeature(std::size_t node, std::size_t dim, double value) {
+  TMARK_CHECK(node < num_nodes_ && dim < feature_dim_);
+  feature_triplets_.push_back({static_cast<std::uint32_t>(node),
+                               static_cast<std::uint32_t>(dim), value});
+}
+
+std::size_t HinBuilder::EdgeCount(std::size_t k) const {
+  TMARK_CHECK(k < edges_.size());
+  return edges_[k].size();
+}
+
+Hin HinBuilder::Build() && {
+  Hin hin;
+  hin.num_nodes_ = num_nodes_;
+  hin.relation_names_ = std::move(relation_names_);
+  hin.class_names_ = std::move(class_names_);
+  hin.relations_.reserve(edges_.size());
+  for (std::vector<la::Triplet>& e : edges_) {
+    hin.relations_.push_back(
+        la::SparseMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(e)));
+  }
+  hin.features_ = la::SparseMatrix::FromTriplets(num_nodes_, feature_dim_,
+                                                 std::move(feature_triplets_));
+  hin.labels_ = std::move(labels_);
+  return hin;
+}
+
+}  // namespace tmark::hin

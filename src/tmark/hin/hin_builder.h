@@ -1,0 +1,65 @@
+#ifndef TMARK_HIN_HIN_BUILDER_H_
+#define TMARK_HIN_HIN_BUILDER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tmark/hin/hin.h"
+
+namespace tmark::hin {
+
+/// Incremental assembler for Hin instances.
+///
+/// Typical use:
+///   HinBuilder b(/*num_nodes=*/4, /*feature_dim=*/8);
+///   std::size_t k = b.AddRelation("co-author");
+///   b.AddUndirectedEdge(k, 0, 1);
+///   b.AddClass("DM");
+///   b.SetLabel(0, 0);
+///   b.AddFeature(0, 3, 1.0);
+///   Hin hin = std::move(b).Build();
+class HinBuilder {
+ public:
+  HinBuilder(std::size_t num_nodes, std::size_t feature_dim);
+
+  /// Registers a new relation; returns its index.
+  std::size_t AddRelation(const std::string& name);
+
+  /// Registers a new class label; returns its index.
+  std::size_t AddClass(const std::string& name);
+
+  /// Adds a directed link src -> dst in relation k (tensor entry
+  /// A[dst, src, k] += weight, per the column-as-source convention).
+  void AddDirectedEdge(std::size_t k, std::size_t src, std::size_t dst,
+                       double weight = 1.0);
+
+  /// Adds both directions; self-loops are added once.
+  void AddUndirectedEdge(std::size_t k, std::size_t a, std::size_t b,
+                         double weight = 1.0);
+
+  /// Attaches class c to `node` (multi-label safe; duplicates ignored).
+  void SetLabel(std::size_t node, std::size_t c);
+
+  /// Adds `value` to feature dimension `dim` of `node`.
+  void AddFeature(std::size_t node, std::size_t dim, double value);
+
+  /// Number of edge records buffered for relation k so far.
+  std::size_t EdgeCount(std::size_t k) const;
+
+  /// Finalizes into an immutable Hin. The builder is consumed.
+  Hin Build() &&;
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t feature_dim_;
+  std::vector<std::string> relation_names_;
+  std::vector<std::vector<la::Triplet>> edges_;
+  std::vector<std::string> class_names_;
+  std::vector<la::Triplet> feature_triplets_;
+  std::vector<std::vector<std::uint32_t>> labels_;
+};
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_HIN_BUILDER_H_

@@ -1,0 +1,164 @@
+#include "tmark/hin/hin_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "tmark/common/check.h"
+#include "tmark/common/string_util.h"
+#include "tmark/hin/hin_builder.h"
+
+namespace tmark::hin {
+namespace {
+
+constexpr char kHeader[] = "# tmark-hin v1";
+
+}  // namespace
+
+void SaveHin(const Hin& hin, std::ostream& out) {
+  out << kHeader << "\n";
+  out << "nodes " << hin.num_nodes() << "\n";
+  out << "feature_dim " << hin.feature_dim() << "\n";
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    out << "relation " << hin.relation_name(k) << "\n";
+  }
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    out << "class " << hin.class_name(c) << "\n";
+  }
+  out << std::setprecision(17);
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    const la::SparseMatrix& r = hin.relation(k);
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      for (std::size_t p = r.row_ptr()[i]; p < r.row_ptr()[i + 1]; ++p) {
+        out << "edge " << k << " " << i << " " << r.col_idx()[p] << " "
+            << r.values()[p] << "\n";
+      }
+    }
+  }
+  for (std::size_t node = 0; node < hin.num_nodes(); ++node) {
+    const std::vector<std::uint32_t>& ls = hin.labels(node);
+    if (ls.empty()) continue;
+    out << "label " << node;
+    for (std::uint32_t c : ls) out << " " << c;
+    out << "\n";
+  }
+  const la::SparseMatrix& f = hin.features();
+  for (std::size_t node = 0; node < f.rows(); ++node) {
+    if (f.row_ptr()[node] == f.row_ptr()[node + 1]) continue;
+    out << "feat " << node;
+    for (std::size_t p = f.row_ptr()[node]; p < f.row_ptr()[node + 1]; ++p) {
+      out << " " << f.col_idx()[p] << ":" << f.values()[p];
+    }
+    out << "\n";
+  }
+}
+
+bool SaveHinToFile(const Hin& hin, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveHin(hin, out);
+  return static_cast<bool>(out);
+}
+
+Hin LoadHin(std::istream& in) {
+  std::string line;
+  TMARK_CHECK_MSG(std::getline(in, line) && Strip(line) == kHeader,
+                  "missing tmark-hin header");
+  std::size_t num_nodes = 0;
+  std::size_t feature_dim = 0;
+  bool have_nodes = false;
+  bool have_dim = false;
+  std::vector<std::string> relation_names;
+  std::vector<std::string> class_names;
+  struct EdgeRec {
+    std::size_t k, dst, src;
+    double w;
+  };
+  std::vector<EdgeRec> edge_recs;
+  struct LabelRec {
+    std::size_t node;
+    std::vector<std::size_t> classes;
+  };
+  std::vector<LabelRec> label_recs;
+  struct FeatRec {
+    std::size_t node;
+    std::vector<std::pair<std::size_t, double>> entries;
+  };
+  std::vector<FeatRec> feat_recs;
+
+  while (std::getline(in, line)) {
+    line = Strip(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    if (directive == "nodes") {
+      ls >> num_nodes;
+      have_nodes = true;
+    } else if (directive == "feature_dim") {
+      ls >> feature_dim;
+      have_dim = true;
+    } else if (directive == "relation") {
+      std::string name;
+      std::getline(ls, name);
+      relation_names.push_back(Strip(name));
+    } else if (directive == "class") {
+      std::string name;
+      std::getline(ls, name);
+      class_names.push_back(Strip(name));
+    } else if (directive == "edge") {
+      EdgeRec e{};
+      ls >> e.k >> e.dst >> e.src >> e.w;
+      TMARK_CHECK_MSG(!ls.fail(), "malformed edge line: " << line);
+      edge_recs.push_back(e);
+    } else if (directive == "label") {
+      LabelRec rec{};
+      ls >> rec.node;
+      std::size_t c;
+      while (ls >> c) rec.classes.push_back(c);
+      label_recs.push_back(std::move(rec));
+    } else if (directive == "feat") {
+      FeatRec rec{};
+      ls >> rec.node;
+      std::string tok;
+      while (ls >> tok) {
+        const std::size_t colon = tok.find(':');
+        TMARK_CHECK_MSG(colon != std::string::npos,
+                        "malformed feat token: " << tok);
+        rec.entries.emplace_back(std::stoul(tok.substr(0, colon)),
+                                 std::stod(tok.substr(colon + 1)));
+      }
+      feat_recs.push_back(std::move(rec));
+    } else {
+      TMARK_CHECK_MSG(false, "unknown directive: " << directive);
+    }
+  }
+  TMARK_CHECK_MSG(have_nodes && have_dim,
+                  "file missing nodes/feature_dim directives");
+
+  HinBuilder b(num_nodes, feature_dim);
+  for (const std::string& name : relation_names) b.AddRelation(name);
+  for (const std::string& name : class_names) b.AddClass(name);
+  for (const EdgeRec& e : edge_recs) {
+    TMARK_CHECK_MSG(e.k < relation_names.size(), "edge relation out of range");
+    b.AddDirectedEdge(e.k, e.src, e.dst, e.w);
+  }
+  for (const LabelRec& rec : label_recs) {
+    for (std::size_t c : rec.classes) b.SetLabel(rec.node, c);
+  }
+  for (const FeatRec& rec : feat_recs) {
+    for (const auto& [dim, value] : rec.entries) {
+      b.AddFeature(rec.node, dim, value);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Hin LoadHinFromFile(const std::string& path) {
+  std::ifstream in(path);
+  TMARK_CHECK_MSG(static_cast<bool>(in), "cannot open " << path);
+  return LoadHin(in);
+}
+
+}  // namespace tmark::hin

@@ -1,0 +1,39 @@
+#ifndef TMARK_HIN_HIN_IO_H_
+#define TMARK_HIN_HIN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "tmark/hin/hin.h"
+
+namespace tmark::hin {
+
+/// Serializes `hin` to a line-oriented text format:
+///
+///   # tmark-hin v1
+///   nodes <n>
+///   feature_dim <d>
+///   relation <name>            (repeated, in index order)
+///   class <name>               (repeated, in index order)
+///   edge <k> <dst> <src> <w>   (one per stored tensor entry)
+///   label <node> <c> [<c> ...]
+///   feat <node> <dim>:<value> [<dim>:<value> ...]
+///
+/// The format is diff-friendly and round-trips exactly for the weights
+/// produced by the library's generators.
+void SaveHin(const Hin& hin, std::ostream& out);
+
+/// Convenience wrapper writing to `path`. Returns false on I/O failure.
+bool SaveHinToFile(const Hin& hin, const std::string& path);
+
+/// Parses the format written by SaveHin. Throws CheckError on malformed
+/// input (unknown directive, indices out of range, missing header).
+Hin LoadHin(std::istream& in);
+
+/// Convenience wrapper reading from `path`. Throws CheckError if the file
+/// cannot be opened or parsed.
+Hin LoadHinFromFile(const std::string& path);
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_HIN_IO_H_

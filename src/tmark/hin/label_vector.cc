@@ -1,0 +1,74 @@
+#include "tmark/hin/label_vector.h"
+
+#include <algorithm>
+
+#include "tmark/common/check.h"
+
+namespace tmark::hin {
+
+la::Vector InitialLabelVector(const Hin& hin,
+                              const std::vector<std::size_t>& labeled,
+                              std::size_t c) {
+  TMARK_CHECK(c < hin.num_classes());
+  la::Vector l(hin.num_nodes(), 0.0);
+  std::size_t count = 0;
+  for (std::size_t node : labeled) {
+    if (hin.HasLabel(node, c)) {
+      l[node] = 1.0;
+      ++count;
+    }
+  }
+  TMARK_CHECK_MSG(count > 0,
+                  "no labeled node carries class " << hin.class_name(c));
+  const double u = 1.0 / static_cast<double>(count);
+  for (double& v : l) {
+    if (v > 0.0) v = u;
+  }
+  return l;
+}
+
+la::Vector UpdatedLabelVector(const Hin& hin,
+                              const std::vector<std::size_t>& labeled,
+                              std::size_t c, const la::Vector& x,
+                              double lambda) {
+  TMARK_CHECK(c < hin.num_classes());
+  TMARK_CHECK(x.size() == hin.num_nodes());
+  TMARK_CHECK_MSG(lambda >= 0.0 && lambda <= 1.0,
+                  "lambda must lie in [0, 1]");
+  la::Vector l(hin.num_nodes(), 0.0);
+  std::vector<bool> known(hin.num_nodes(), false);
+  for (std::size_t node : labeled) known[node] = true;
+  std::size_t count = 0;
+  for (std::size_t node : labeled) {
+    if (hin.HasLabel(node, c)) {
+      l[node] = 1.0;
+      ++count;
+    }
+  }
+  // Accept highly confident predictions (Eq. 12): the threshold is relative
+  // to the strongest *unlabeled* node, since labeled nodes hold most of the
+  // restart mass and would otherwise make the cutoff unreachable. Only
+  // meaningful when some unlabeled confidence exists (cutoff > 0 guards the
+  // degenerate all-zero case).
+  double xmax_unlabeled = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!known[i]) xmax_unlabeled = std::max(xmax_unlabeled, x[i]);
+  }
+  const double cutoff = lambda * xmax_unlabeled;
+  if (cutoff > 0.0) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!known[i] && x[i] > cutoff) {
+        l[i] = 1.0;
+        ++count;
+      }
+    }
+  }
+  TMARK_CHECK(count > 0);
+  const double u = 1.0 / static_cast<double>(count);
+  for (double& v : l) {
+    if (v > 0.0) v = u;
+  }
+  return l;
+}
+
+}  // namespace tmark::hin

@@ -1,0 +1,33 @@
+#ifndef TMARK_HIN_LABEL_VECTOR_H_
+#define TMARK_HIN_LABEL_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/hin/hin.h"
+#include "tmark/la/vector_ops.h"
+
+namespace tmark::hin {
+
+/// The initial restart vector l of Eq. (11): uniform probability 1/n_c over
+/// the labeled nodes that carry class c, zero elsewhere. Requires at least
+/// one labeled node of class c.
+la::Vector InitialLabelVector(const Hin& hin,
+                              const std::vector<std::size_t>& labeled,
+                              std::size_t c);
+
+/// The ICA-updated restart vector of Eq. (12): uniform over the union of
+/// (a) labeled nodes carrying class c and (b) unlabeled nodes whose current
+/// stationary confidence x_i exceeds the *relative* threshold
+/// lambda * max(x over unlabeled nodes). Group (b) holds the "highly
+/// confident" predictions the ICA mechanism accepts between iterations; the
+/// threshold is relative to the unlabeled maximum because labeled nodes
+/// carry the restart mass and would dominate an absolute cutoff.
+la::Vector UpdatedLabelVector(const Hin& hin,
+                              const std::vector<std::size_t>& labeled,
+                              std::size_t c, const la::Vector& x,
+                              double lambda);
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_LABEL_VECTOR_H_

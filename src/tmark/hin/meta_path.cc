@@ -1,0 +1,41 @@
+#include "tmark/hin/meta_path.h"
+
+#include "tmark/common/check.h"
+
+namespace tmark::hin {
+
+la::SparseMatrix ComposeMetaPath(const Hin& hin,
+                                 const std::vector<std::size_t>& path) {
+  TMARK_CHECK_MSG(!path.empty(), "meta-path must have at least one relation");
+  la::SparseMatrix out = hin.relation(path[0]);
+  for (std::size_t step = 1; step < path.size(); ++step) {
+    out = out.MatMul(hin.relation(path[step]));
+  }
+  return out;
+}
+
+la::SparseMatrix BinarizeLinks(const la::SparseMatrix& links) {
+  la::SparseMatrix out = links;
+  for (double& v : out.mutable_values()) v = v > 0.0 ? 1.0 : 0.0;
+  return out;
+}
+
+std::vector<la::SparseMatrix> AllLength2MetaPaths(const Hin& hin,
+                                                  std::size_t min_links,
+                                                  std::size_t max_paths) {
+  std::vector<la::SparseMatrix> out;
+  for (std::size_t k1 = 0; k1 < hin.num_relations() && out.size() < max_paths;
+       ++k1) {
+    for (std::size_t k2 = 0;
+         k2 < hin.num_relations() && out.size() < max_paths; ++k2) {
+      la::SparseMatrix composed =
+          hin.relation(k1).MatMul(hin.relation(k2));
+      if (composed.NumNonZeros() >= min_links) {
+        out.push_back(std::move(composed));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tmark::hin

@@ -1,0 +1,32 @@
+#ifndef TMARK_HIN_META_PATH_H_
+#define TMARK_HIN_META_PATH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/hin/hin.h"
+#include "tmark/la/sparse_matrix.h"
+
+namespace tmark::hin {
+
+/// Composes a meta-path over the HIN's relations: the returned matrix is the
+/// product relation(path[0]) * relation(path[1]) * ... (left-to-right), so
+/// entry (i, j) counts the number of path instances from node j to node i
+/// through the given relation sequence. Used by the Hcc baseline (Kong et
+/// al. 2012), which views meta-path linkages as additional link types.
+la::SparseMatrix ComposeMetaPath(const Hin& hin,
+                                 const std::vector<std::size_t>& path);
+
+/// Binarizes a composed meta-path matrix: every positive entry becomes 1.
+la::SparseMatrix BinarizeLinks(const la::SparseMatrix& links);
+
+/// All length-2 meta-paths (k1, k2) whose composition has at least
+/// `min_links` non-zeros, as composed matrices. Capped at `max_paths`
+/// results to keep baseline cost bounded on HINs with many relations.
+std::vector<la::SparseMatrix> AllLength2MetaPaths(const Hin& hin,
+                                                  std::size_t min_links,
+                                                  std::size_t max_paths);
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_META_PATH_H_

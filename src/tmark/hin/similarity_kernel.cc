@@ -1,0 +1,29 @@
+#include "tmark/hin/similarity_kernel.h"
+
+#include "tmark/common/check.h"
+
+namespace tmark::hin {
+
+std::string ToString(SimilarityKernel kernel) {
+  switch (kernel) {
+    case SimilarityKernel::kCosine:
+      return "cosine";
+    case SimilarityKernel::kBinaryCosine:
+      return "binary-cosine";
+    case SimilarityKernel::kTfIdfCosine:
+      return "tfidf-cosine";
+    case SimilarityKernel::kDotProduct:
+      return "dot-product";
+  }
+  TMARK_CHECK_MSG(false, "unhandled SimilarityKernel");
+}
+
+SimilarityKernel SimilarityKernelFromString(const std::string& name) {
+  if (name == "cosine") return SimilarityKernel::kCosine;
+  if (name == "binary-cosine") return SimilarityKernel::kBinaryCosine;
+  if (name == "tfidf-cosine") return SimilarityKernel::kTfIdfCosine;
+  if (name == "dot-product") return SimilarityKernel::kDotProduct;
+  TMARK_CHECK_MSG(false, "unknown similarity kernel: " << name);
+}
+
+}  // namespace tmark::hin

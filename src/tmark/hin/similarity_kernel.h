@@ -1,0 +1,34 @@
+#ifndef TMARK_HIN_SIMILARITY_KERNEL_H_
+#define TMARK_HIN_SIMILARITY_KERNEL_H_
+
+#include <string>
+
+namespace tmark::hin {
+
+/// Node-similarity kernels for the feature-based transition operator W
+/// (Sec. 4.2 notes that "many distance metrics have been developed" —
+/// cosine is the paper's choice; the others below are the factorizable
+/// alternatives that keep W applicable in O(nnz(F)) without materializing
+/// the n x n matrix).
+enum class SimilarityKernel {
+  /// cos(f_i, f_j) on raw counts — the paper's metric (default).
+  kCosine,
+  /// Cosine on binarized features (word presence only); robust when counts
+  /// are bursty.
+  kBinaryCosine,
+  /// Cosine after IDF column re-weighting; down-weights ubiquitous words
+  /// (the Movies "popular tag" failure mode).
+  kTfIdfCosine,
+  /// Plain inner product of raw counts; favours long documents.
+  kDotProduct,
+};
+
+/// Human-readable kernel name ("cosine", "binary-cosine", ...).
+std::string ToString(SimilarityKernel kernel);
+
+/// Parses ToString's output back; throws CheckError on unknown names.
+SimilarityKernel SimilarityKernelFromString(const std::string& name);
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_SIMILARITY_KERNEL_H_

@@ -1,0 +1,257 @@
+#include "tmark/la/sparse_matrix.h"
+
+#include <algorithm>
+#include <map>
+
+#include "tmark/common/check.h"
+
+namespace tmark::la {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+SparseMatrix SparseMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                        std::vector<Triplet> triplets) {
+  SparseMatrix m(rows, cols);
+  for (const Triplet& t : triplets) {
+    TMARK_CHECK_MSG(t.row < rows && t.col < cols,
+                    "triplet (" << t.row << "," << t.col
+                                << ") out of bounds for " << rows << "x"
+                                << cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Count unique entries per row while summing duplicates.
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    const std::uint32_t r = triplets[i].row;
+    const std::uint32_t c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    ++m.row_ptr_[r + 1];
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense, double tol) {
+  std::vector<Triplet> trips;
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense.At(r, c);
+      if (std::abs(v) > tol) {
+        trips.push_back({static_cast<std::uint32_t>(r),
+                         static_cast<std::uint32_t>(c), v});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(trips));
+}
+
+double SparseMatrix::At(std::size_t r, std::size_t c) const {
+  TMARK_CHECK(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(c));
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector SparseMatrix::MatVec(const Vector& x) const {
+  TMARK_CHECK(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      s += values_[p] * x[col_idx_[p]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::TransposeMatVec(const Vector& x) const {
+  TMARK_CHECK(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      y[col_idx_[p]] += values_[p] * xr;
+    }
+  }
+  return y;
+}
+
+Vector SparseMatrix::RowSums() const {
+  Vector sums(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      sums[r] += values_[p];
+    }
+  }
+  return sums;
+}
+
+Vector SparseMatrix::ColumnSums() const {
+  Vector sums(cols_, 0.0);
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    sums[col_idx_[p]] += values_[p];
+  }
+  return sums;
+}
+
+SparseMatrix SparseMatrix::ScaleColumns(const Vector& scale) const {
+  TMARK_CHECK(scale.size() == cols_);
+  SparseMatrix out(*this);
+  for (std::size_t p = 0; p < out.values_.size(); ++p) {
+    out.values_[p] *= scale[out.col_idx_[p]];
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::ScaleRows(const Vector& scale) const {
+  TMARK_CHECK(scale.size() == rows_);
+  SparseMatrix out(*this);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      out.values_[p] *= scale[r];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::NormalizeColumnsSparse(
+    std::vector<bool>* dangling) const {
+  const Vector sums = ColumnSums();
+  Vector inv(cols_, 0.0);
+  if (dangling != nullptr) dangling->assign(cols_, false);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (sums[c] > 0.0) {
+      inv[c] = 1.0 / sums[c];
+    } else if (dangling != nullptr) {
+      (*dangling)[c] = true;
+    }
+  }
+  return ScaleColumns(inv);
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<Triplet> trips;
+  trips.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      trips.push_back({col_idx_[p], static_cast<std::uint32_t>(r), values_[p]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(trips));
+}
+
+SparseMatrix SparseMatrix::MatMul(const SparseMatrix& other) const {
+  TMARK_CHECK(cols_ == other.rows_);
+  std::vector<Triplet> trips;
+  // Row-by-row accumulation with a scatter map keyed by column.
+  std::map<std::uint32_t, double> acc;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    acc.clear();
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const std::uint32_t k = col_idx_[p];
+      const double v = values_[p];
+      for (std::size_t q = other.row_ptr_[k]; q < other.row_ptr_[k + 1]; ++q) {
+        acc[other.col_idx_[q]] += v * other.values_[q];
+      }
+    }
+    for (const auto& [c, v] : acc) {
+      trips.push_back({static_cast<std::uint32_t>(r), c, v});
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(trips));
+}
+
+DenseMatrix SparseMatrix::MatMulDense(const DenseMatrix& dense) const {
+  TMARK_CHECK(cols_ == dense.rows());
+  DenseMatrix out(rows_, dense.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* orow = out.RowPtr(r);
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const double v = values_[p];
+      const double* drow = dense.RowPtr(col_idx_[p]);
+      for (std::size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::TransposeMatMulDense(const DenseMatrix& dense) const {
+  TMARK_CHECK(rows_ == dense.rows());
+  DenseMatrix out(cols_, dense.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* drow = dense.RowPtr(r);
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const double v = values_[p];
+      double* orow = out.RowPtr(col_idx_[p]);
+      for (std::size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Add(const SparseMatrix& other) const {
+  TMARK_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  std::vector<Triplet> trips;
+  trips.reserve(values_.size() + other.values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      trips.push_back({static_cast<std::uint32_t>(r), col_idx_[p], values_[p]});
+    }
+    for (std::size_t p = other.row_ptr_[r]; p < other.row_ptr_[r + 1]; ++p) {
+      trips.push_back(
+          {static_cast<std::uint32_t>(r), other.col_idx_[p], other.values_[p]});
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(trips));
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      out.At(r, col_idx_[p]) += values_[p];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::Bilinear(const Vector& x, const Vector& y) const {
+  TMARK_CHECK(x.size() == rows_ && y.size() == cols_);
+  double s = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    double inner = 0.0;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      inner += values_[p] * y[col_idx_[p]];
+    }
+    s += xr * inner;
+  }
+  return s;
+}
+
+bool SparseMatrix::IsNonNegative() const {
+  for (double v : values_) {
+    if (v < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace tmark::la

@@ -1,0 +1,111 @@
+#ifndef TMARK_LA_SPARSE_MATRIX_H_
+#define TMARK_LA_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/vector_ops.h"
+
+namespace tmark::la {
+
+/// One (row, col, value) entry used when assembling sparse matrices.
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+/// Compressed Sparse Row matrix of doubles.
+///
+/// The workhorse for HIN adjacency slices and bag-of-words feature matrices.
+/// Duplicate triplets are summed during assembly; entries within a row are
+/// sorted by column index.
+class SparseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+
+  /// All-zero rows x cols matrix.
+  SparseMatrix(std::size_t rows, std::size_t cols);
+
+  /// Assembles from triplets, summing duplicates.
+  static SparseMatrix FromTriplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, dropping entries with |v| <= tol.
+  static SparseMatrix FromDense(const DenseMatrix& dense, double tol = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t NumNonZeros() const { return values_.size(); }
+
+  /// CSR internals (read-only). row_ptr has rows()+1 entries.
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Value at (r, c); zero when not stored. O(log nnz-in-row).
+  double At(std::size_t r, std::size_t c) const;
+
+  /// y = this * x. Requires x.size() == cols().
+  Vector MatVec(const Vector& x) const;
+
+  /// y = this^T * x. Requires x.size() == rows().
+  Vector TransposeMatVec(const Vector& x) const;
+
+  /// Sum over each row -> vector of length rows().
+  Vector RowSums() const;
+
+  /// Sum over each column -> vector of length cols().
+  Vector ColumnSums() const;
+
+  /// Returns a copy with every stored column c scaled by scale[c].
+  SparseMatrix ScaleColumns(const Vector& scale) const;
+
+  /// Returns a copy with every stored row r scaled by scale[r].
+  SparseMatrix ScaleRows(const Vector& scale) const;
+
+  /// Column-stochastic copy: each column with positive sum is divided by its
+  /// sum. Columns with zero sum stay zero (callers handle dangling columns;
+  /// see tensor::TransitionTensors). `dangling`, when non-null, receives a
+  /// flag per column telling whether its sum was zero.
+  SparseMatrix NormalizeColumnsSparse(std::vector<bool>* dangling) const;
+
+  /// Transposed copy (CSR of the transpose).
+  SparseMatrix Transpose() const;
+
+  /// this * other (sparse-sparse product). Requires cols() == other.rows().
+  SparseMatrix MatMul(const SparseMatrix& other) const;
+
+  /// this * dense (sparse-dense product). Requires cols() == dense.rows().
+  DenseMatrix MatMulDense(const DenseMatrix& dense) const;
+
+  /// this^T * dense. Requires rows() == dense.rows().
+  DenseMatrix TransposeMatMulDense(const DenseMatrix& dense) const;
+
+  /// Element-wise sum of two same-shape matrices.
+  SparseMatrix Add(const SparseMatrix& other) const;
+
+  /// Densified copy (small matrices / tests only).
+  DenseMatrix ToDense() const;
+
+  /// Sum_{(i,j) stored} value(i,j) * x[i] * y[j]; the bilinear form x^T A y.
+  double Bilinear(const Vector& x, const Vector& y) const;
+
+  /// True if every stored value is >= 0.
+  bool IsNonNegative() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace tmark::la
+
+#endif  // TMARK_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,202 @@
+#include "tmark/ml/graph_conv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tmark/common/check.h"
+#include "tmark/ml/logistic_regression.h"  // SoftmaxInPlace
+
+namespace tmark::ml {
+
+la::SparseMatrix SymmetricNormalize(const la::SparseMatrix& a) {
+  TMARK_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  la::SparseMatrix sym = a.Add(a.Transpose());
+  // Add self-loops.
+  std::vector<la::Triplet> eye;
+  eye.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eye.push_back({static_cast<std::uint32_t>(i),
+                   static_cast<std::uint32_t>(i), 1.0});
+  }
+  sym = sym.Add(la::SparseMatrix::FromTriplets(n, n, std::move(eye)));
+  la::Vector deg = sym.RowSums();
+  la::Vector inv_sqrt(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (deg[i] > 0.0) inv_sqrt[i] = 1.0 / std::sqrt(deg[i]);
+  }
+  return sym.ScaleRows(inv_sqrt).ScaleColumns(inv_sqrt);
+}
+
+GraphInceptionNet::GraphInceptionNet(GraphInceptionNetConfig config)
+    : config_(config) {}
+
+void GraphInceptionNet::BuildChannels(
+    const std::vector<la::SparseMatrix>& adjacencies) {
+  channels_.clear();
+  TMARK_CHECK(!adjacencies.empty());
+  const std::size_t n = adjacencies[0].rows();
+  std::vector<la::SparseMatrix> base;
+  if (adjacencies.size() <= config_.max_channels) {
+    base = adjacencies;
+  } else {
+    // Keep the largest relations as dedicated channels, pool the rest.
+    std::vector<std::size_t> order(adjacencies.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return adjacencies[a].NumNonZeros() >
+                              adjacencies[b].NumNonZeros();
+                     });
+    la::SparseMatrix rest(n, n);
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      if (r + 1 < config_.max_channels) {
+        base.push_back(adjacencies[order[r]]);
+      } else {
+        rest = rest.Add(adjacencies[order[r]]);
+      }
+    }
+    base.push_back(std::move(rest));
+  }
+  for (const la::SparseMatrix& a : base) {
+    la::SparseMatrix norm = SymmetricNormalize(a);
+    la::SparseMatrix hop = norm;
+    channels_.push_back(norm);
+    for (int p = 2; p <= config_.hops; ++p) {
+      hop = hop.MatMul(norm);
+      channels_.push_back(hop);
+    }
+  }
+}
+
+void GraphInceptionNet::Fit(const la::SparseMatrix& features,
+                            const std::vector<la::SparseMatrix>& adjacencies,
+                            const std::vector<std::size_t>& y,
+                            const std::vector<std::size_t>& labeled,
+                            std::size_t num_classes) {
+  TMARK_CHECK(features.rows() == y.size());
+  TMARK_CHECK(!labeled.empty());
+  TMARK_CHECK(num_classes >= 2);
+  BuildChannels(adjacencies);
+
+  const std::size_t n = features.rows();
+  const std::size_t d = features.cols();
+  const std::size_t h = config_.hidden;
+  const std::size_t nc = channels_.size();
+  Rng rng(config_.seed);
+
+  // Weight blocks: W[0] is the skip (raw features) block, W[1..nc] per
+  // channel; V maps hidden -> classes.
+  std::vector<la::DenseMatrix> w(nc + 1, la::DenseMatrix(d, h));
+  for (la::DenseMatrix& wm : w) {
+    for (double& v : wm.data()) {
+      v = rng.Normal(0.0, 1.0 / std::sqrt(static_cast<double>(d)));
+    }
+  }
+  la::Vector b(h, 0.0);
+  la::DenseMatrix v(h, num_classes);
+  for (double& vv : v.data()) {
+    vv = rng.Normal(0.0, 1.0 / std::sqrt(static_cast<double>(h)));
+  }
+  la::Vector c(num_classes, 0.0);
+
+  const double inv_labeled = 1.0 / static_cast<double>(labeled.size());
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Forward.
+    la::DenseMatrix z = features.MatMulDense(w[0]);  // n x h
+    for (std::size_t ch = 0; ch < nc; ++ch) {
+      la::DenseMatrix proj = features.MatMulDense(w[ch + 1]);
+      la::DenseMatrix prop = channels_[ch].MatMulDense(proj);
+      z.AddInPlace(prop);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double* row = z.RowPtr(i);
+      for (std::size_t j = 0; j < h; ++j) {
+        row[j] += b[j];
+        if (row[j] < 0.0) row[j] = 0.0;  // ReLU
+      }
+    }
+    la::DenseMatrix logits = z.MatMul(v);  // n x q
+    la::DenseMatrix dlogits(n, num_classes);
+    for (std::size_t i = 0; i < n; ++i) {
+      la::Vector row = logits.Row(i);
+      for (std::size_t q = 0; q < num_classes; ++q) row[q] += c[q];
+      SoftmaxInPlace(&row);
+      std::copy(row.begin(), row.end(), logits.RowPtr(i));
+    }
+    for (std::size_t node : labeled) {
+      double* drow = dlogits.RowPtr(node);
+      const double* prow = logits.RowPtr(node);
+      for (std::size_t q = 0; q < num_classes; ++q) {
+        drow[q] = prow[q] * inv_labeled;
+      }
+      drow[y[node]] -= inv_labeled;
+    }
+
+    // Backward.
+    la::DenseMatrix gv = z.Transpose().MatMul(dlogits);  // h x q
+    la::Vector gc = dlogits.ColumnSums();
+    la::DenseMatrix dz = dlogits.MatMul(v.Transpose());  // n x h
+    for (std::size_t i = 0; i < n; ++i) {
+      double* drow = dz.RowPtr(i);
+      const double* zrow = z.RowPtr(i);
+      for (std::size_t j = 0; j < h; ++j) {
+        if (zrow[j] <= 0.0) drow[j] = 0.0;  // ReLU gate
+      }
+    }
+    la::Vector gb = dz.ColumnSums();
+    std::vector<la::DenseMatrix> gw;
+    gw.reserve(nc + 1);
+    gw.push_back(features.TransposeMatMulDense(dz));  // d x h (skip block)
+    for (std::size_t ch = 0; ch < nc; ++ch) {
+      // d(prop)/dW = X^T (A^T dz); channels are symmetric so A^T = A.
+      la::DenseMatrix back = channels_[ch].TransposeMatMulDense(dz);
+      gw.push_back(features.TransposeMatMulDense(back));
+    }
+
+    // SGD step with weight decay.
+    const double lr = config_.learning_rate;
+    const double decay = 1.0 - lr * config_.l2;
+    for (std::size_t widx = 0; widx < w.size(); ++widx) {
+      std::vector<double>& wd = w[widx].data();
+      const std::vector<double>& gd = gw[widx].data();
+      for (std::size_t idx = 0; idx < wd.size(); ++idx) {
+        wd[idx] = wd[idx] * decay - lr * gd[idx];
+      }
+    }
+    {
+      std::vector<double>& vd = v.data();
+      const std::vector<double>& gd = gv.data();
+      for (std::size_t idx = 0; idx < vd.size(); ++idx) {
+        vd[idx] = vd[idx] * decay - lr * gd[idx];
+      }
+    }
+    for (std::size_t j = 0; j < h; ++j) b[j] -= lr * gb[j];
+    for (std::size_t q = 0; q < num_classes; ++q) c[q] -= lr * gc[q];
+  }
+
+  // Final forward pass to expose probabilities for all nodes.
+  la::DenseMatrix z = features.MatMulDense(w[0]);
+  for (std::size_t ch = 0; ch < nc; ++ch) {
+    la::DenseMatrix proj = features.MatMulDense(w[ch + 1]);
+    z.AddInPlace(channels_[ch].MatMulDense(proj));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = z.RowPtr(i);
+    for (std::size_t j = 0; j < h; ++j) {
+      row[j] += b[j];
+      if (row[j] < 0.0) row[j] = 0.0;
+    }
+  }
+  proba_ = z.MatMul(v);
+  for (std::size_t i = 0; i < n; ++i) {
+    la::Vector row = proba_.Row(i);
+    for (std::size_t q = 0; q < num_classes; ++q) row[q] += c[q];
+    SoftmaxInPlace(&row);
+    std::copy(row.begin(), row.end(), proba_.RowPtr(i));
+  }
+}
+
+}  // namespace tmark::ml

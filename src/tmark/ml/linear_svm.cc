@@ -1,0 +1,95 @@
+#include "tmark/ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tmark/common/check.h"
+
+namespace tmark::ml {
+
+LinearSvm::LinearSvm(LinearSvmConfig config) : config_(config) {}
+
+void LinearSvm::Fit(const la::DenseMatrix& x,
+                    const std::vector<std::size_t>& y,
+                    std::size_t num_classes) {
+  TMARK_CHECK(x.rows() == y.size());
+  TMARK_CHECK(num_classes >= 2);
+  for (std::size_t t : y) TMARK_CHECK(t < num_classes);
+  num_classes_ = num_classes;
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  w_ = la::DenseMatrix(num_classes_, d);
+  b_ = la::Vector(num_classes_, 0.0);
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // Step size decays as 1/(1 + epoch) for Pegasos-style convergence.
+    const double lr = config_.learning_rate / (1.0 + 0.1 * epoch);
+    for (std::size_t i : order) {
+      const double* xi = x.RowPtr(i);
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        const double target = (y[i] == c) ? 1.0 : -1.0;
+        double* wc = w_.RowPtr(c);
+        double margin = b_[c];
+        for (std::size_t dd = 0; dd < d; ++dd) margin += wc[dd] * xi[dd];
+        // Weight decay on every step; hinge subgradient when violating.
+        const double decay = 1.0 - lr * config_.l2;
+        for (std::size_t dd = 0; dd < d; ++dd) wc[dd] *= decay;
+        if (target * margin < 1.0) {
+          for (std::size_t dd = 0; dd < d; ++dd) {
+            wc[dd] += lr * target * xi[dd];
+          }
+          b_[c] += lr * target;
+        }
+      }
+    }
+  }
+}
+
+la::DenseMatrix LinearSvm::DecisionFunction(const la::DenseMatrix& x) const {
+  TMARK_CHECK_MSG(num_classes_ > 0, "model is not fitted");
+  TMARK_CHECK(x.cols() == w_.cols());
+  la::DenseMatrix out(x.rows(), num_classes_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* xi = x.RowPtr(i);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const double* wc = w_.RowPtr(c);
+      double s = b_[c];
+      for (std::size_t dd = 0; dd < x.cols(); ++dd) s += wc[dd] * xi[dd];
+      out.At(i, c) = s;
+    }
+  }
+  return out;
+}
+
+la::DenseMatrix LinearSvm::PredictProba(const la::DenseMatrix& x) const {
+  la::DenseMatrix margins = DecisionFunction(x);
+  for (std::size_t i = 0; i < margins.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < margins.cols(); ++c) {
+      const double p = 1.0 / (1.0 + std::exp(-margins.At(i, c)));
+      margins.At(i, c) = p;
+      sum += p;
+    }
+    if (sum > 0.0) {
+      for (std::size_t c = 0; c < margins.cols(); ++c) margins.At(i, c) /= sum;
+    }
+  }
+  return margins;
+}
+
+std::vector<std::size_t> LinearSvm::Predict(const la::DenseMatrix& x) const {
+  const la::DenseMatrix margins = DecisionFunction(x);
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = la::ArgMax(margins.Row(i));
+  }
+  return out;
+}
+
+}  // namespace tmark::ml

@@ -1,0 +1,52 @@
+#ifndef TMARK_ML_LINEAR_SVM_H_
+#define TMARK_ML_LINEAR_SVM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/common/random.h"
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::ml {
+
+/// Hyper-parameters for linear SVM training.
+struct LinearSvmConfig {
+  double learning_rate = 0.05;
+  double l2 = 1e-3;   ///< Regularization strength (1/C).
+  int epochs = 60;
+  std::uint64_t seed = 11;
+};
+
+/// One-vs-rest linear SVM trained with SGD on the L2-regularized hinge loss
+/// (Pegasos-style). Stands in for the LibSVM base classifier the paper's EMR
+/// baseline uses — linear kernels on bag-of-words features.
+class LinearSvm {
+ public:
+  explicit LinearSvm(LinearSvmConfig config = {});
+
+  /// Trains q one-vs-rest separators on rows of X with targets in [0, q).
+  void Fit(const la::DenseMatrix& x, const std::vector<std::size_t>& y,
+           std::size_t num_classes);
+
+  /// Raw decision margins (n x q); larger means more confident.
+  la::DenseMatrix DecisionFunction(const la::DenseMatrix& x) const;
+
+  /// Margins squashed through a logistic link and renormalized per row —
+  /// a pragmatic probability surrogate so SVM outputs can be ensembled.
+  la::DenseMatrix PredictProba(const la::DenseMatrix& x) const;
+
+  /// Arg-max class per input row.
+  std::vector<std::size_t> Predict(const la::DenseMatrix& x) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  LinearSvmConfig config_;
+  std::size_t num_classes_ = 0;
+  la::DenseMatrix w_;  ///< q x d.
+  la::Vector b_;       ///< q.
+};
+
+}  // namespace tmark::ml
+
+#endif  // TMARK_ML_LINEAR_SVM_H_

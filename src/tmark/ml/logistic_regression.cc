@@ -1,0 +1,126 @@
+#include "tmark/ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tmark/common/check.h"
+
+namespace tmark::ml {
+
+void SoftmaxInPlace(la::Vector* logits) {
+  TMARK_CHECK(logits != nullptr && !logits->empty());
+  const double mx = *std::max_element(logits->begin(), logits->end());
+  double sum = 0.0;
+  for (double& v : *logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : *logits) v /= sum;
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionConfig config)
+    : config_(config) {}
+
+la::Vector LogisticRegression::Logits(const la::DenseMatrix& x,
+                                      std::size_t row) const {
+  la::Vector out(num_classes_, 0.0);
+  const double* xr = x.RowPtr(row);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double* wc = w_.RowPtr(c);
+    double s = b_[c];
+    for (std::size_t d = 0; d < x.cols(); ++d) s += wc[d] * xr[d];
+    out[c] = s;
+  }
+  return out;
+}
+
+void LogisticRegression::Fit(const la::DenseMatrix& x,
+                             const std::vector<std::size_t>& y,
+                             std::size_t num_classes) {
+  TMARK_CHECK(x.rows() == y.size());
+  TMARK_CHECK(num_classes >= 2);
+  for (std::size_t t : y) TMARK_CHECK(t < num_classes);
+  num_classes_ = num_classes;
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  w_ = la::DenseMatrix(num_classes_, d);
+  b_ = la::Vector(num_classes_, 0.0);
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(n, start + config_.batch_size);
+      la::DenseMatrix gw(num_classes_, d);
+      la::Vector gb(num_classes_, 0.0);
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t i = order[b];
+        la::Vector p = Logits(x, i);
+        SoftmaxInPlace(&p);
+        p[y[i]] -= 1.0;  // gradient of cross-entropy w.r.t. logits
+        const double* xi = x.RowPtr(i);
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          if (p[c] == 0.0) continue;
+          double* gwc = gw.RowPtr(c);
+          for (std::size_t dd = 0; dd < d; ++dd) gwc[dd] += p[c] * xi[dd];
+          gb[c] += p[c];
+        }
+      }
+      const double scale = config_.learning_rate /
+                           static_cast<double>(end - start);
+      const double decay = config_.learning_rate * config_.l2;
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        double* wc = w_.RowPtr(c);
+        const double* gwc = gw.RowPtr(c);
+        for (std::size_t dd = 0; dd < d; ++dd) {
+          wc[dd] -= scale * gwc[dd] + decay * wc[dd];
+        }
+        b_[c] -= scale * gb[c];
+      }
+    }
+  }
+}
+
+la::DenseMatrix LogisticRegression::PredictProba(
+    const la::DenseMatrix& x) const {
+  TMARK_CHECK_MSG(num_classes_ > 0, "model is not fitted");
+  TMARK_CHECK(x.cols() == w_.cols());
+  la::DenseMatrix out(x.rows(), num_classes_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    la::Vector p = Logits(x, i);
+    SoftmaxInPlace(&p);
+    std::copy(p.begin(), p.end(), out.RowPtr(i));
+  }
+  return out;
+}
+
+std::vector<std::size_t> LogisticRegression::Predict(
+    const la::DenseMatrix& x) const {
+  const la::DenseMatrix proba = PredictProba(x);
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = la::ArgMax(proba.Row(i));
+  }
+  return out;
+}
+
+double LogisticRegression::Loss(const la::DenseMatrix& x,
+                                const std::vector<std::size_t>& y) const {
+  TMARK_CHECK(x.rows() == y.size() && !y.empty());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    la::Vector p = Logits(x, i);
+    SoftmaxInPlace(&p);
+    loss -= std::log(std::max(p[y[i]], 1e-300));
+  }
+  loss /= static_cast<double>(y.size());
+  double reg = 0.0;
+  for (double v : w_.data()) reg += v * v;
+  return loss + 0.5 * config_.l2 * reg;
+}
+
+}  // namespace tmark::ml

@@ -1,0 +1,62 @@
+#ifndef TMARK_ML_LOGISTIC_REGRESSION_H_
+#define TMARK_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/common/random.h"
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::ml {
+
+/// Hyper-parameters for softmax regression training.
+struct LogisticRegressionConfig {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;          ///< L2 weight decay.
+  int epochs = 60;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 7;
+};
+
+/// Multinomial (softmax) logistic regression with mini-batch SGD.
+///
+/// The default base learner of the ICA/Hcc family of baselines: fast,
+/// convex, and well-behaved on the bag-of-words + relational-count feature
+/// blocks those methods construct.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config = {});
+
+  /// Trains on rows of X (num_samples x d) with integer targets in [0, q).
+  /// `num_classes` fixes q (targets need not cover every class).
+  void Fit(const la::DenseMatrix& x, const std::vector<std::size_t>& y,
+           std::size_t num_classes);
+
+  /// Class-probability rows (softmax) for each input row.
+  la::DenseMatrix PredictProba(const la::DenseMatrix& x) const;
+
+  /// Arg-max class per input row.
+  std::vector<std::size_t> Predict(const la::DenseMatrix& x) const;
+
+  /// Mean cross-entropy + L2 penalty on (x, y); exposed for tests.
+  double Loss(const la::DenseMatrix& x, const std::vector<std::size_t>& y) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+  const la::DenseMatrix& weights() const { return w_; }
+  const la::Vector& bias() const { return b_; }
+
+ private:
+  la::Vector Logits(const la::DenseMatrix& x, std::size_t row) const;
+
+  LogisticRegressionConfig config_;
+  std::size_t num_classes_ = 0;
+  la::DenseMatrix w_;  ///< q x d weight matrix.
+  la::Vector b_;       ///< q bias vector.
+};
+
+/// Numerically stable in-place softmax of a logit vector.
+void SoftmaxInPlace(la::Vector* logits);
+
+}  // namespace tmark::ml
+
+#endif  // TMARK_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,107 @@
+#include "tmark/ml/metrics.h"
+
+#include <algorithm>
+
+#include "tmark/common/check.h"
+
+namespace tmark::ml {
+
+double Accuracy(const std::vector<std::size_t>& truth,
+                const std::vector<std::size_t>& predicted) {
+  TMARK_CHECK(truth.size() == predicted.size() && !truth.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+la::DenseMatrix ConfusionMatrix(const std::vector<std::size_t>& truth,
+                                const std::vector<std::size_t>& predicted,
+                                std::size_t num_classes) {
+  TMARK_CHECK(truth.size() == predicted.size());
+  la::DenseMatrix cm(num_classes, num_classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    TMARK_CHECK(truth[i] < num_classes && predicted[i] < num_classes);
+    cm.At(truth[i], predicted[i]) += 1.0;
+  }
+  return cm;
+}
+
+double MacroF1(const std::vector<std::size_t>& truth,
+               const std::vector<std::size_t>& predicted,
+               std::size_t num_classes) {
+  const la::DenseMatrix cm = ConfusionMatrix(truth, predicted, num_classes);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double tp = cm.At(c, c);
+    double fp = 0.0;
+    double fn = 0.0;
+    for (std::size_t o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fp += cm.At(o, c);
+      fn += cm.At(c, o);
+    }
+    if (tp + fp + fn == 0.0) continue;  // class absent everywhere
+    const double f1 = (2.0 * tp) / (2.0 * tp + fp + fn);
+    total += f1;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double MultiLabelMacroF1(
+    const std::vector<std::vector<std::size_t>>& truth,
+    const std::vector<std::vector<std::size_t>>& predicted,
+    std::size_t num_classes) {
+  TMARK_CHECK(truth.size() == predicted.size());
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double tp = 0.0;
+    double fp = 0.0;
+    double fn = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const bool in_truth =
+          std::find(truth[i].begin(), truth[i].end(), c) != truth[i].end();
+      const bool in_pred = std::find(predicted[i].begin(), predicted[i].end(),
+                                     c) != predicted[i].end();
+      if (in_truth && in_pred) tp += 1.0;
+      if (!in_truth && in_pred) fp += 1.0;
+      if (in_truth && !in_pred) fn += 1.0;
+    }
+    if (tp + fp + fn == 0.0) continue;
+    total += (2.0 * tp) / (2.0 * tp + fp + fn);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double MultiLabelMicroF1(
+    const std::vector<std::vector<std::size_t>>& truth,
+    const std::vector<std::vector<std::size_t>>& predicted) {
+  TMARK_CHECK(truth.size() == predicted.size());
+  double tp = 0.0;
+  double fp = 0.0;
+  double fn = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (std::size_t c : predicted[i]) {
+      if (std::find(truth[i].begin(), truth[i].end(), c) != truth[i].end()) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+    }
+    for (std::size_t c : truth[i]) {
+      if (std::find(predicted[i].begin(), predicted[i].end(), c) ==
+          predicted[i].end()) {
+        fn += 1.0;
+      }
+    }
+  }
+  if (2.0 * tp + fp + fn == 0.0) return 0.0;
+  return (2.0 * tp) / (2.0 * tp + fp + fn);
+}
+
+}  // namespace tmark::ml

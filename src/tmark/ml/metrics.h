@@ -1,0 +1,44 @@
+#ifndef TMARK_ML_METRICS_H_
+#define TMARK_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::ml {
+
+/// Fraction of positions where predicted == truth. Requires equal sizes and
+/// at least one element.
+double Accuracy(const std::vector<std::size_t>& truth,
+                const std::vector<std::size_t>& predicted);
+
+/// q x q confusion matrix; entry (t, p) counts samples of true class t
+/// predicted as p.
+la::DenseMatrix ConfusionMatrix(const std::vector<std::size_t>& truth,
+                                const std::vector<std::size_t>& predicted,
+                                std::size_t num_classes);
+
+/// Macro-averaged F1 over classes for single-label predictions. Classes
+/// absent from both truth and prediction contribute F1 = 0 only if they
+/// appear in neither; they are skipped from the average.
+double MacroF1(const std::vector<std::size_t>& truth,
+               const std::vector<std::size_t>& predicted,
+               std::size_t num_classes);
+
+/// Macro-averaged F1 for multi-label predictions: per class, precision and
+/// recall over the label sets; classes appearing in neither truth nor
+/// prediction are skipped.
+double MultiLabelMacroF1(
+    const std::vector<std::vector<std::size_t>>& truth,
+    const std::vector<std::vector<std::size_t>>& predicted,
+    std::size_t num_classes);
+
+/// Micro-averaged F1 for multi-label predictions (global TP/FP/FN pooling).
+double MultiLabelMicroF1(
+    const std::vector<std::vector<std::size_t>>& truth,
+    const std::vector<std::vector<std::size_t>>& predicted);
+
+}  // namespace tmark::ml
+
+#endif  // TMARK_ML_METRICS_H_

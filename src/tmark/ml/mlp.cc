@@ -1,0 +1,228 @@
+#include "tmark/ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tmark/common/check.h"
+#include "tmark/ml/logistic_regression.h"  // SoftmaxInPlace
+
+namespace tmark::ml {
+namespace {
+
+double Sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+/// y = W x + b for dense W (rows x cols), x of length cols.
+la::Vector Affine(const la::DenseMatrix& w, const la::Vector& b,
+                  const la::Vector& x) {
+  la::Vector y = w.MatVec(x);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += b[i];
+  return y;
+}
+
+void InitMatrix(la::DenseMatrix* m, double scale, Rng* rng) {
+  for (double& v : m->data()) v = rng->Normal(0.0, scale);
+}
+
+}  // namespace
+
+HighwayMlp::HighwayMlp(HighwayMlpConfig config) : config_(config) {}
+
+la::Vector HighwayMlp::Forward(const double* x, std::vector<la::Vector>* h,
+                               std::vector<la::Vector>* g,
+                               std::vector<la::Vector>* t) const {
+  const std::size_t hidden = config_.hidden;
+  la::Vector cur(hidden, 0.0);
+  for (std::size_t r = 0; r < hidden; ++r) {
+    const double* wr = w0_.RowPtr(r);
+    double s = b0_[r];
+    for (std::size_t dd = 0; dd < input_dim_; ++dd) s += wr[dd] * x[dd];
+    cur[r] = std::tanh(s);
+  }
+  if (h != nullptr) h->push_back(cur);
+  for (const HighwayLayer& layer : layers_) {
+    la::Vector gv = Affine(layer.wh, layer.bh, cur);
+    la::Vector tv = Affine(layer.wt, layer.bt, cur);
+    for (std::size_t i = 0; i < hidden; ++i) {
+      gv[i] = std::tanh(gv[i]);
+      tv[i] = Sigmoid(tv[i]);
+    }
+    la::Vector next(hidden);
+    for (std::size_t i = 0; i < hidden; ++i) {
+      next[i] = tv[i] * gv[i] + (1.0 - tv[i]) * cur[i];
+    }
+    if (g != nullptr) g->push_back(gv);
+    if (t != nullptr) t->push_back(tv);
+    cur = std::move(next);
+    if (h != nullptr) h->push_back(cur);
+  }
+  la::Vector logits = Affine(v_, c_, cur);
+  SoftmaxInPlace(&logits);
+  return logits;
+}
+
+void HighwayMlp::Fit(const la::DenseMatrix& x,
+                     const std::vector<std::size_t>& y,
+                     std::size_t num_classes) {
+  TMARK_CHECK(x.rows() == y.size());
+  TMARK_CHECK(num_classes >= 2);
+  num_classes_ = num_classes;
+  input_dim_ = x.cols();
+  const std::size_t hidden = config_.hidden;
+  Rng rng(config_.seed);
+
+  w0_ = la::DenseMatrix(hidden, input_dim_);
+  InitMatrix(&w0_, 1.0 / std::sqrt(static_cast<double>(input_dim_)), &rng);
+  b0_ = la::Vector(hidden, 0.0);
+  layers_.assign(static_cast<std::size_t>(config_.num_highway_layers), {});
+  for (HighwayLayer& layer : layers_) {
+    layer.wh = la::DenseMatrix(hidden, hidden);
+    layer.wt = la::DenseMatrix(hidden, hidden);
+    InitMatrix(&layer.wh, 1.0 / std::sqrt(static_cast<double>(hidden)), &rng);
+    InitMatrix(&layer.wt, 1.0 / std::sqrt(static_cast<double>(hidden)), &rng);
+    layer.bh = la::Vector(hidden, 0.0);
+    // Negative gate bias: start each block near the identity mapping.
+    layer.bt = la::Vector(hidden, -1.0);
+  }
+  v_ = la::DenseMatrix(num_classes_, hidden);
+  InitMatrix(&v_, 1.0 / std::sqrt(static_cast<double>(hidden)), &rng);
+  c_ = la::Vector(num_classes_, 0.0);
+
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(n, start + config_.batch_size);
+      // Gradient accumulators.
+      la::DenseMatrix gw0(hidden, input_dim_);
+      la::Vector gb0(hidden, 0.0);
+      std::vector<HighwayLayer> glayers(layers_.size());
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        glayers[l].wh = la::DenseMatrix(hidden, hidden);
+        glayers[l].wt = la::DenseMatrix(hidden, hidden);
+        glayers[l].bh = la::Vector(hidden, 0.0);
+        glayers[l].bt = la::Vector(hidden, 0.0);
+      }
+      la::DenseMatrix gv(num_classes_, hidden);
+      la::Vector gc(num_classes_, 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t i = order[bi];
+        std::vector<la::Vector> h, g, t;
+        la::Vector p = Forward(x.RowPtr(i), &h, &g, &t);
+        p[y[i]] -= 1.0;  // dL/dlogits
+        // Output layer gradients.
+        const la::Vector& hlast = h.back();
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          double* row = gv.RowPtr(c);
+          for (std::size_t j = 0; j < hidden; ++j) row[j] += p[c] * hlast[j];
+          gc[c] += p[c];
+        }
+        la::Vector dh = v_.TransposeMatVec(p);
+        // Backward through highway blocks.
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const la::Vector& hin = h[l];
+          const la::Vector& gl = g[l];
+          const la::Vector& tl = t[l];
+          la::Vector dg(hidden), dt(hidden);
+          for (std::size_t j = 0; j < hidden; ++j) {
+            dg[j] = dh[j] * tl[j] * (1.0 - gl[j] * gl[j]);
+            dt[j] = dh[j] * (gl[j] - hin[j]) * tl[j] * (1.0 - tl[j]);
+          }
+          HighwayLayer& grad = glayers[l];
+          for (std::size_t j = 0; j < hidden; ++j) {
+            double* ghr = grad.wh.RowPtr(j);
+            double* gtr = grad.wt.RowPtr(j);
+            for (std::size_t kk = 0; kk < hidden; ++kk) {
+              ghr[kk] += dg[j] * hin[kk];
+              gtr[kk] += dt[j] * hin[kk];
+            }
+            grad.bh[j] += dg[j];
+            grad.bt[j] += dt[j];
+          }
+          la::Vector dh_in = layers_[l].wh.TransposeMatVec(dg);
+          la::Vector dh_in_t = layers_[l].wt.TransposeMatVec(dt);
+          for (std::size_t j = 0; j < hidden; ++j) {
+            dh_in[j] += dh_in_t[j] + dh[j] * (1.0 - tl[j]);
+          }
+          dh = std::move(dh_in);
+        }
+        // Backward through the tanh projection.
+        const la::Vector& h0 = h.front();
+        const double* xi = x.RowPtr(i);
+        for (std::size_t j = 0; j < hidden; ++j) {
+          const double dj = dh[j] * (1.0 - h0[j] * h0[j]);
+          if (dj == 0.0) continue;
+          double* row = gw0.RowPtr(j);
+          for (std::size_t dd = 0; dd < input_dim_; ++dd) {
+            row[dd] += dj * xi[dd];
+          }
+          gb0[j] += dj;
+        }
+      }
+
+      // SGD step with L2 weight decay.
+      const double scale = config_.learning_rate /
+                           static_cast<double>(end - start);
+      const double decay = 1.0 - config_.learning_rate * config_.l2;
+      auto apply = [&](la::DenseMatrix* wm, const la::DenseMatrix& gm) {
+        std::vector<double>& wd = wm->data();
+        const std::vector<double>& gd = gm.data();
+        for (std::size_t idx = 0; idx < wd.size(); ++idx) {
+          wd[idx] = wd[idx] * decay - scale * gd[idx];
+        }
+      };
+      auto apply_vec = [&](la::Vector* bv, const la::Vector& gbv) {
+        for (std::size_t idx = 0; idx < bv->size(); ++idx) {
+          (*bv)[idx] -= scale * gbv[idx];
+        }
+      };
+      apply(&w0_, gw0);
+      apply_vec(&b0_, gb0);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        apply(&layers_[l].wh, glayers[l].wh);
+        apply(&layers_[l].wt, glayers[l].wt);
+        apply_vec(&layers_[l].bh, glayers[l].bh);
+        apply_vec(&layers_[l].bt, glayers[l].bt);
+      }
+      apply(&v_, gv);
+      apply_vec(&c_, gc);
+    }
+  }
+}
+
+la::DenseMatrix HighwayMlp::PredictProba(const la::DenseMatrix& x) const {
+  TMARK_CHECK_MSG(num_classes_ > 0, "model is not fitted");
+  TMARK_CHECK(x.cols() == input_dim_);
+  la::DenseMatrix out(x.rows(), num_classes_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    la::Vector p = Forward(x.RowPtr(i), nullptr, nullptr, nullptr);
+    std::copy(p.begin(), p.end(), out.RowPtr(i));
+  }
+  return out;
+}
+
+std::vector<std::size_t> HighwayMlp::Predict(const la::DenseMatrix& x) const {
+  const la::DenseMatrix proba = PredictProba(x);
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = la::ArgMax(proba.Row(i));
+  }
+  return out;
+}
+
+double HighwayMlp::Loss(const la::DenseMatrix& x,
+                        const std::vector<std::size_t>& y) const {
+  TMARK_CHECK(x.rows() == y.size() && !y.empty());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    la::Vector p = Forward(x.RowPtr(i), nullptr, nullptr, nullptr);
+    loss -= std::log(std::max(p[y[i]], 1e-300));
+  }
+  return loss / static_cast<double>(y.size());
+}
+
+}  // namespace tmark::ml

@@ -1,0 +1,77 @@
+#ifndef TMARK_ML_MLP_H_
+#define TMARK_ML_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/common/random.h"
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::ml {
+
+/// Hyper-parameters for the highway MLP.
+struct HighwayMlpConfig {
+  std::size_t hidden = 32;       ///< Width of the hidden representation.
+  int num_highway_layers = 2;    ///< Stacked highway blocks after projection.
+  double learning_rate = 0.02;
+  double l2 = 1e-4;
+  int epochs = 120;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 13;
+};
+
+/// Feed-forward network with highway layers (Srivastava et al. 2015), the
+/// paper's HN baseline. Architecture:
+///
+///   h0 = tanh(W0 x + b0)                          (projection d -> hidden)
+///   h_{l+1} = t_l * g_l + (1 - t_l) * h_l         (highway block)
+///       g_l = tanh(Wh_l h_l + bh_l)
+///       t_l = sigmoid(Wt_l h_l + bt_l)            (transform gate)
+///   p = softmax(V h_L + c)
+///
+/// Trained with mini-batch SGD + momentum on cross-entropy. Gate biases are
+/// initialized negative so blocks start close to identity, the trick that
+/// makes deep highway stacks trainable.
+class HighwayMlp {
+ public:
+  explicit HighwayMlp(HighwayMlpConfig config = {});
+
+  /// Trains on rows of X with integer targets in [0, q).
+  void Fit(const la::DenseMatrix& x, const std::vector<std::size_t>& y,
+           std::size_t num_classes);
+
+  /// Class-probability rows for each input row.
+  la::DenseMatrix PredictProba(const la::DenseMatrix& x) const;
+
+  /// Arg-max class per row.
+  std::vector<std::size_t> Predict(const la::DenseMatrix& x) const;
+
+  /// Mean cross-entropy on (x, y); exposed for training-progress tests.
+  double Loss(const la::DenseMatrix& x, const std::vector<std::size_t>& y) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  struct HighwayLayer {
+    la::DenseMatrix wh, wt;  ///< hidden x hidden.
+    la::Vector bh, bt;       ///< hidden.
+  };
+
+  /// Forward pass for one sample; fills per-layer activations when asked.
+  la::Vector Forward(const double* x, std::vector<la::Vector>* h,
+                     std::vector<la::Vector>* g,
+                     std::vector<la::Vector>* t) const;
+
+  HighwayMlpConfig config_;
+  std::size_t num_classes_ = 0;
+  std::size_t input_dim_ = 0;
+  la::DenseMatrix w0_;  ///< hidden x d projection.
+  la::Vector b0_;
+  std::vector<HighwayLayer> layers_;
+  la::DenseMatrix v_;   ///< q x hidden output weights.
+  la::Vector c_;
+};
+
+}  // namespace tmark::ml
+
+#endif  // TMARK_ML_MLP_H_

@@ -1,0 +1,67 @@
+#include "tmark/ml/optimizer.h"
+
+#include <cmath>
+
+#include "tmark/common/check.h"
+
+namespace tmark::ml {
+
+SgdOptimizer::SgdOptimizer(std::size_t num_params, double learning_rate,
+                           double momentum)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      velocity_(num_params, 0.0) {
+  TMARK_CHECK(learning_rate > 0.0);
+  TMARK_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void SgdOptimizer::Step(const std::vector<double>& grads,
+                        std::vector<double>* params) {
+  TMARK_CHECK(params != nullptr);
+  TMARK_CHECK(grads.size() == velocity_.size() &&
+              params->size() == velocity_.size());
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] - learning_rate_ * grads[i];
+    (*params)[i] += velocity_[i];
+  }
+}
+
+void SgdOptimizer::Reset() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0);
+}
+
+AdamOptimizer::AdamOptimizer(std::size_t num_params, double learning_rate,
+                             double beta1, double beta2, double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      t_(0),
+      m_(num_params, 0.0),
+      v_(num_params, 0.0) {
+  TMARK_CHECK(learning_rate > 0.0);
+}
+
+void AdamOptimizer::Step(const std::vector<double>& grads,
+                         std::vector<double>* params) {
+  TMARK_CHECK(params != nullptr);
+  TMARK_CHECK(grads.size() == m_.size() && params->size() == m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    (*params)[i] -= learning_rate_ * mhat / (std::sqrt(vhat) + epsilon_);
+  }
+}
+
+void AdamOptimizer::Reset() {
+  t_ = 0;
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+}
+
+}  // namespace tmark::ml

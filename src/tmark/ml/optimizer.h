@@ -1,0 +1,64 @@
+#ifndef TMARK_ML_OPTIMIZER_H_
+#define TMARK_ML_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tmark::ml {
+
+/// First-order optimizer over a flat parameter vector. Implementations keep
+/// their own slot state (momentum/Adam moments) sized to the parameter count
+/// given at construction.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: params -= step(grads). Both vectors must have the
+  /// size declared at construction.
+  virtual void Step(const std::vector<double>& grads,
+                    std::vector<double>* params) = 0;
+
+  /// Resets internal state (moments, step counter).
+  virtual void Reset() = 0;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::size_t num_params, double learning_rate,
+               double momentum = 0.0);
+
+  void Step(const std::vector<double>& grads,
+            std::vector<double>* params) override;
+  void Reset() override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::size_t num_params, double learning_rate,
+                double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void Step(const std::vector<double>& grads,
+            std::vector<double>* params) override;
+  void Reset() override;
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long t_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace tmark::ml
+
+#endif  // TMARK_ML_OPTIMIZER_H_

@@ -1,0 +1,47 @@
+#include "tmark/tensor/matricization.h"
+
+#include "tmark/common/check.h"
+
+namespace tmark::tensor {
+
+la::SparseMatrix MatricizeMode1(const SparseTensor3& a) {
+  const std::size_t n = a.num_nodes();
+  const std::size_t m = a.num_relations();
+  std::vector<la::Triplet> trips;
+  trips.reserve(a.NumNonZeros());
+  for (const TensorEntry& e : a.Entries()) {
+    trips.push_back({e.i, static_cast<std::uint32_t>(e.j + e.k * n), e.value});
+  }
+  return la::SparseMatrix::FromTriplets(n, n * m, std::move(trips));
+}
+
+la::SparseMatrix MatricizeMode3(const SparseTensor3& a) {
+  const std::size_t n = a.num_nodes();
+  const std::size_t m = a.num_relations();
+  std::vector<la::Triplet> trips;
+  trips.reserve(a.NumNonZeros());
+  for (const TensorEntry& e : a.Entries()) {
+    trips.push_back({e.k, static_cast<std::uint32_t>(e.i + e.j * n), e.value});
+  }
+  return la::SparseMatrix::FromTriplets(m, n * n, std::move(trips));
+}
+
+SparseTensor3 FoldMode1(const la::SparseMatrix& unfolded, std::size_t n,
+                        std::size_t m) {
+  TMARK_CHECK(unfolded.rows() == n && unfolded.cols() == n * m);
+  std::vector<TensorEntry> entries;
+  entries.reserve(unfolded.NumNonZeros());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = unfolded.row_ptr()[i]; p < unfolded.row_ptr()[i + 1];
+         ++p) {
+      const std::size_t c = unfolded.col_idx()[p];
+      entries.push_back({static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(c % n),
+                         static_cast<std::uint32_t>(c / n),
+                         unfolded.values()[p]});
+    }
+  }
+  return SparseTensor3::FromEntries(n, m, std::move(entries));
+}
+
+}  // namespace tmark::tensor

@@ -1,0 +1,138 @@
+#include "tmark/tensor/transition_tensors.h"
+
+#include <algorithm>
+
+#include "tmark/common/check.h"
+
+namespace tmark::tensor {
+
+TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
+  TMARK_CHECK_MSG(adjacency.IsNonNegative(),
+                  "adjacency tensor must be non-negative");
+  const std::size_t n = adjacency.num_nodes();
+  const std::size_t m = adjacency.num_relations();
+  TransitionTensors t;
+  t.n_ = n;
+  t.m_ = m;
+  t.dangling_cols_.resize(m);
+
+  // O: column-normalize each slice; remember which (j,k) columns were empty.
+  std::vector<la::SparseMatrix> o_slices;
+  o_slices.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::vector<bool> dangling;
+    o_slices.push_back(adjacency.Slice(k).NormalizeColumnsSparse(&dangling));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dangling[j]) {
+        t.dangling_cols_[k].push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  t.o_ = SparseTensor3::FromSlices(std::move(o_slices));
+
+  // R: normalize each (i,j) fiber over k. totals[i][j] = sum_k A[i,j,k]
+  // is only needed on the union support, which is SumOverRelations().
+  const la::SparseMatrix totals = adjacency.SumOverRelations();
+  std::vector<la::SparseMatrix> r_slices;
+  r_slices.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    la::SparseMatrix slice = adjacency.Slice(k);  // copy, then scale in place
+    std::vector<double>& vals = slice.mutable_values();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t p = slice.row_ptr()[i]; p < slice.row_ptr()[i + 1];
+           ++p) {
+        const double tot = totals.At(i, slice.col_idx()[p]);
+        // tot > 0 because this (i,j) pair has a stored entry in slice k.
+        vals[p] /= tot;
+      }
+    }
+    r_slices.push_back(std::move(slice));
+  }
+  t.r_ = SparseTensor3::FromSlices(std::move(r_slices));
+
+  // Linked mask: 1.0 wherever any relation links (i, j).
+  {
+    std::vector<la::Triplet> trips;
+    trips.reserve(totals.NumNonZeros());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t p = totals.row_ptr()[i]; p < totals.row_ptr()[i + 1];
+           ++p) {
+        if (totals.values()[p] > 0.0) {
+          trips.push_back(
+              {static_cast<std::uint32_t>(i), totals.col_idx()[p], 1.0});
+        }
+      }
+    }
+    t.linked_mask_ = la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+  }
+  return t;
+}
+
+la::Vector TransitionTensors::ApplyO(const la::Vector& x,
+                                     const la::Vector& z) const {
+  TMARK_CHECK(x.size() == n_ && z.size() == m_);
+  la::Vector y = o_.ContractMode1(x, z);
+  // Dangling correction: every empty column (j,k) contributes
+  // x_j * z_k * (1/n) to every output coordinate.
+  double dangling_mass = 0.0;
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (dangling_cols_[k].empty() || z[k] == 0.0) continue;
+    double colsum = 0.0;
+    for (std::uint32_t j : dangling_cols_[k]) colsum += x[j];
+    dangling_mass += z[k] * colsum;
+  }
+  if (dangling_mass != 0.0) {
+    const double add = dangling_mass / static_cast<double>(n_);
+    for (double& v : y) v += add;
+  }
+  return y;
+}
+
+la::Vector TransitionTensors::ApplyR(const la::Vector& x,
+                                     const la::Vector& y) const {
+  TMARK_CHECK(x.size() == n_ && y.size() == n_);
+  la::Vector w = r_.ContractMode3(x, y);
+  // Dangling correction: unlinked (i,j) pairs carry the uniform fiber 1/m.
+  // sum_{unlinked} x_i y_j = Sum(x) * Sum(y) - sum_{linked} x_i y_j.
+  const double linked = linked_mask_.Bilinear(x, y);
+  const double unlinked = la::Sum(x) * la::Sum(y) - linked;
+  const double add = unlinked / static_cast<double>(m_);
+  for (double& v : w) v += add;
+  return w;
+}
+
+double TransitionTensors::OEntry(std::size_t i, std::size_t j,
+                                 std::size_t k) const {
+  TMARK_CHECK(i < n_ && j < n_ && k < m_);
+  const std::vector<std::uint32_t>& cols = dangling_cols_[k];
+  if (std::binary_search(cols.begin(), cols.end(),
+                         static_cast<std::uint32_t>(j))) {
+    return 1.0 / static_cast<double>(n_);
+  }
+  return o_.At(i, j, k);
+}
+
+double TransitionTensors::REntry(std::size_t i, std::size_t j,
+                                 std::size_t k) const {
+  TMARK_CHECK(i < n_ && j < n_ && k < m_);
+  if (linked_mask_.At(i, j) == 0.0) return 1.0 / static_cast<double>(m_);
+  return r_.At(i, j, k);
+}
+
+la::DenseMatrix TransitionTensors::DenseOSlice(std::size_t k) const {
+  la::DenseMatrix out(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) out.At(i, j) = OEntry(i, j, k);
+  }
+  return out;
+}
+
+la::DenseMatrix TransitionTensors::DenseRSlice(std::size_t k) const {
+  la::DenseMatrix out(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) out.At(i, j) = REntry(i, j, k);
+  }
+  return out;
+}
+
+}  // namespace tmark::tensor

@@ -1,0 +1,89 @@
+#ifndef TMARK_TENSOR_TRANSITION_TENSORS_H_
+#define TMARK_TENSOR_TRANSITION_TENSORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/sparse_matrix.h"
+#include "tmark/la/vector_ops.h"
+#include "tmark/tensor/sparse_tensor3.h"
+
+namespace tmark::tensor {
+
+/// Markov transition probability tensors O and R derived from a non-negative
+/// HIN adjacency tensor A (Eqs. (1)-(2) of the paper):
+///
+///   O[i,j,k] = A[i,j,k] / sum_i A[i,j,k]   — probability of visiting node i
+///              given the walk is at node j and uses relation k;
+///   R[i,j,k] = A[i,j,k] / sum_k A[i,j,k]   — probability of using relation k
+///              given a step from node j to node i.
+///
+/// Dangling handling follows the paper: a (j,k) column of O whose sum is
+/// zero becomes the uniform column 1/n, and an (i,j) fiber of R with no link
+/// in any relation becomes the uniform fiber 1/m. Neither uniform block is
+/// materialized — the contraction kernels add their contribution as a rank-1
+/// correction, keeping every operation O(D) in the stored non-zeros D
+/// (Sec. 4.5 complexity analysis).
+class TransitionTensors {
+ public:
+  /// Builds O and R from a non-negative adjacency tensor.
+  static TransitionTensors Build(const SparseTensor3& adjacency);
+
+  std::size_t num_nodes() const { return n_; }
+  std::size_t num_relations() const { return m_; }
+
+  /// The contraction (O x1_bar x x3_bar z)_i = sum_{j,k} O[i,j,k] x_j z_k,
+  /// including the dangling-column correction. When x and z are probability
+  /// vectors the result is again a probability vector (Theorem 1).
+  la::Vector ApplyO(const la::Vector& x, const la::Vector& z) const;
+
+  /// The contraction (R x1_bar x x2_bar y)_k = sum_{i,j} R[i,j,k] x_i y_j,
+  /// including the dangling-fiber correction. The paper's Eq. (8) uses
+  /// y = x; the two-argument form also supports the general bilinear case.
+  la::Vector ApplyR(const la::Vector& x, const la::Vector& y) const;
+
+  /// Entry O[i,j,k] including the implicit dangling value (1/n when column
+  /// (j,k) has no links). Intended for tests and the worked example.
+  double OEntry(std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// Entry R[i,j,k] including the implicit dangling value (1/m when the
+  /// (i,j) pair has no link in any relation).
+  double REntry(std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// Dense n x n materialization of slice O(:,:,k), dangling columns filled
+  /// in. Small problems / tests / worked example only.
+  la::DenseMatrix DenseOSlice(std::size_t k) const;
+
+  /// Dense n x n materialization of slice R(:,:,k).
+  la::DenseMatrix DenseRSlice(std::size_t k) const;
+
+  /// Stored (sparse) part of O — excludes the implicit dangling columns.
+  const SparseTensor3& o_stored() const { return o_; }
+  /// Stored (sparse) part of R — excludes the implicit dangling fibers.
+  const SparseTensor3& r_stored() const { return r_; }
+
+  /// Per-relation list of dangling source columns j (sum_i A[i,j,k] == 0).
+  const std::vector<std::vector<std::uint32_t>>& dangling_columns() const {
+    return dangling_cols_;
+  }
+
+  /// 0/1 sparse mask of linked (i,j) pairs: sum_k A[i,j,k] > 0.
+  const la::SparseMatrix& linked_mask() const { return linked_mask_; }
+
+ private:
+  TransitionTensors() : n_(0), m_(0) {}
+
+  std::size_t n_;
+  std::size_t m_;
+  SparseTensor3 o_;
+  SparseTensor3 r_;
+  /// For each relation k, the columns j with no stored entry (dangling).
+  std::vector<std::vector<std::uint32_t>> dangling_cols_;
+  /// 1.0 at every (i,j) that is linked through at least one relation.
+  la::SparseMatrix linked_mask_;
+};
+
+}  // namespace tmark::tensor
+
+#endif  // TMARK_TENSOR_TRANSITION_TENSORS_H_

@@ -1,0 +1,178 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "tmark/baselines/emr.h"
+#include "tmark/baselines/graph_inception.h"
+#include "tmark/baselines/hcc.h"
+#include "tmark/baselines/highway_net.h"
+#include "tmark/baselines/ica.h"
+#include "tmark/baselines/wvrn_rl.h"
+#include "tmark/common/check.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::baselines {
+namespace {
+
+/// Small, easy HIN shared by all baseline smoke/learning tests.
+hin::Hin EasyHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 90;
+  config.class_names = {"A", "B"};
+  config.vocab_size = 40;
+  config.words_per_node = 12.0;
+  config.feature_signal = 0.85;
+  config.seed = seed;
+  datasets::RelationSpec r1;
+  r1.name = "good";
+  r1.same_class_prob = 0.9;
+  r1.edges_per_member = 4.0;
+  config.relations.push_back(r1);
+  datasets::RelationSpec r2;
+  r2.name = "weak";
+  r2.same_class_prob = 0.5;
+  r2.edges_per_member = 2.0;
+  config.relations.push_back(r2);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> HalfLabeled(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 2) labeled.push_back(i);
+  return labeled;
+}
+
+double HeldOutAccuracy(const hin::Hin& hin,
+                       hin::CollectiveClassifier* clf) {
+  const std::vector<std::size_t> labeled = HalfLabeled(hin);
+  clf->Fit(hin, labeled);
+  const std::vector<std::size_t> pred = clf->PredictSingleLabel();
+  std::vector<bool> is_labeled(hin.num_nodes(), false);
+  for (std::size_t i : labeled) is_labeled[i] = true;
+  std::vector<std::size_t> truth_v, pred_v;
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    if (is_labeled[i]) continue;
+    truth_v.push_back(hin.PrimaryLabel(i));
+    pred_v.push_back(pred[i]);
+  }
+  return ml::Accuracy(truth_v, pred_v);
+}
+
+TEST(IcaClassifierTest, LearnsEasyHin) {
+  const hin::Hin hin = EasyHin(31);
+  IcaClassifier clf;
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.75);
+  EXPECT_EQ(clf.Name(), "ICA");
+}
+
+TEST(IcaClassifierTest, ConfidenceShapeAndClamping) {
+  const hin::Hin hin = EasyHin(32);
+  IcaClassifier clf;
+  const std::vector<std::size_t> labeled = HalfLabeled(hin);
+  clf.Fit(hin, labeled);
+  const la::DenseMatrix& conf = clf.Confidences();
+  ASSERT_EQ(conf.rows(), hin.num_nodes());
+  ASSERT_EQ(conf.cols(), hin.num_classes());
+  // Labeled nodes are clamped to their true one-hot labels.
+  for (std::size_t node : labeled) {
+    EXPECT_DOUBLE_EQ(conf.At(node, hin.PrimaryLabel(node)), 1.0);
+  }
+}
+
+TEST(HccClassifierTest, LearnsEasyHin) {
+  const hin::Hin hin = EasyHin(33);
+  HccClassifier clf;
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.75);
+  EXPECT_EQ(clf.Name(), "Hcc");
+}
+
+TEST(HccClassifierTest, SemiSupervisedVariantName) {
+  HccConfig config;
+  config.semi_supervised = true;
+  HccClassifier clf(config);
+  EXPECT_EQ(clf.Name(), "Hcc-ss");
+}
+
+TEST(HccClassifierTest, SemiSupervisedLearns) {
+  const hin::Hin hin = EasyHin(34);
+  HccConfig config;
+  config.semi_supervised = true;
+  HccClassifier clf(config);
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.75);
+}
+
+TEST(WvrnRlClassifierTest, LearnsEasyHin) {
+  const hin::Hin hin = EasyHin(35);
+  WvrnRlClassifier clf;
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.7);
+  EXPECT_EQ(clf.Name(), "wvRN+RL");
+}
+
+TEST(WvrnRlClassifierTest, LabeledNodesStayClamped) {
+  const hin::Hin hin = EasyHin(36);
+  WvrnRlClassifier clf;
+  const std::vector<std::size_t> labeled = HalfLabeled(hin);
+  clf.Fit(hin, labeled);
+  for (std::size_t node : labeled) {
+    EXPECT_DOUBLE_EQ(clf.Confidences().At(node, hin.PrimaryLabel(node)),
+                     1.0);
+  }
+}
+
+TEST(WvrnRlClassifierTest, WorksWithoutContentLinks) {
+  const hin::Hin hin = EasyHin(37);
+  WvrnRlConfig config;
+  config.content_knn = 0;
+  WvrnRlClassifier clf(config);
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.65);
+}
+
+TEST(EmrClassifierTest, LearnsEasyHin) {
+  const hin::Hin hin = EasyHin(38);
+  EmrConfig config;
+  config.base.epochs = 30;
+  EmrClassifier clf(config);
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.7);
+  EXPECT_EQ(clf.Name(), "EMR");
+}
+
+TEST(HighwayNetClassifierTest, LearnsFromContentAlone) {
+  const hin::Hin hin = EasyHin(39);
+  ml::HighwayMlpConfig config;
+  config.epochs = 80;
+  HighwayNetClassifier clf(config);
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.7);
+  EXPECT_EQ(clf.Name(), "HN");
+}
+
+TEST(GraphInceptionClassifierTest, LearnsEasyHin) {
+  const hin::Hin hin = EasyHin(40);
+  GraphInceptionClassifier clf;
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.7);
+  EXPECT_EQ(clf.Name(), "GI");
+}
+
+TEST(BaselinesTest, UnfittedAccessThrows) {
+  IcaClassifier ica;
+  EXPECT_THROW(ica.Confidences(), CheckError);
+  HccClassifier hcc;
+  EXPECT_THROW(hcc.Confidences(), CheckError);
+  WvrnRlClassifier wvrn;
+  EXPECT_THROW(wvrn.Confidences(), CheckError);
+  EmrClassifier emr;
+  EXPECT_THROW(emr.Confidences(), CheckError);
+  HighwayNetClassifier hn;
+  EXPECT_THROW(hn.Confidences(), CheckError);
+  GraphInceptionClassifier gi;
+  EXPECT_THROW(gi.Confidences(), CheckError);
+}
+
+TEST(BaselinesTest, EmptyLabeledSetThrows) {
+  const hin::Hin hin = EasyHin(41);
+  IcaClassifier clf;
+  EXPECT_THROW(clf.Fit(hin, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::baselines

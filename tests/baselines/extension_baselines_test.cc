@@ -1,0 +1,153 @@
+// Tests for the related-work extension baselines (RankClass, GNetMine) —
+// methods the paper discusses in Sec. 2 but does not put in its tables.
+
+#include <gtest/gtest.h>
+
+#include "tmark/baselines/gnetmine.h"
+#include "tmark/baselines/rankclass.h"
+#include "tmark/baselines/registry.h"
+#include "tmark/common/check.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::baselines {
+namespace {
+
+hin::Hin TwoRelationHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 120;
+  config.class_names = {"A", "B"};
+  config.vocab_size = 40;
+  config.words_per_node = 12.0;
+  config.feature_signal = 0.8;
+  config.seed = seed;
+  datasets::RelationSpec good;
+  good.name = "good";
+  good.same_class_prob = 0.9;
+  good.edges_per_member = 4.0;
+  config.relations.push_back(good);
+  datasets::RelationSpec noisy;
+  noisy.name = "noisy";
+  noisy.same_class_prob = 0.0;
+  noisy.cross_class_prob = 0.8;
+  noisy.edges_per_member = 2.0;
+  config.relations.push_back(noisy);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+double HeldOutAccuracy(const hin::Hin& hin, hin::CollectiveClassifier* clf) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 2) labeled.push_back(i);
+  clf->Fit(hin, labeled);
+  const auto pred = clf->PredictSingleLabel();
+  std::vector<std::size_t> truth_v, pred_v;
+  for (std::size_t i = 1; i < hin.num_nodes(); i += 2) {
+    truth_v.push_back(hin.PrimaryLabel(i));
+    pred_v.push_back(pred[i]);
+  }
+  return ml::Accuracy(truth_v, pred_v);
+}
+
+hin::Hin CleanHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 120;
+  config.class_names = {"A", "B"};
+  config.vocab_size = 40;
+  config.words_per_node = 12.0;
+  config.feature_signal = 0.8;
+  config.seed = seed;
+  datasets::RelationSpec good;
+  good.name = "good";
+  good.same_class_prob = 0.9;
+  good.edges_per_member = 4.0;
+  config.relations.push_back(good);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+TEST(RankClassTest, LearnsAndNames) {
+  const hin::Hin hin = CleanHin(71);
+  RankClassClassifier clf;
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.75);
+  EXPECT_EQ(clf.Name(), "RankClass");
+}
+
+TEST(RankClassTest, NoisyRelationDegradesItLessThanEqualWeighting) {
+  // RankClass reweights relations, so the anti-homophilous link hurts it
+  // less than the equal-weight GNetMine — the paper's core argument for
+  // exploiting relative link importance.
+  const hin::Hin hin = TwoRelationHin(76);
+  RankClassClassifier rank;
+  GNetMineClassifier gnm;
+  EXPECT_GT(HeldOutAccuracy(hin, &rank), HeldOutAccuracy(hin, &gnm) - 0.05);
+}
+
+TEST(RankClassTest, UpweightsDiscriminativeRelation) {
+  const hin::Hin hin = TwoRelationHin(72);
+  RankClassClassifier clf;
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 2) labeled.push_back(i);
+  clf.Fit(hin, labeled);
+  // The homophilous relation (index 0) must carry the larger weight for
+  // both classes; the anti-homophilous one connects cross-class pairs only.
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    EXPECT_GT(clf.RelationWeights().At(0, c),
+              clf.RelationWeights().At(1, c));
+  }
+}
+
+TEST(RankClassTest, RelationWeightColumnsSumToOne) {
+  const hin::Hin hin = TwoRelationHin(73);
+  RankClassClassifier clf;
+  clf.Fit(hin, {0, 1, 2, 3, 4, 5});
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    EXPECT_TRUE(
+        la::IsProbabilityVector(clf.RelationWeights().Col(c), 1e-9));
+  }
+}
+
+TEST(RankClassTest, InvalidConfigThrows) {
+  RankClassConfig config;
+  config.alpha = 0.0;
+  EXPECT_THROW(RankClassClassifier{config}, CheckError);
+}
+
+TEST(GNetMineTest, LearnsAndNames) {
+  const hin::Hin hin = CleanHin(74);
+  GNetMineClassifier clf;
+  EXPECT_GT(HeldOutAccuracy(hin, &clf), 0.7);
+  EXPECT_EQ(clf.Name(), "GNetMine");
+}
+
+TEST(GNetMineTest, ConfidenceRowsAreProbabilities) {
+  const hin::Hin hin = TwoRelationHin(75);
+  GNetMineClassifier clf;
+  clf.Fit(hin, {0, 1, 2, 3});
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    EXPECT_TRUE(la::IsProbabilityVector(clf.Confidences().Row(i), 1e-9));
+  }
+}
+
+TEST(GNetMineTest, InvalidMuThrows) {
+  GNetMineConfig config;
+  config.mu = 0.0;
+  EXPECT_THROW(GNetMineClassifier{config}, CheckError);
+}
+
+TEST(ExtensionBaselinesTest, AvailableThroughRegistry) {
+  for (const char* name : {"RankClass", "GNetMine", "ZooBP"}) {
+    const auto clf = MakeClassifier(name);
+    ASSERT_NE(clf, nullptr) << name;
+    EXPECT_EQ(clf->Name(), name);
+  }
+}
+
+TEST(ExtensionBaselinesTest, UnfittedAccessThrows) {
+  RankClassClassifier rank;
+  EXPECT_THROW(rank.Confidences(), CheckError);
+  EXPECT_THROW(rank.RelationWeights(), CheckError);
+  GNetMineClassifier gnm;
+  EXPECT_THROW(gnm.Confidences(), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::baselines

@@ -1,0 +1,86 @@
+#include "tmark/baselines/zoobp.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/baselines/registry.h"
+#include "tmark/common/check.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::baselines {
+namespace {
+
+hin::Hin EasyHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 90;
+  config.class_names = {"A", "B"};
+  config.vocab_size = 40;
+  config.words_per_node = 12.0;
+  config.feature_signal = 0.8;
+  config.seed = seed;
+  datasets::RelationSpec rel;
+  rel.name = "good";
+  rel.same_class_prob = 0.9;
+  rel.edges_per_member = 4.0;
+  config.relations.push_back(rel);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+TEST(ZooBpTest, LearnsEasyHin) {
+  const hin::Hin hin = EasyHin(61);
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 2) labeled.push_back(i);
+  ZooBpClassifier clf;
+  clf.Fit(hin, labeled);
+  const std::vector<std::size_t> pred = clf.PredictSingleLabel();
+  std::vector<std::size_t> truth_v, pred_v;
+  for (std::size_t i = 1; i < hin.num_nodes(); i += 2) {
+    truth_v.push_back(hin.PrimaryLabel(i));
+    pred_v.push_back(pred[i]);
+  }
+  EXPECT_GT(ml::Accuracy(truth_v, pred_v), 0.8);
+  EXPECT_EQ(clf.Name(), "ZooBP");
+}
+
+TEST(ZooBpTest, ConfidenceRowsAreProbabilities) {
+  const hin::Hin hin = EasyHin(62);
+  ZooBpClassifier clf;
+  clf.Fit(hin, {0, 1, 2, 3});
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    EXPECT_TRUE(la::IsProbabilityVector(clf.Confidences().Row(i), 1e-9));
+  }
+}
+
+TEST(ZooBpTest, LabeledNodesKeepTheirClassOnTop) {
+  const hin::Hin hin = EasyHin(63);
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  ZooBpClassifier clf;
+  clf.Fit(hin, labeled);
+  const std::vector<std::size_t> pred = clf.PredictSingleLabel();
+  std::size_t kept = 0;
+  for (std::size_t node : labeled) {
+    if (pred[node] == hin.PrimaryLabel(node)) ++kept;
+  }
+  EXPECT_GT(static_cast<double>(kept) / labeled.size(), 0.9);
+}
+
+TEST(ZooBpTest, InvalidEpsilonThrows) {
+  ZooBpConfig config;
+  config.epsilon = 1.5;
+  EXPECT_THROW(ZooBpClassifier{config}, CheckError);
+}
+
+TEST(ZooBpTest, AvailableThroughRegistry) {
+  const auto clf = MakeClassifier("ZooBP");
+  ASSERT_NE(clf, nullptr);
+  EXPECT_EQ(clf->Name(), "ZooBP");
+}
+
+TEST(ZooBpTest, UnfittedAccessThrows) {
+  ZooBpClassifier clf;
+  EXPECT_THROW(clf.Confidences(), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::baselines

@@ -1,0 +1,45 @@
+#include "tmark/common/check.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tmark {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(TMARK_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(TMARK_CHECK_MSG(true, "never shown"));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(TMARK_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, MessageIncludesExpressionAndLocation) {
+  try {
+    TMARK_CHECK(2 > 3);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageIncludesStreamedDetail) {
+  try {
+    TMARK_CHECK_MSG(false, "index " << 42 << " out of range");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("index 42 out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckErrorIsLogicError) {
+  EXPECT_THROW(TMARK_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tmark

@@ -1,0 +1,177 @@
+#include "tmark/common/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+
+namespace tmark {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RngTest, UniformIntZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformInt(0), CheckError);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanSmallRegime) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(4.5);
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeRegime) {
+  Rng rng(37);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(60.0);
+  EXPECT_NEAR(sum / n, 60.0, 0.5);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalRejectsInvalidWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Categorical({}), CheckError);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), CheckError);
+  EXPECT_THROW(rng.Categorical({1.0, -0.5}), CheckError);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(53);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleTooManyThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), CheckError);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(59);
+  Rng child = parent.Fork();
+  // The child stream should not track the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace tmark

@@ -1,0 +1,95 @@
+#include "tmark/core/har.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+
+namespace tmark::core {
+namespace {
+
+/// Citation-style tensor: many nodes point at node 0 through relation 0;
+/// node 1 points at everyone (the arch-hub) through relation 1.
+tensor::SparseTensor3 HubAuthorityTensor(std::size_t n) {
+  std::vector<tensor::TensorEntry> entries;
+  for (std::size_t j = 2; j < n; ++j) {
+    // Convention: entry (i, j, k) means j links to i.
+    entries.push_back({0, static_cast<std::uint32_t>(j), 0, 1.0});
+  }
+  for (std::size_t i = 2; i < n; ++i) {
+    entries.push_back({static_cast<std::uint32_t>(i), 1, 1, 1.0});
+  }
+  return tensor::SparseTensor3::FromEntries(n, 2, entries);
+}
+
+TEST(HarTest, ConvergesAndStaysOnSimplex) {
+  const HarResult result = HarRank(HubAuthorityTensor(10));
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(la::IsProbabilityVector(result.authority, 1e-8));
+  EXPECT_TRUE(la::IsProbabilityVector(result.hub, 1e-8));
+  EXPECT_TRUE(la::IsProbabilityVector(result.relevance, 1e-8));
+}
+
+TEST(HarTest, AuthorityGoesToThePointedAtNode) {
+  const HarResult result = HarRank(HubAuthorityTensor(10));
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_GT(result.authority[0], result.authority[i]) << i;
+  }
+}
+
+TEST(HarTest, HubGoesToThePointingNode) {
+  const HarResult result = HarRank(HubAuthorityTensor(10));
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 1) continue;
+    EXPECT_GT(result.hub[1], result.hub[i]) << i;
+  }
+}
+
+TEST(HarTest, ScoresArePositive) {
+  const HarResult result = HarRank(HubAuthorityTensor(8));
+  for (double v : result.authority) EXPECT_GT(v, 0.0);
+  for (double v : result.hub) EXPECT_GT(v, 0.0);
+  for (double v : result.relevance) EXPECT_GT(v, 0.0);
+}
+
+TEST(HarTest, RelevanceFollowsTraffic) {
+  // Relation 0 carries 12 links, relation 1 only 2 -> relation 0 wins.
+  std::vector<tensor::TensorEntry> entries;
+  for (std::size_t j = 1; j < 13; ++j) {
+    entries.push_back({0, static_cast<std::uint32_t>(j), 0, 1.0});
+  }
+  entries.push_back({1, 2, 1, 1.0});
+  entries.push_back({2, 1, 1, 1.0});
+  const HarResult result =
+      HarRank(tensor::SparseTensor3::FromEntries(13, 2, entries));
+  EXPECT_GT(result.relevance[0], result.relevance[1]);
+}
+
+TEST(HarTest, SymmetricRingIsUniform) {
+  std::vector<tensor::TensorEntry> entries;
+  const std::size_t n = 6;
+  for (std::size_t j = 0; j < n; ++j) {
+    entries.push_back({static_cast<std::uint32_t>((j + 1) % n),
+                       static_cast<std::uint32_t>(j), 0, 1.0});
+  }
+  const HarResult result =
+      HarRank(tensor::SparseTensor3::FromEntries(n, 1, entries));
+  for (double v : result.authority) EXPECT_NEAR(v, 1.0 / n, 1e-8);
+  for (double v : result.hub) EXPECT_NEAR(v, 1.0 / n, 1e-8);
+}
+
+TEST(HarTest, InvalidConfigThrows) {
+  HarConfig config;
+  config.alpha = 1.0;
+  EXPECT_THROW(HarRank(HubAuthorityTensor(5), config), CheckError);
+}
+
+TEST(HarTest, DeterministicAcrossRuns) {
+  const HarResult a = HarRank(HubAuthorityTensor(9));
+  const HarResult b = HarRank(HubAuthorityTensor(9));
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(a.authority[i], b.authority[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tmark::core

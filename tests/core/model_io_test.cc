@@ -1,0 +1,136 @@
+#include "tmark/core/model_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/datasets/paper_example.h"
+#include "tmark/datasets/synthetic_hin.h"
+
+namespace tmark::core {
+namespace {
+
+hin::Hin ModelHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 80;
+  config.class_names = {"A", "B"};
+  config.vocab_size = 30;
+  config.seed = seed;
+  datasets::RelationSpec rel;
+  rel.name = "r";
+  rel.same_class_prob = 0.85;
+  rel.edges_per_member = 3.0;
+  config.relations.push_back(rel);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> Labeled(const hin::Hin& hin) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) out.push_back(i);
+  return out;
+}
+
+TEST(ModelIoTest, RoundTripPreservesEverything) {
+  const hin::Hin hin = ModelHin(1);
+  TMarkConfig config;
+  config.alpha = 0.85;
+  config.gamma = 0.4;
+  config.lambda = 0.9;
+  config.similarity = hin::SimilarityKernel::kTfIdfCosine;
+  TMarkClassifier clf(config);
+  clf.Fit(hin, Labeled(hin));
+
+  std::stringstream ss;
+  SaveTMarkModel(clf, ss);
+  TMarkClassifier back = LoadTMarkModel(ss);
+
+  EXPECT_DOUBLE_EQ(back.config().alpha, 0.85);
+  EXPECT_DOUBLE_EQ(back.config().gamma, 0.4);
+  EXPECT_DOUBLE_EQ(back.config().lambda, 0.9);
+  EXPECT_EQ(back.config().similarity, hin::SimilarityKernel::kTfIdfCosine);
+  EXPECT_DOUBLE_EQ(back.Confidences().MaxAbsDiff(clf.Confidences()), 0.0);
+  EXPECT_DOUBLE_EQ(back.LinkImportance().MaxAbsDiff(clf.LinkImportance()),
+                   0.0);
+  EXPECT_EQ(back.PredictSingleLabel(), clf.PredictSingleLabel());
+}
+
+TEST(ModelIoTest, LoadedModelServesRankings) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  std::stringstream ss;
+  SaveTMarkModel(clf, ss);
+  const TMarkClassifier back = LoadTMarkModel(ss);
+  EXPECT_EQ(back.RankRelationsForClass(0), clf.RankRelationsForClass(0));
+  EXPECT_EQ(back.RankRelationsForClass(1), clf.RankRelationsForClass(1));
+}
+
+TEST(ModelIoTest, LoadedModelWarmStartsRefit) {
+  const hin::Hin hin = ModelHin(2);
+  TMarkConfig config;
+  config.ica_update = false;
+  TMarkClassifier clf(config);
+  clf.Fit(hin, Labeled(hin));
+  std::stringstream ss;
+  SaveTMarkModel(clf, ss);
+
+  TMarkClassifier resumed = LoadTMarkModel(ss);
+  resumed.Refit(hin, Labeled(hin));
+  // Warm start from the stored stationary point: immediate convergence and
+  // identical solution.
+  std::size_t total = 0;
+  for (const ConvergenceTrace& trace : resumed.Traces()) {
+    EXPECT_TRUE(trace.converged);
+    total += trace.residuals.size();
+  }
+  EXPECT_LE(total, 2 * hin.num_classes() + 2);
+  EXPECT_LT(resumed.Confidences().MaxAbsDiff(clf.Confidences()), 1e-6);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  const std::string path = ::testing::TempDir() + "/tmark_model_test.tmm";
+  ASSERT_TRUE(SaveTMarkModelToFile(clf, path));
+  const TMarkClassifier back = LoadTMarkModelFromFile(path);
+  EXPECT_DOUBLE_EQ(back.Confidences().MaxAbsDiff(clf.Confidences()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, UnfittedModelCannotBeSaved) {
+  TMarkClassifier clf;
+  std::stringstream ss;
+  EXPECT_THROW(SaveTMarkModel(clf, ss), CheckError);
+}
+
+TEST(ModelIoTest, MalformedInputsThrow) {
+  {
+    std::stringstream ss("not a model");
+    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+  }
+  {
+    std::stringstream ss("# tmark-model v1\nalpha 0.8\n");  // no shape
+    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+  }
+  {
+    std::stringstream ss(
+        "# tmark-model v1\nshape 2 1 2\nconf 5 0.1 0.2\n");  // row range
+    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+  }
+  {
+    std::stringstream ss(
+        "# tmark-model v1\nshape 2 1 2\nconf 0 0.1\n");  // short row
+    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+  }
+  {
+    std::stringstream ss("# tmark-model v1\nbogus 1\n");
+    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+  }
+  EXPECT_THROW(LoadTMarkModelFromFile("/nonexistent/model.tmm"), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::core

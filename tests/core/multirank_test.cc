@@ -1,0 +1,95 @@
+#include "tmark/core/multirank.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/random.h"
+
+namespace tmark::core {
+namespace {
+
+tensor::SparseTensor3 RingTensor(std::size_t n, std::size_t m) {
+  // Each relation is the same directed ring, so everything is symmetric.
+  std::vector<tensor::TensorEntry> entries;
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      entries.push_back({static_cast<std::uint32_t>((j + 1) % n),
+                         static_cast<std::uint32_t>(j),
+                         static_cast<std::uint32_t>(k), 1.0});
+    }
+  }
+  return tensor::SparseTensor3::FromEntries(n, m, entries);
+}
+
+TEST(MultiRankTest, ConvergesOnRing) {
+  const MultiRankResult result = MultiRank(RingTensor(8, 3));
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(la::IsProbabilityVector(result.node_scores, 1e-8));
+  EXPECT_TRUE(la::IsProbabilityVector(result.relation_scores, 1e-8));
+}
+
+TEST(MultiRankTest, SymmetricProblemGivesUniformScores) {
+  const MultiRankResult result = MultiRank(RingTensor(6, 2));
+  for (double v : result.node_scores) EXPECT_NEAR(v, 1.0 / 6.0, 1e-8);
+  for (double v : result.relation_scores) EXPECT_NEAR(v, 0.5, 1e-8);
+}
+
+TEST(MultiRankTest, DenserRelationRanksHigher) {
+  // Relation 0 carries the full ring; relation 1 has a single edge.
+  std::vector<tensor::TensorEntry> entries;
+  const std::size_t n = 10;
+  for (std::size_t j = 0; j < n; ++j) {
+    entries.push_back({static_cast<std::uint32_t>((j + 1) % n),
+                       static_cast<std::uint32_t>(j), 0, 1.0});
+  }
+  entries.push_back({1, 0, 1, 1.0});
+  const MultiRankResult result =
+      MultiRank(tensor::SparseTensor3::FromEntries(n, 2, entries));
+  EXPECT_GT(result.relation_scores[0], result.relation_scores[1]);
+}
+
+TEST(MultiRankTest, CentralNodeRanksHigher) {
+  // Star around node 0 plus a self-loop (the loop breaks the bipartite
+  // periodicity so the power iteration converges).
+  std::vector<tensor::TensorEntry> entries;
+  const std::size_t n = 8;
+  for (std::size_t j = 1; j < n; ++j) {
+    entries.push_back({0, static_cast<std::uint32_t>(j), 0, 1.0});
+    entries.push_back({static_cast<std::uint32_t>(j), 0, 0, 1.0});
+  }
+  entries.push_back({0, 0, 0, 1.0});
+  const MultiRankResult result =
+      MultiRank(tensor::SparseTensor3::FromEntries(n, 1, entries));
+  for (std::size_t j = 1; j < n; ++j) {
+    EXPECT_GT(result.node_scores[0], result.node_scores[j]);
+  }
+}
+
+TEST(MultiRankTest, ResidualsShrinkOnAperiodicChain) {
+  // An asymmetric aperiodic chain takes several iterations to settle; the
+  // residual trace must end far below where it started.
+  std::vector<tensor::TensorEntry> entries;
+  const std::size_t n = 9;
+  for (std::size_t j = 0; j < n; ++j) {
+    entries.push_back({static_cast<std::uint32_t>((j + 1) % n),
+                       static_cast<std::uint32_t>(j), 0, 1.0});
+    entries.push_back({static_cast<std::uint32_t>((j + 2) % n),
+                       static_cast<std::uint32_t>(j), 1, 1.0});
+  }
+  entries.push_back({0, 0, 0, 3.0});
+  const MultiRankResult result =
+      MultiRank(tensor::SparseTensor3::FromEntries(n, 2, entries));
+  ASSERT_GE(result.residuals.size(), 2u);
+  EXPECT_LT(result.residuals.back(), 0.01 * result.residuals.front());
+}
+
+TEST(MultiRankTest, RespectsIterationCap) {
+  MultiRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 0.0;  // can never converge in one step
+  const MultiRankResult result = MultiRank(RingTensor(6, 2), config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.residuals.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tmark::core

@@ -1,0 +1,100 @@
+// Property sweep: Algorithm 1's invariants must hold across the whole
+// (alpha, gamma) parameter plane, not just the paper defaults — stationary
+// confidences and link importances stay probability vectors, the iteration
+// converges within its budget, and Theorem 2's positivity holds.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/hin/similarity_kernel.h"
+
+namespace tmark::core {
+namespace {
+
+hin::Hin GridHin() {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 100;
+  config.class_names = {"A", "B", "C"};
+  config.vocab_size = 60;
+  config.words_per_node = 14.0;
+  config.feature_signal = 0.7;
+  config.seed = 1234;
+  datasets::RelationSpec good;
+  good.name = "good";
+  good.same_class_prob = 0.85;
+  good.edges_per_member = 3.0;
+  config.relations.push_back(good);
+  datasets::RelationSpec weak;
+  weak.name = "weak";
+  weak.same_class_prob = 0.2;
+  weak.edges_per_member = 2.0;
+  config.relations.push_back(weak);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+class TMarkParamGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TMarkParamGridTest, InvariantsHoldAcrossParameterPlane) {
+  const auto [alpha, gamma] = GetParam();
+  const hin::Hin hin = GridHin();
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 4) labeled.push_back(i);
+
+  TMarkConfig config;
+  config.alpha = alpha;
+  config.gamma = gamma;
+  TMarkClassifier clf(config);
+  clf.Fit(hin, labeled);
+
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    // Simplex invariants (Theorem 1).
+    EXPECT_TRUE(la::IsProbabilityVector(clf.Confidences().Col(c), 1e-7));
+    EXPECT_TRUE(la::IsProbabilityVector(clf.LinkImportance().Col(c), 1e-7));
+    // Positivity (Theorem 2) — restart makes the chain ergodic.
+    for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+      EXPECT_GT(clf.Confidences().At(i, c), 0.0);
+    }
+    // Convergence within the iteration budget.
+    EXPECT_TRUE(clf.Traces()[c].converged)
+        << "alpha=" << alpha << " gamma=" << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGamma, TMarkParamGridTest,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.8, 0.95),
+                       ::testing::Values(0.0, 0.3, 0.6, 1.0)));
+
+class TMarkKernelGridTest
+    : public ::testing::TestWithParam<hin::SimilarityKernel> {};
+
+TEST_P(TMarkKernelGridTest, EveryKernelYieldsValidFit) {
+  const hin::Hin hin = GridHin();
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 4) labeled.push_back(i);
+  TMarkConfig config;
+  config.similarity = GetParam();
+  TMarkClassifier clf(config);
+  clf.Fit(hin, labeled);
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    EXPECT_TRUE(la::IsProbabilityVector(clf.Confidences().Col(c), 1e-7));
+    EXPECT_TRUE(clf.Traces()[c].converged);
+  }
+  // The discriminative relation still outranks the weak one regardless of
+  // the feature kernel.
+  EXPECT_EQ(clf.RankRelationsForClass(0)[0], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, TMarkKernelGridTest,
+    ::testing::Values(hin::SimilarityKernel::kCosine,
+                      hin::SimilarityKernel::kBinaryCosine,
+                      hin::SimilarityKernel::kTfIdfCosine,
+                      hin::SimilarityKernel::kDotProduct));
+
+}  // namespace
+}  // namespace tmark::core

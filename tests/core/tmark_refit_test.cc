@@ -1,0 +1,129 @@
+// Warm-start (incremental) refitting: Refit must reach the same unique
+// fixed point (Theorem 3) while spending fewer iterations when the problem
+// barely changed.
+
+#include <gtest/gtest.h>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+
+namespace tmark::core {
+namespace {
+
+hin::Hin RefitHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 150;
+  config.class_names = {"A", "B", "C"};
+  config.vocab_size = 60;
+  config.words_per_node = 15.0;
+  config.feature_signal = 0.75;
+  config.seed = seed;
+  datasets::RelationSpec rel;
+  rel.name = "r";
+  rel.same_class_prob = 0.85;
+  rel.edges_per_member = 3.0;
+  config.relations.push_back(rel);
+  datasets::RelationSpec rel2;
+  rel2.name = "s";
+  rel2.same_class_prob = 0.5;
+  rel2.edges_per_member = 2.0;
+  config.relations.push_back(rel2);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> Labeled(const hin::Hin& hin, std::size_t step) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += step) labeled.push_back(i);
+  return labeled;
+}
+
+std::size_t TotalIterations(const TMarkClassifier& clf) {
+  std::size_t total = 0;
+  for (const ConvergenceTrace& trace : clf.Traces()) {
+    total += trace.residuals.size();
+  }
+  return total;
+}
+
+TEST(TMarkRefitTest, SameProblemReachesSameFixedPoint) {
+  // With a fixed restart vector (ICA off) the fixed point is unique
+  // (Theorem 3), so the warm start must land on exactly the same solution.
+  // With the ICA update the accepted set depends on the trajectory, so only
+  // a loose agreement is guaranteed; both variants are checked.
+  const hin::Hin hin = RefitHin(5);
+  const auto labeled = Labeled(hin, 3);
+
+  TMarkConfig fixed;
+  fixed.ica_update = false;
+  TMarkClassifier exact(fixed);
+  exact.Fit(hin, labeled);
+  const la::DenseMatrix cold = exact.Confidences();
+  exact.Refit(hin, labeled);
+  EXPECT_LT(exact.Confidences().MaxAbsDiff(cold), 1e-6);
+
+  TMarkClassifier ica;
+  ica.Fit(hin, labeled);
+  const la::DenseMatrix ica_cold = ica.Confidences();
+  ica.Refit(hin, labeled);
+  EXPECT_LT(ica.Confidences().MaxAbsDiff(ica_cold), 0.05);
+}
+
+TEST(TMarkRefitTest, WarmStartConvergesFaster) {
+  const hin::Hin hin = RefitHin(6);
+  const auto labeled = Labeled(hin, 3);
+  TMarkConfig fixed;
+  fixed.ica_update = false;
+  TMarkClassifier clf(fixed);
+  clf.Fit(hin, labeled);
+  const std::size_t cold_iterations = TotalIterations(clf);
+  clf.Refit(hin, labeled);
+  const std::size_t warm_iterations = TotalIterations(clf);
+  EXPECT_LT(warm_iterations, cold_iterations);
+  for (const ConvergenceTrace& trace : clf.Traces()) {
+    EXPECT_TRUE(trace.converged);
+  }
+}
+
+TEST(TMarkRefitTest, HandlesGrowingLabeledSet) {
+  const hin::Hin hin = RefitHin(7);
+  TMarkConfig fixed;
+  fixed.ica_update = false;
+  TMarkClassifier clf(fixed);
+  clf.Fit(hin, Labeled(hin, 4));
+  clf.Refit(hin, Labeled(hin, 2));  // more supervision arrives
+  TMarkClassifier cold(fixed);
+  cold.Fit(hin, Labeled(hin, 2));
+  EXPECT_LT(clf.Confidences().MaxAbsDiff(cold.Confidences()), 1e-6);
+}
+
+TEST(TMarkRefitTest, FallsBackToColdFitOnShapeChange) {
+  const hin::Hin small = RefitHin(8);
+  datasets::SyntheticHinConfig big_config;
+  big_config.num_nodes = 200;
+  big_config.class_names = {"A", "B", "C"};
+  big_config.vocab_size = 60;
+  big_config.seed = 9;
+  datasets::RelationSpec rel;
+  rel.name = "r";
+  big_config.relations.push_back(rel);
+  const hin::Hin big = datasets::GenerateSyntheticHin(big_config);
+
+  TMarkClassifier clf;
+  clf.Fit(small, Labeled(small, 3));
+  clf.Refit(big, Labeled(big, 3));  // incompatible shapes -> cold start
+  EXPECT_EQ(clf.Confidences().rows(), big.num_nodes());
+  for (std::size_t c = 0; c < big.num_classes(); ++c) {
+    EXPECT_TRUE(la::IsProbabilityVector(clf.Confidences().Col(c), 1e-7));
+  }
+}
+
+TEST(TMarkRefitTest, RefitWithoutPriorFitIsColdFit) {
+  const hin::Hin hin = RefitHin(10);
+  TMarkClassifier warm, cold;
+  warm.Refit(hin, Labeled(hin, 3));
+  cold.Fit(hin, Labeled(hin, 3));
+  EXPECT_DOUBLE_EQ(warm.Confidences().MaxAbsDiff(cold.Confidences()), 0.0);
+}
+
+}  // namespace
+}  // namespace tmark::core

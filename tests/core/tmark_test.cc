@@ -1,0 +1,229 @@
+#include "tmark/core/tmark.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/core/tensor_rrcc.h"
+#include "tmark/datasets/paper_example.h"
+#include "tmark/datasets/synthetic_hin.h"
+
+namespace tmark::core {
+namespace {
+
+datasets::SyntheticHinConfig EasyConfig(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 120;
+  config.class_names = {"A", "B", "C"};
+  config.vocab_size = 60;
+  config.words_per_node = 15.0;
+  config.feature_signal = 0.8;
+  config.seed = seed;
+  datasets::RelationSpec good;
+  good.name = "good";
+  good.same_class_prob = 0.9;
+  good.edges_per_member = 4.0;
+  config.relations.push_back(good);
+  datasets::RelationSpec noisy;
+  noisy.name = "noisy";
+  noisy.same_class_prob = 0.34;
+  noisy.edges_per_member = 2.0;
+  config.relations.push_back(noisy);
+  return config;
+}
+
+std::vector<std::size_t> EveryThirdLabeled(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  return labeled;
+}
+
+TEST(TMarkConfigTest, BetaIsGammaScaledRestartComplement) {
+  TMarkConfig config;
+  config.alpha = 0.8;
+  config.gamma = 0.5;
+  EXPECT_DOUBLE_EQ(config.beta(), 0.1);
+}
+
+TEST(TMarkConfigTest, InvalidParametersThrow) {
+  TMarkConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(TMarkClassifier{bad}, CheckError);
+  bad.alpha = 1.0;
+  EXPECT_THROW(TMarkClassifier{bad}, CheckError);
+  bad.alpha = 0.5;
+  bad.gamma = 1.5;
+  EXPECT_THROW(TMarkClassifier{bad}, CheckError);
+  bad.gamma = 0.5;
+  bad.lambda = -0.1;
+  EXPECT_THROW(TMarkClassifier{bad}, CheckError);
+}
+
+TEST(TMarkTest, WorkedExamplePredictsHeldOutNodes) {
+  // Sec. 4.3: with p1 = DM and p2 = CV labeled, T-Mark must assign p3 to CV
+  // and p4 to DM.
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  const std::vector<std::size_t> pred = clf.PredictSingleLabel();
+  EXPECT_EQ(pred[2], 1u);  // p3 -> CV
+  EXPECT_EQ(pred[3], 0u);  // p4 -> DM
+}
+
+TEST(TMarkTest, WorkedExampleConfidenceShape) {
+  // The paper's stationary x concentrates ~0.9 on the labeled node of each
+  // class and gives the matched unlabeled node the remaining visible mass.
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  const la::DenseMatrix& conf = clf.Confidences();
+  // DM column: p1 strongest, then p4; CV column: p2 strongest, then p3.
+  EXPECT_GT(conf.At(0, 0), conf.At(3, 0));
+  EXPECT_GT(conf.At(3, 0), conf.At(1, 0));
+  EXPECT_GT(conf.At(1, 1), conf.At(2, 1));
+  EXPECT_GT(conf.At(2, 1), conf.At(0, 1));
+}
+
+TEST(TMarkTest, ConfidenceColumnsAreProbabilityVectors) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    EXPECT_TRUE(la::IsProbabilityVector(clf.Confidences().Col(c), 1e-8));
+    EXPECT_TRUE(la::IsProbabilityVector(clf.LinkImportance().Col(c), 1e-8));
+  }
+}
+
+TEST(TMarkTest, StationaryVectorsArePositiveOnConnectedHin) {
+  // Theorem 2: with irreducible transitions (restart makes the chain
+  // ergodic), the stationary x and z are strictly positive.
+  const hin::Hin hin =
+      datasets::GenerateSyntheticHin(EasyConfig(7));
+  TMarkClassifier clf;
+  clf.Fit(hin, EveryThirdLabeled(hin));
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+      EXPECT_GT(clf.Confidences().At(i, c), 0.0);
+    }
+    for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+      EXPECT_GT(clf.LinkImportance().At(k, c), 0.0);
+    }
+  }
+}
+
+TEST(TMarkTest, ConvergesWithinBudget) {
+  const hin::Hin hin = datasets::GenerateSyntheticHin(EasyConfig(11));
+  TMarkClassifier clf;
+  clf.Fit(hin, EveryThirdLabeled(hin));
+  ASSERT_EQ(clf.Traces().size(), hin.num_classes());
+  for (const ConvergenceTrace& trace : clf.Traces()) {
+    EXPECT_TRUE(trace.converged);
+    // Fig. 10: the residual is (near) zero by iteration ~10.
+    EXPECT_LE(trace.residuals.size(), 60u);
+    EXPECT_LT(trace.residuals.back(), 1e-8);
+  }
+}
+
+TEST(TMarkTest, BeatsChanceOnPlantedData) {
+  const hin::Hin hin = datasets::GenerateSyntheticHin(EasyConfig(13));
+  const std::vector<std::size_t> labeled = EveryThirdLabeled(hin);
+  TMarkClassifier clf;
+  clf.Fit(hin, labeled);
+  const std::vector<std::size_t> pred = clf.PredictSingleLabel();
+  std::vector<bool> is_labeled(hin.num_nodes(), false);
+  for (std::size_t i : labeled) is_labeled[i] = true;
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    if (is_labeled[i]) continue;
+    ++total;
+    if (pred[i] == hin.PrimaryLabel(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.7);
+}
+
+TEST(TMarkTest, RanksDiscriminativeRelationAboveNoise) {
+  // The planted "good" relation (0.9 affinity) must outrank "noisy" (0.34)
+  // for every class — the paper's central claim about link importance.
+  const hin::Hin hin = datasets::GenerateSyntheticHin(EasyConfig(17));
+  TMarkClassifier clf;
+  clf.Fit(hin, EveryThirdLabeled(hin));
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    const std::vector<std::size_t> ranking = clf.RankRelationsForClass(c);
+    EXPECT_EQ(ranking[0], 0u) << "class " << c;
+  }
+}
+
+TEST(TMarkTest, DeterministicAcrossRuns) {
+  const hin::Hin hin = datasets::GenerateSyntheticHin(EasyConfig(19));
+  const std::vector<std::size_t> labeled = EveryThirdLabeled(hin);
+  TMarkClassifier a, b;
+  a.Fit(hin, labeled);
+  b.Fit(hin, labeled);
+  EXPECT_DOUBLE_EQ(a.Confidences().MaxAbsDiff(b.Confidences()), 0.0);
+  EXPECT_DOUBLE_EQ(a.LinkImportance().MaxAbsDiff(b.LinkImportance()), 0.0);
+}
+
+TEST(TMarkTest, IcaUpdateChangesResult) {
+  const hin::Hin hin = datasets::GenerateSyntheticHin(EasyConfig(23));
+  const std::vector<std::size_t> labeled = EveryThirdLabeled(hin);
+  TMarkConfig with = {};
+  TMarkConfig without = {};
+  without.ica_update = false;
+  TMarkClassifier a(with), b(without);
+  a.Fit(hin, labeled);
+  b.Fit(hin, labeled);
+  EXPECT_GT(a.Confidences().MaxAbsDiff(b.Confidences()), 0.0);
+}
+
+TEST(TMarkTest, UnfittedAccessThrows) {
+  TMarkClassifier clf;
+  EXPECT_THROW(clf.Confidences(), CheckError);
+  EXPECT_THROW(clf.LinkImportance(), CheckError);
+}
+
+TEST(TMarkTest, FitRequiresLabeledNodes) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  EXPECT_THROW(clf.Fit(hin, {}), CheckError);
+}
+
+TEST(TensorRrCcTest, NameAndEquivalenceToDisabledIca) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TensorRrCcClassifier rrcc;
+  EXPECT_EQ(rrcc.Name(), "TensorRrCc");
+  rrcc.Fit(hin, datasets::PaperExampleLabeledNodes());
+
+  TMarkConfig config;
+  config.ica_update = false;
+  TMarkClassifier manual(config);
+  manual.Fit(hin, datasets::PaperExampleLabeledNodes());
+  EXPECT_DOUBLE_EQ(rrcc.Confidences().MaxAbsDiff(manual.Confidences()), 0.0);
+}
+
+TEST(TMarkTest, GammaOneUsesOnlyFeatures) {
+  // With gamma = 1 the relational term has zero weight; the example's
+  // feature graph alone already separates the two pairs.
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkConfig config;
+  config.gamma = 1.0;
+  TMarkClassifier clf(config);
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  const std::vector<std::size_t> pred = clf.PredictSingleLabel();
+  EXPECT_EQ(pred[2], 1u);
+  EXPECT_EQ(pred[3], 0u);
+}
+
+TEST(TMarkTest, MultiLabelPredictionIncludesArgmax) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  const auto sets = clf.PredictMultiLabel(0.5);
+  ASSERT_EQ(sets.size(), hin.num_nodes());
+  const std::vector<std::size_t> single = clf.PredictSingleLabel();
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_NE(std::find(sets[i].begin(), sets[i].end(), single[i]),
+              sets[i].end());
+  }
+}
+
+}  // namespace
+}  // namespace tmark::core

@@ -1,0 +1,172 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tmark/datasets/acm.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/datasets/movies.h"
+#include "tmark/datasets/nus.h"
+
+namespace tmark::datasets {
+namespace {
+
+TEST(DblpPresetTest, ShapeAndNames) {
+  DblpOptions options;
+  options.num_authors = 200;
+  const hin::Hin hin = MakeDblp(options);
+  EXPECT_EQ(hin.num_nodes(), 200u);
+  EXPECT_EQ(hin.num_relations(), 20u);  // Table 1: 20 conferences
+  EXPECT_EQ(hin.num_classes(), 4u);
+  EXPECT_EQ(hin.class_name(0), "DB");
+  // All Table 1 conferences appear as relation names.
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    names.push_back(hin.relation_name(k));
+  }
+  for (const auto& area : DblpAreaConferences()) {
+    for (const std::string& conf : area) {
+      EXPECT_NE(std::find(names.begin(), names.end(), conf), names.end())
+          << conf;
+    }
+  }
+}
+
+TEST(DblpPresetTest, AreaTablesHaveFiveEach) {
+  const auto areas = DblpAreaConferences();
+  ASSERT_EQ(areas.size(), 4u);
+  for (const auto& area : areas) EXPECT_EQ(area.size(), 5u);
+}
+
+TEST(DblpPresetTest, Deterministic) {
+  DblpOptions options;
+  options.num_authors = 120;
+  const hin::Hin a = MakeDblp(options);
+  const hin::Hin b = MakeDblp(options);
+  EXPECT_EQ(a.NumLinks(), b.NumLinks());
+}
+
+TEST(DblpPresetTest, EveryClassPopulated) {
+  DblpOptions options;
+  options.num_authors = 200;
+  const hin::Hin hin = MakeDblp(options);
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    ++counts[hin.PrimaryLabel(i)];
+  }
+  for (std::size_t c : counts) EXPECT_GT(c, 20u);
+}
+
+TEST(MoviesPresetTest, ShapeAndSparsity) {
+  MoviesOptions options;
+  options.num_movies = 300;
+  options.num_directors = 100;
+  const hin::Hin hin = MakeMovies(options);
+  EXPECT_EQ(hin.num_nodes(), 300u);
+  EXPECT_EQ(hin.num_relations(), 100u);
+  EXPECT_EQ(hin.num_classes(), 5u);
+  // Director links are sparse: far fewer stored entries per relation than
+  // nodes (the Table 4 regime).
+  EXPECT_LT(hin.NumLinks(), 100u * 60u);
+}
+
+TEST(MoviesPresetTest, NamedDirectorsPresent) {
+  MoviesOptions options;
+  options.num_movies = 300;
+  options.num_directors = 60;
+  const hin::Hin hin = MakeMovies(options);
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    names.push_back(hin.relation_name(k));
+  }
+  for (const char* expected :
+       {"Alfred Hitchcock", "Ivan Reitman", "Akira Kurosawa",
+        "Steven Spielberg"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(MoviesPresetTest, GenreNamesMatchTable5Columns) {
+  const auto genres = MovieGenreNames();
+  ASSERT_EQ(genres.size(), 5u);
+  EXPECT_EQ(genres[0], "adventure");
+  EXPECT_EQ(genres[4], "war");
+}
+
+TEST(NusPresetTest, TagsetsHave41Tags) {
+  EXPECT_EQ(NusTagNames(NusTagset::kTagset1).size(), 41u);
+  EXPECT_EQ(NusTagNames(NusTagset::kTagset2).size(), 41u);
+}
+
+TEST(NusPresetTest, BothTagsetsBuild) {
+  NusOptions options;
+  options.num_images = 250;
+  const hin::Hin t1 = MakeNus(options);
+  options.tagset = NusTagset::kTagset2;
+  const hin::Hin t2 = MakeNus(options);
+  EXPECT_EQ(t1.num_relations(), 41u);
+  EXPECT_EQ(t2.num_relations(), 41u);
+  EXPECT_EQ(t1.num_classes(), 2u);
+  EXPECT_EQ(t1.relation_name(0), "sky");
+  EXPECT_EQ(t2.relation_name(0), "nature");
+}
+
+TEST(NusPresetTest, Tagset1LinksMoreClassPure) {
+  NusOptions options;
+  options.num_images = 400;
+  const hin::Hin t1 = MakeNus(options);
+  options.tagset = NusTagset::kTagset2;
+  const hin::Hin t2 = MakeNus(options);
+  auto same_fraction = [](const hin::Hin& hin) {
+    double same = 0.0, total = 0.0;
+    for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+      const la::SparseMatrix& r = hin.relation(k);
+      for (std::size_t i = 0; i < r.rows(); ++i) {
+        for (std::size_t p = r.row_ptr()[i]; p < r.row_ptr()[i + 1]; ++p) {
+          total += 1.0;
+          if (hin.PrimaryLabel(i) == hin.PrimaryLabel(r.col_idx()[p])) {
+            same += 1.0;
+          }
+        }
+      }
+    }
+    return same / total;
+  };
+  EXPECT_GT(same_fraction(t1), same_fraction(t2) + 0.15);
+}
+
+TEST(AcmPresetTest, ShapeAndLinkTypes) {
+  AcmOptions options;
+  options.num_publications = 250;
+  const hin::Hin hin = MakeAcm(options);
+  EXPECT_EQ(hin.num_nodes(), 250u);
+  EXPECT_EQ(hin.num_relations(), 6u);
+  EXPECT_EQ(hin.num_classes(), 8u);
+  const auto link_names = AcmLinkTypeNames();
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_EQ(hin.relation_name(k), link_names[k]);
+  }
+}
+
+TEST(AcmPresetTest, IsMultiLabel) {
+  AcmOptions options;
+  options.num_publications = 300;
+  const hin::Hin hin = MakeAcm(options);
+  std::size_t multi = 0;
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    if (hin.labels(i).size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 50u);
+}
+
+TEST(AcmPresetTest, CitationRelationIsDirected) {
+  AcmOptions options;
+  options.num_publications = 250;
+  const hin::Hin hin = MakeAcm(options);
+  const la::SparseMatrix& cites = hin.relation(5);
+  EXPECT_GT(
+      cites.ToDense().MaxAbsDiff(cites.Transpose().ToDense()), 0.0);
+}
+
+}  // namespace
+}  // namespace tmark::datasets

@@ -1,0 +1,224 @@
+#include "tmark/datasets/synthetic_hin.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/hin/hin_io.h"
+
+namespace tmark::datasets {
+namespace {
+
+SyntheticHinConfig BaseConfig() {
+  SyntheticHinConfig config;
+  config.num_nodes = 200;
+  config.class_names = {"A", "B", "C"};
+  config.vocab_size = 90;
+  config.words_per_node = 20.0;
+  config.feature_signal = 0.8;
+  config.seed = 99;
+  RelationSpec rel;
+  rel.name = "r";
+  rel.same_class_prob = 0.85;
+  rel.edges_per_member = 3.0;
+  config.relations.push_back(rel);
+  return config;
+}
+
+/// Fraction of stored edges whose endpoints share a primary class.
+double SameClassFraction(const hin::Hin& hin, std::size_t k) {
+  const la::SparseMatrix& r = hin.relation(k);
+  double same = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    for (std::size_t p = r.row_ptr()[i]; p < r.row_ptr()[i + 1]; ++p) {
+      total += 1.0;
+      if (hin.PrimaryLabel(i) == hin.PrimaryLabel(r.col_idx()[p])) {
+        same += 1.0;
+      }
+    }
+  }
+  return total > 0.0 ? same / total : 0.0;
+}
+
+TEST(SyntheticHinTest, ShapesMatchConfig) {
+  const hin::Hin hin = GenerateSyntheticHin(BaseConfig());
+  EXPECT_EQ(hin.num_nodes(), 200u);
+  EXPECT_EQ(hin.num_relations(), 1u);
+  EXPECT_EQ(hin.num_classes(), 3u);
+  EXPECT_EQ(hin.feature_dim(), 90u);
+  EXPECT_EQ(hin.relation_name(0), "r");
+}
+
+TEST(SyntheticHinTest, DeterministicForSeed) {
+  const hin::Hin a = GenerateSyntheticHin(BaseConfig());
+  const hin::Hin b = GenerateSyntheticHin(BaseConfig());
+  EXPECT_EQ(a.NumLinks(), b.NumLinks());
+  EXPECT_DOUBLE_EQ(
+      a.relation(0).ToDense().MaxAbsDiff(b.relation(0).ToDense()), 0.0);
+  EXPECT_DOUBLE_EQ(a.features().ToDense().MaxAbsDiff(b.features().ToDense()),
+                   0.0);
+}
+
+TEST(SyntheticHinTest, SeedChangesOutput) {
+  SyntheticHinConfig other = BaseConfig();
+  other.seed = 100;
+  const hin::Hin a = GenerateSyntheticHin(BaseConfig());
+  const hin::Hin b = GenerateSyntheticHin(other);
+  EXPECT_GT(a.relation(0).ToDense().MaxAbsDiff(b.relation(0).ToDense()),
+            0.0);
+}
+
+TEST(SyntheticHinTest, PlantedAffinityIsRealized) {
+  const hin::Hin hin = GenerateSyntheticHin(BaseConfig());
+  // Requested 0.85 same-class edges; random cross edges add ~1/3 hits, so
+  // the measured fraction is ~0.85 + 0.15/3 = 0.90. Allow generous slack.
+  EXPECT_NEAR(SameClassFraction(hin, 0), 0.90, 0.05);
+}
+
+TEST(SyntheticHinTest, LowAffinityRelationIsNoisy) {
+  SyntheticHinConfig config = BaseConfig();
+  config.relations[0].same_class_prob = 1.0 / 3.0;
+  const hin::Hin hin = GenerateSyntheticHin(config);
+  EXPECT_NEAR(SameClassFraction(hin, 0), 0.55, 0.08);
+}
+
+TEST(SyntheticHinTest, ClassPreferenceBiasesSources) {
+  SyntheticHinConfig config = BaseConfig();
+  config.relations[0].class_preference = {1.0, 0.0, 0.0};
+  config.relations[0].same_class_prob = 1.0;
+  const hin::Hin hin = GenerateSyntheticHin(config);
+  // With pure preference and affinity, all edges stay inside class A.
+  EXPECT_NEAR(SameClassFraction(hin, 0), 1.0, 1e-12);
+  const la::SparseMatrix& r = hin.relation(0);
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    for (std::size_t p = r.row_ptr()[i]; p < r.row_ptr()[i + 1]; ++p) {
+      EXPECT_EQ(hin.PrimaryLabel(i), 0u);
+    }
+  }
+}
+
+TEST(SyntheticHinTest, FeatureSignalConcentratesOnTopicBlock) {
+  const hin::Hin hin = GenerateSyntheticHin(BaseConfig());
+  const std::size_t block = 90 / 3;
+  double in_topic = 0.0, total = 0.0;
+  const la::SparseMatrix& f = hin.features();
+  for (std::size_t i = 0; i < f.rows(); ++i) {
+    const std::size_t c = hin.PrimaryLabel(i);
+    for (std::size_t p = f.row_ptr()[i]; p < f.row_ptr()[i + 1]; ++p) {
+      const double v = f.values()[p];
+      total += v;
+      if (f.col_idx()[p] >= c * block && f.col_idx()[p] < (c + 1) * block) {
+        in_topic += v;
+      }
+    }
+  }
+  // signal 0.8 plus uniform noise landing in-block 1/3 of the time.
+  EXPECT_NEAR(in_topic / total, 0.8 + 0.2 / 3.0, 0.03);
+}
+
+TEST(SyntheticHinTest, SecondaryLabelsGenerated) {
+  SyntheticHinConfig config = BaseConfig();
+  config.secondary_label_prob = 0.5;
+  const hin::Hin hin = GenerateSyntheticHin(config);
+  std::size_t multi = 0;
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    if (hin.labels(i).size() > 1) ++multi;
+  }
+  EXPECT_NEAR(static_cast<double>(multi) / 200.0, 0.5, 0.12);
+}
+
+TEST(SyntheticHinTest, DirectedRelationIsAsymmetric) {
+  SyntheticHinConfig config = BaseConfig();
+  config.relations[0].directed = true;
+  const hin::Hin hin = GenerateSyntheticHin(config);
+  const la::DenseMatrix d = hin.relation(0).ToDense();
+  EXPECT_GT(d.MaxAbsDiff(hin.relation(0).Transpose().ToDense()), 0.0);
+}
+
+TEST(SyntheticHinTest, GeneratedHinSerializes) {
+  SyntheticHinConfig config = BaseConfig();
+  config.num_nodes = 40;
+  const hin::Hin hin = GenerateSyntheticHin(config);
+  std::stringstream ss;
+  hin::SaveHin(hin, ss);
+  const hin::Hin back = hin::LoadHin(ss);
+  EXPECT_EQ(back.num_nodes(), hin.num_nodes());
+  EXPECT_EQ(back.NumLinks(), hin.NumLinks());
+}
+
+TEST(SyntheticHinTest, CrossClassLinksAvoidSameClass) {
+  SyntheticHinConfig config = BaseConfig();
+  config.relations[0].same_class_prob = 0.0;
+  config.relations[0].cross_class_prob = 1.0;
+  const hin::Hin hin = GenerateSyntheticHin(config);
+  EXPECT_DOUBLE_EQ(SameClassFraction(hin, 0), 0.0);
+}
+
+TEST(SyntheticHinTest, CrossClassPlusSameClassOverOneThrows) {
+  SyntheticHinConfig config = BaseConfig();
+  config.relations[0].same_class_prob = 0.7;
+  config.relations[0].cross_class_prob = 0.5;
+  EXPECT_THROW(GenerateSyntheticHin(config), CheckError);
+}
+
+/// Recovers a node's latent class from its topic block: with signal 0.8 and
+/// ~20 words the majority block identifies the latent class w.h.p.
+std::size_t LatentClassFromFeatures(const hin::Hin& hin, std::size_t node,
+                                    std::size_t q) {
+  const std::size_t block = hin.feature_dim() / q;
+  std::vector<double> mass(q, 0.0);
+  const la::SparseMatrix& f = hin.features();
+  for (std::size_t p = f.row_ptr()[node]; p < f.row_ptr()[node + 1]; ++p) {
+    mass[std::min<std::size_t>(q - 1, f.col_idx()[p] / block)] +=
+        f.values()[p];
+  }
+  return la::ArgMax(mass);
+}
+
+TEST(SyntheticHinTest, LabelNoiseFlipsObservedLabels) {
+  // Features follow the latent class, so the observed/feature disagreement
+  // rate estimates the effective flip rate: noise * (1 - 1/q) = 0.2, plus
+  // a little slack for feature-inference errors.
+  SyntheticHinConfig noisy = BaseConfig();
+  noisy.label_noise = 0.3;
+  const hin::Hin hin = GenerateSyntheticHin(noisy);
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < hin.num_nodes(); ++i) {
+    if (LatentClassFromFeatures(hin, i, 3) != hin.PrimaryLabel(i)) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / 200.0, 0.2, 0.10);
+  // And the clean generator shows (almost) no disagreement.
+  const hin::Hin clean = GenerateSyntheticHin(BaseConfig());
+  std::size_t clean_flips = 0;
+  for (std::size_t i = 0; i < clean.num_nodes(); ++i) {
+    if (LatentClassFromFeatures(clean, i, 3) != clean.PrimaryLabel(i)) {
+      ++clean_flips;
+    }
+  }
+  EXPECT_LT(clean_flips, 15u);
+}
+
+TEST(SyntheticHinTest, LabelNoiseLowersObservedLinkPurity) {
+  // Links follow the latent classes, so measured same-class purity against
+  // the *observed* labels drops once noise is added.
+  SyntheticHinConfig noisy = BaseConfig();
+  noisy.label_noise = 0.3;
+  const hin::Hin with_noise = GenerateSyntheticHin(noisy);
+  const hin::Hin clean = GenerateSyntheticHin(BaseConfig());
+  EXPECT_LT(SameClassFraction(with_noise, 0),
+            SameClassFraction(clean, 0) - 0.1);
+}
+
+TEST(SyntheticHinTest, InvalidConfigsThrow) {
+  SyntheticHinConfig config = BaseConfig();
+  config.relations[0].class_preference = {1.0};  // wrong size
+  EXPECT_THROW(GenerateSyntheticHin(config), CheckError);
+  SyntheticHinConfig empty = BaseConfig();
+  empty.relations.clear();
+  EXPECT_THROW(GenerateSyntheticHin(empty), CheckError);
+  SyntheticHinConfig one_class = BaseConfig();
+  one_class.class_names = {"only"};
+  EXPECT_THROW(GenerateSyntheticHin(one_class), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::datasets

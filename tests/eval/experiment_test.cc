@@ -1,0 +1,121 @@
+#include "tmark/eval/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/baselines/registry.h"
+#include "tmark/datasets/synthetic_hin.h"
+
+namespace tmark::eval {
+namespace {
+
+hin::Hin SmallHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 80;
+  config.class_names = {"A", "B"};
+  config.vocab_size = 30;
+  config.words_per_node = 10.0;
+  config.feature_signal = 0.85;
+  config.seed = seed;
+  datasets::RelationSpec rel;
+  rel.name = "r";
+  rel.same_class_prob = 0.9;
+  rel.edges_per_member = 4.0;
+  config.relations.push_back(rel);
+  return datasets::GenerateSyntheticHin(config);
+}
+
+TEST(StratifiedSplitTest, FractionApproximatelyRespected) {
+  const hin::Hin hin = SmallHin(1);
+  Rng rng(2);
+  const auto labeled = StratifiedSplit(hin, 0.25, &rng);
+  EXPECT_NEAR(static_cast<double>(labeled.size()),
+              0.25 * static_cast<double>(hin.num_nodes()), 3.0);
+}
+
+TEST(StratifiedSplitTest, EveryClassRepresented) {
+  const hin::Hin hin = SmallHin(3);
+  Rng rng(4);
+  const auto labeled = StratifiedSplit(hin, 0.05, &rng);
+  std::vector<bool> seen(hin.num_classes(), false);
+  for (std::size_t node : labeled) seen[hin.PrimaryLabel(node)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(StratifiedSplitTest, SortedAndUnique) {
+  const hin::Hin hin = SmallHin(5);
+  Rng rng(6);
+  const auto labeled = StratifiedSplit(hin, 0.5, &rng);
+  for (std::size_t i = 1; i < labeled.size(); ++i) {
+    EXPECT_LT(labeled[i - 1], labeled[i]);
+  }
+}
+
+TEST(StratifiedSplitTest, InvalidFractionThrows) {
+  const hin::Hin hin = SmallHin(7);
+  Rng rng(8);
+  EXPECT_THROW(StratifiedSplit(hin, 0.0, &rng), CheckError);
+  EXPECT_THROW(StratifiedSplit(hin, 1.0, &rng), CheckError);
+}
+
+TEST(EvaluateClassifierTest, ScoresInUnitInterval) {
+  const hin::Hin hin = SmallHin(9);
+  Rng rng(10);
+  const auto labeled = StratifiedSplit(hin, 0.3, &rng);
+  auto clf = baselines::MakeClassifier("T-Mark");
+  const double acc = EvaluateClassifier(hin, clf.get(), labeled,
+                                        /*multi_label=*/false, 0.5);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_GT(acc, 0.5);  // should beat chance on this easy HIN
+}
+
+TEST(RunSweepTest, ProducesOneCellPerFraction) {
+  const hin::Hin hin = SmallHin(11);
+  SweepConfig config;
+  config.train_fractions = {0.2, 0.5};
+  config.trials = 2;
+  const MethodSweep sweep = RunSweep(hin, "T-Mark", config);
+  EXPECT_EQ(sweep.method, "T-Mark");
+  ASSERT_EQ(sweep.cells.size(), 2u);
+  for (const SweepCell& cell : sweep.cells) {
+    EXPECT_GE(cell.mean, 0.0);
+    EXPECT_LE(cell.mean, 1.0);
+    EXPECT_GE(cell.stddev, 0.0);
+  }
+}
+
+TEST(RunSweepTest, DeterministicForSeed) {
+  const hin::Hin hin = SmallHin(13);
+  SweepConfig config;
+  config.train_fractions = {0.3};
+  config.trials = 2;
+  const MethodSweep a = RunSweep(hin, "TensorRrCc", config);
+  const MethodSweep b = RunSweep(hin, "TensorRrCc", config);
+  EXPECT_DOUBLE_EQ(a.cells[0].mean, b.cells[0].mean);
+}
+
+TEST(BenchEnvTest, TrialsOverride) {
+  unsetenv("TMARK_BENCH_TRIALS");
+  EXPECT_EQ(BenchTrials(3), 3);
+  setenv("TMARK_BENCH_TRIALS", "7", 1);
+  EXPECT_EQ(BenchTrials(3), 7);
+  setenv("TMARK_BENCH_TRIALS", "bogus", 1);
+  EXPECT_EQ(BenchTrials(3), 3);
+  unsetenv("TMARK_BENCH_TRIALS");
+}
+
+TEST(BenchEnvTest, ScaleOverride) {
+  unsetenv("TMARK_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  setenv("TMARK_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.5);
+  setenv("TMARK_BENCH_SCALE", "-2", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  unsetenv("TMARK_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace tmark::eval

@@ -1,0 +1,110 @@
+#include "tmark/eval/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+
+namespace tmark::eval {
+namespace {
+
+TEST(StatsTest, MeanAndStdDevHandComputed) {
+  const std::vector<double> sample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(sample), 5.0);
+  // Sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(SampleStdDev(sample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, StdDevDegenerateCases) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({3.0, 3.0, 3.0}), 0.0);
+  EXPECT_THROW(Mean({}), CheckError);
+}
+
+TEST(StatsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(StatsTest, WelchDetectsClearSeparation) {
+  const std::vector<double> a = {0.90, 0.91, 0.92, 0.93, 0.91, 0.92};
+  const std::vector<double> b = {0.70, 0.72, 0.71, 0.69, 0.70, 0.71};
+  const TTestResult result = WelchTTest(a, b);
+  EXPECT_GT(result.t_statistic, 10.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(StatsTest, WelchFindsNoDifferenceInIdenticalDistributions) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.Normal(0.8, 0.05));
+    b.push_back(rng.Normal(0.8, 0.05));
+  }
+  const TTestResult result = WelchTTest(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(StatsTest, WelchZeroVarianceCases) {
+  const TTestResult same = WelchTTest({1.0, 1.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(same.p_value, 1.0);
+  const TTestResult differ = WelchTTest({1.0, 1.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(differ.p_value, 0.0);
+}
+
+TEST(StatsTest, PairedTestIsMoreSensitiveThanUnpaired) {
+  // Strongly correlated trials with a small consistent gap: the paired test
+  // must flag the difference even though the marginals overlap.
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 12; ++i) {
+    const double trial = rng.Normal(0.8, 0.08);  // trial difficulty
+    a.push_back(trial + 0.01);
+    b.push_back(trial);
+  }
+  const TTestResult paired = PairedTTest(a, b);
+  const TTestResult unpaired = WelchTTest(a, b);
+  EXPECT_LT(paired.p_value, 0.01);
+  EXPECT_LT(paired.p_value, unpaired.p_value);
+}
+
+TEST(StatsTest, PairedRequiresEqualSizes) {
+  EXPECT_THROW(PairedTTest({1.0, 2.0}, {1.0}), CheckError);
+}
+
+TEST(StatsTest, PairedAllEqualIsPValueOne) {
+  const TTestResult result = PairedTTest({0.5, 0.6}, {0.5, 0.6});
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(KFoldTest, PartitionsEveryIndexOnce) {
+  const auto folds = KFoldIndices(10, 3);
+  ASSERT_EQ(folds.size(), 3u);
+  EXPECT_EQ(folds[0].size(), 4u);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(folds[1].size(), 3u);
+  EXPECT_EQ(folds[2].size(), 3u);
+  std::vector<bool> seen(10, false);
+  for (const auto& fold : folds) {
+    for (std::size_t idx : fold) {
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(KFoldTest, ExactDivision) {
+  const auto folds = KFoldIndices(9, 3);
+  for (const auto& fold : folds) EXPECT_EQ(fold.size(), 3u);
+}
+
+TEST(KFoldTest, InvalidFoldCountsThrow) {
+  EXPECT_THROW(KFoldIndices(5, 1), CheckError);
+  EXPECT_THROW(KFoldIndices(3, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::eval

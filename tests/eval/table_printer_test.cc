@@ -1,0 +1,54 @@
+#include "tmark/eval/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+
+namespace tmark::eval {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "Acc"});
+  table.AddRow({"T-Mark", "0.93"});
+  table.AddRow({"ICA", "0.86"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("T-Mark  0.93"), std::string::npos);
+  EXPECT_NE(out.find("ICA"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WideCellsStretchColumn) {
+  TablePrinter table({"A", "B"});
+  table.AddRow({"verylongcellvalue", "x"});
+  std::ostringstream os;
+  table.Print(os);
+  // The header row pads "A" to the width of the long cell.
+  const std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.size(), std::string("verylongcellvalue  B").size());
+}
+
+TEST(TablePrinterTest, RowArityChecked) {
+  TablePrinter table({"A", "B"});
+  EXPECT_THROW(table.AddRow({"only one"}), CheckError);
+}
+
+TEST(TablePrinterTest, EmptyHeadersRejected) {
+  EXPECT_THROW(TablePrinter({}), CheckError);
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table({"A"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"x"});
+  table.AddRow({"y"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace tmark::eval

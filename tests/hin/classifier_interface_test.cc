@@ -1,0 +1,58 @@
+// Tests of the CollectiveClassifier prediction helpers through a stub
+// implementation with hand-set confidences.
+
+#include <gtest/gtest.h>
+
+#include "tmark/hin/classifier.h"
+
+namespace tmark::hin {
+namespace {
+
+class StubClassifier : public CollectiveClassifier {
+ public:
+  explicit StubClassifier(la::DenseMatrix conf) : conf_(std::move(conf)) {}
+  void Fit(const Hin&, const std::vector<std::size_t>&) override {}
+  const la::DenseMatrix& Confidences() const override { return conf_; }
+  std::string Name() const override { return "stub"; }
+
+ private:
+  la::DenseMatrix conf_;
+};
+
+TEST(ClassifierInterfaceTest, SingleLabelIsArgMax) {
+  StubClassifier stub(la::DenseMatrix::FromRows({{0.1, 0.9},
+                                                 {0.8, 0.2},
+                                                 {0.5, 0.5}}));
+  const auto pred = stub.PredictSingleLabel();
+  EXPECT_EQ(pred, (std::vector<std::size_t>{1, 0, 0}));  // ties -> first
+}
+
+TEST(ClassifierInterfaceTest, MultiLabelRelativeThreshold) {
+  StubClassifier stub(la::DenseMatrix::FromRows({{0.6, 0.35, 0.05}}));
+  // Threshold 0.5: cutoff = 0.3 -> classes 0 and 1.
+  const auto half = stub.PredictMultiLabel(0.5);
+  EXPECT_EQ(half[0], (std::vector<std::size_t>{0, 1}));
+  // Threshold 0.9: cutoff = 0.54 -> only the arg-max class.
+  const auto strict = stub.PredictMultiLabel(0.9);
+  EXPECT_EQ(strict[0], (std::vector<std::size_t>{0}));
+  // Threshold 0: everything positive qualifies.
+  const auto loose = stub.PredictMultiLabel(0.0);
+  EXPECT_EQ(loose[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ClassifierInterfaceTest, MultiLabelZeroRowFallsBackToArgMax) {
+  StubClassifier stub(la::DenseMatrix::FromRows({{0.0, 0.0}}));
+  const auto sets = stub.PredictMultiLabel(0.5);
+  // No positive confidence anywhere: the arg-max class is still returned.
+  EXPECT_EQ(sets[0], (std::vector<std::size_t>{0}));
+}
+
+TEST(ClassifierInterfaceTest, MultiLabelExcludesZeroConfidences) {
+  StubClassifier stub(la::DenseMatrix::FromRows({{0.7, 0.0, 0.3}}));
+  const auto sets = stub.PredictMultiLabel(0.0);
+  // Class 1 has exactly zero confidence -> excluded even at threshold 0.
+  EXPECT_EQ(sets[0], (std::vector<std::size_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace tmark::hin

@@ -1,0 +1,116 @@
+// Failure-injection tests for the tmark-hin parser: malformed or hostile
+// input must always surface as CheckError (or parse cleanly) — never crash,
+// hang, or silently mangle data.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+#include "tmark/hin/hin_io.h"
+
+namespace tmark::hin {
+namespace {
+
+void ExpectThrowsOrParses(const std::string& content) {
+  std::stringstream ss(content);
+  try {
+    const Hin hin = LoadHin(ss);
+    (void)hin;
+  } catch (const CheckError&) {
+    // Acceptable outcome.
+  } catch (const std::exception&) {
+    // std::sto* conversions may throw std::invalid_argument/out_of_range on
+    // garbage numerals; acceptable as long as it is a typed exception.
+  }
+}
+
+TEST(HinIoRobustnessTest, TruncatedHeader) {
+  ExpectThrowsOrParses("# tmark-hin");
+  ExpectThrowsOrParses("");
+  ExpectThrowsOrParses("\n\n\n");
+}
+
+TEST(HinIoRobustnessTest, NegativeAndHugeIndices) {
+  const std::string base = "# tmark-hin v1\nnodes 3\nfeature_dim 2\n"
+                           "relation r\nclass A\n";
+  ExpectThrowsOrParses(base + "edge 0 -1 0 1.0\n");
+  ExpectThrowsOrParses(base + "edge 0 99999999999 0 1.0\n");
+  ExpectThrowsOrParses(base + "label 99999 0\n");
+  ExpectThrowsOrParses(base + "feat 0 99:1.0\n");
+  ExpectThrowsOrParses(base + "label 0 42\n");
+}
+
+TEST(HinIoRobustnessTest, NonNumericFields) {
+  const std::string base = "# tmark-hin v1\nnodes 3\nfeature_dim 2\n"
+                           "relation r\nclass A\n";
+  ExpectThrowsOrParses(base + "edge zero one two three\n");
+  ExpectThrowsOrParses(base + "feat 0 a:b\n");
+  ExpectThrowsOrParses(base + "nodes many\n");
+}
+
+TEST(HinIoRobustnessTest, ZeroOrNegativeWeightEdge) {
+  const std::string base = "# tmark-hin v1\nnodes 3\nfeature_dim 2\n"
+                           "relation r\nclass A\n";
+  ExpectThrowsOrParses(base + "edge 0 0 1 0.0\n");
+  ExpectThrowsOrParses(base + "edge 0 0 1 -2.5\n");
+}
+
+TEST(HinIoRobustnessTest, RandomByteSoup) {
+  Rng rng(404);
+  for (int round = 0; round < 50; ++round) {
+    std::string content = "# tmark-hin v1\n";
+    const int lines = 1 + static_cast<int>(rng.UniformInt(10));
+    for (int l = 0; l < lines; ++l) {
+      const int len = static_cast<int>(rng.UniformInt(40));
+      for (int c = 0; c < len; ++c) {
+        content.push_back(static_cast<char>(32 + rng.UniformInt(95)));
+      }
+      content.push_back('\n');
+    }
+    ExpectThrowsOrParses(content);
+  }
+}
+
+TEST(HinIoRobustnessTest, RandomValidTokensShuffled) {
+  // Lines drawn from the real grammar but in arbitrary order and with
+  // arbitrary indices: must parse or throw, never crash.
+  Rng rng(808);
+  for (int round = 0; round < 50; ++round) {
+    std::string content = "# tmark-hin v1\nnodes 5\nfeature_dim 3\n"
+                          "relation r0\nrelation r1\nclass A\nclass B\n";
+    const int lines = static_cast<int>(rng.UniformInt(12));
+    for (int l = 0; l < lines; ++l) {
+      switch (rng.UniformInt(3)) {
+        case 0:
+          content += "edge " + std::to_string(rng.UniformInt(3)) + " " +
+                     std::to_string(rng.UniformInt(7)) + " " +
+                     std::to_string(rng.UniformInt(7)) + " 1.0\n";
+          break;
+        case 1:
+          content += "label " + std::to_string(rng.UniformInt(7)) + " " +
+                     std::to_string(rng.UniformInt(3)) + "\n";
+          break;
+        default:
+          content += "feat " + std::to_string(rng.UniformInt(7)) + " " +
+                     std::to_string(rng.UniformInt(5)) + ":2.0\n";
+          break;
+      }
+    }
+    ExpectThrowsOrParses(content);
+  }
+}
+
+TEST(HinIoRobustnessTest, ValidFileStillParsesAfterTrailingGarbageLineThrows) {
+  const std::string good = "# tmark-hin v1\nnodes 2\nfeature_dim 1\n"
+                           "relation r\nclass A\nedge 0 0 1 1.0\nlabel 0 0\n";
+  std::stringstream ok(good);
+  EXPECT_NO_THROW(LoadHin(ok));
+  std::stringstream bad(good + "garbage here\n");
+  EXPECT_THROW(LoadHin(bad), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::hin

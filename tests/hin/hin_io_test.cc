@@ -1,0 +1,107 @@
+#include "tmark/hin/hin_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/datasets/paper_example.h"
+#include "tmark/hin/hin_builder.h"
+
+namespace tmark::hin {
+namespace {
+
+void ExpectHinEqual(const Hin& a, const Hin& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_relations(), b.num_relations());
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  ASSERT_EQ(a.feature_dim(), b.feature_dim());
+  for (std::size_t k = 0; k < a.num_relations(); ++k) {
+    EXPECT_EQ(a.relation_name(k), b.relation_name(k));
+    EXPECT_DOUBLE_EQ(
+        a.relation(k).ToDense().MaxAbsDiff(b.relation(k).ToDense()), 0.0);
+  }
+  for (std::size_t c = 0; c < a.num_classes(); ++c) {
+    EXPECT_EQ(a.class_name(c), b.class_name(c));
+  }
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.labels(i), b.labels(i));
+  }
+  EXPECT_DOUBLE_EQ(a.features().ToDense().MaxAbsDiff(b.features().ToDense()),
+                   0.0);
+}
+
+TEST(HinIoTest, RoundTripPaperExample) {
+  const Hin hin = datasets::MakePaperExample();
+  std::stringstream ss;
+  SaveHin(hin, ss);
+  const Hin back = LoadHin(ss);
+  ExpectHinEqual(hin, back);
+}
+
+TEST(HinIoTest, RoundTripWithWeightsAndMultiLabels) {
+  HinBuilder b(3, 2);
+  b.AddClass("alpha");
+  b.AddClass("beta two");  // names keep internal spaces
+  const std::size_t k = b.AddRelation("same conference");
+  b.AddDirectedEdge(k, 0, 1, 0.123456789012345);
+  b.SetLabel(0, 0);
+  b.SetLabel(0, 1);
+  b.AddFeature(2, 1, 3.25);
+  const Hin hin = std::move(b).Build();
+  std::stringstream ss;
+  SaveHin(hin, ss);
+  const Hin back = LoadHin(ss);
+  ExpectHinEqual(hin, back);
+  EXPECT_EQ(back.class_name(1), "beta two");
+  EXPECT_EQ(back.relation_name(0), "same conference");
+}
+
+TEST(HinIoTest, MissingHeaderThrows) {
+  std::stringstream ss("nodes 3\nfeature_dim 1\n");
+  EXPECT_THROW(LoadHin(ss), CheckError);
+}
+
+TEST(HinIoTest, UnknownDirectiveThrows) {
+  std::stringstream ss("# tmark-hin v1\nnodes 1\nfeature_dim 1\nbogus x\n");
+  EXPECT_THROW(LoadHin(ss), CheckError);
+}
+
+TEST(HinIoTest, OutOfRangeEdgeThrows) {
+  std::stringstream ss(
+      "# tmark-hin v1\nnodes 2\nfeature_dim 1\nrelation r\n"
+      "edge 3 0 1 1.0\n");
+  EXPECT_THROW(LoadHin(ss), CheckError);
+}
+
+TEST(HinIoTest, MalformedFeatureThrows) {
+  std::stringstream ss(
+      "# tmark-hin v1\nnodes 1\nfeature_dim 1\nfeat 0 nocolon\n");
+  EXPECT_THROW(LoadHin(ss), CheckError);
+}
+
+TEST(HinIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# tmark-hin v1\n\n# a comment\nnodes 1\nfeature_dim 1\nclass A\n"
+      "label 0 0\n");
+  const Hin hin = LoadHin(ss);
+  EXPECT_EQ(hin.num_nodes(), 1u);
+  EXPECT_TRUE(hin.HasLabel(0, 0));
+}
+
+TEST(HinIoTest, FileRoundTrip) {
+  const Hin hin = datasets::MakePaperExample();
+  const std::string path = ::testing::TempDir() + "/tmark_io_test.hin";
+  ASSERT_TRUE(SaveHinToFile(hin, path));
+  const Hin back = LoadHinFromFile(path);
+  ExpectHinEqual(hin, back);
+  std::remove(path.c_str());
+}
+
+TEST(HinIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadHinFromFile("/nonexistent/path/x.hin"), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::hin

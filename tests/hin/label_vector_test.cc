@@ -1,0 +1,91 @@
+#include "tmark/hin/label_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/hin/hin_builder.h"
+
+namespace tmark::hin {
+namespace {
+
+Hin LabeledHin() {
+  HinBuilder b(5, 1);
+  b.AddClass("A");
+  b.AddClass("B");
+  const std::size_t k = b.AddRelation("r");
+  b.AddUndirectedEdge(k, 0, 1);
+  b.SetLabel(0, 0);
+  b.SetLabel(1, 0);
+  b.SetLabel(2, 1);
+  b.SetLabel(3, 1);
+  b.SetLabel(4, 1);
+  return std::move(b).Build();
+}
+
+TEST(LabelVectorTest, InitialIsUniformOverClassMembers) {
+  const Hin hin = LabeledHin();
+  const la::Vector l = InitialLabelVector(hin, {0, 1, 2}, 0);
+  EXPECT_DOUBLE_EQ(l[0], 0.5);
+  EXPECT_DOUBLE_EQ(l[1], 0.5);
+  EXPECT_DOUBLE_EQ(l[2], 0.0);
+  EXPECT_TRUE(la::IsProbabilityVector(l));
+}
+
+TEST(LabelVectorTest, InitialRespectsLabeledSubset) {
+  const Hin hin = LabeledHin();
+  // Only node 2 of class B is in the labeled set.
+  const la::Vector l = InitialLabelVector(hin, {0, 2}, 1);
+  EXPECT_DOUBLE_EQ(l[2], 1.0);
+  EXPECT_DOUBLE_EQ(l[3], 0.0);
+}
+
+TEST(LabelVectorTest, InitialThrowsWhenClassUnrepresented) {
+  const Hin hin = LabeledHin();
+  EXPECT_THROW(InitialLabelVector(hin, {0, 1}, 1), CheckError);
+}
+
+TEST(LabelVectorTest, UpdatedAcceptsConfidentNodes) {
+  const Hin hin = LabeledHin();
+  // Node 4 is unlabeled-in-training but confident (0.9 of max).
+  la::Vector x = {0.5, 0.05, 0.0, 0.0, 0.45};
+  const la::Vector l = UpdatedLabelVector(hin, {0, 1}, 0, x, 0.6);
+  // Accepted set = {0, 1 (labeled)} + {4 (x > 0.6 * 0.5 = 0.3)}.
+  EXPECT_DOUBLE_EQ(l[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(l[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(l[4], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(l[2], 0.0);
+}
+
+TEST(LabelVectorTest, UpdatedWithHighLambdaKeepsOnlyLabeled) {
+  const Hin hin = LabeledHin();
+  la::Vector x = {0.5, 0.2, 0.1, 0.1, 0.1};
+  const la::Vector l = UpdatedLabelVector(hin, {0, 1}, 0, x, 1.0);
+  EXPECT_DOUBLE_EQ(l[0], 0.5);
+  EXPECT_DOUBLE_EQ(l[1], 0.5);
+  EXPECT_DOUBLE_EQ(l[4], 0.0);
+}
+
+TEST(LabelVectorTest, UpdatedIsProbabilityVector) {
+  const Hin hin = LabeledHin();
+  la::Vector x = {0.2, 0.2, 0.2, 0.2, 0.2};
+  const la::Vector l = UpdatedLabelVector(hin, {0, 1, 2}, 1, x, 0.5);
+  EXPECT_TRUE(la::IsProbabilityVector(l));
+}
+
+TEST(LabelVectorTest, UpdatedLambdaOutOfRangeThrows) {
+  const Hin hin = LabeledHin();
+  la::Vector x(5, 0.2);
+  EXPECT_THROW(UpdatedLabelVector(hin, {0}, 0, x, 1.5), CheckError);
+  EXPECT_THROW(UpdatedLabelVector(hin, {0}, 0, x, -0.1), CheckError);
+}
+
+TEST(LabelVectorTest, UpdatedHandlesAllZeroConfidence) {
+  const Hin hin = LabeledHin();
+  la::Vector x(5, 0.0);
+  const la::Vector l = UpdatedLabelVector(hin, {0, 1}, 0, x, 0.5);
+  EXPECT_DOUBLE_EQ(l[0], 0.5);
+  EXPECT_DOUBLE_EQ(l[1], 0.5);
+}
+
+}  // namespace
+}  // namespace tmark::hin

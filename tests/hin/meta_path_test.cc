@@ -1,0 +1,73 @@
+#include "tmark/hin/meta_path.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/hin/hin_builder.h"
+
+namespace tmark::hin {
+namespace {
+
+Hin PathHin() {
+  // Relation 0: 0 <- 1 (i.e. edge stored at A[0,1]); relation 1: 1 <- 2.
+  HinBuilder b(3, 1);
+  b.AddClass("A");
+  const std::size_t r0 = b.AddRelation("r0");
+  const std::size_t r1 = b.AddRelation("r1");
+  b.AddDirectedEdge(r0, 1, 0);  // src 1 -> dst 0: stored (0, 1)
+  b.AddDirectedEdge(r1, 2, 1);  // src 2 -> dst 1: stored (1, 2)
+  return std::move(b).Build();
+}
+
+TEST(MetaPathTest, ComposeTwoRelations) {
+  const Hin hin = PathHin();
+  // (r0 * r1)[0, 2] = sum_j r0[0, j] * r1[j, 2] = r0[0,1] * r1[1,2] = 1:
+  // a length-2 path from source node 2 to destination node 0.
+  const la::SparseMatrix composed = ComposeMetaPath(hin, {0, 1});
+  EXPECT_DOUBLE_EQ(composed.At(0, 2), 1.0);
+  EXPECT_EQ(composed.NumNonZeros(), 1u);
+}
+
+TEST(MetaPathTest, SingleRelationIsIdentityCompose) {
+  const Hin hin = PathHin();
+  const la::SparseMatrix m = ComposeMetaPath(hin, {0});
+  EXPECT_DOUBLE_EQ(m.ToDense().MaxAbsDiff(hin.relation(0).ToDense()), 0.0);
+}
+
+TEST(MetaPathTest, EmptyPathThrows) {
+  const Hin hin = PathHin();
+  EXPECT_THROW(ComposeMetaPath(hin, {}), CheckError);
+}
+
+TEST(MetaPathTest, ComposeCountsMultiplePaths) {
+  HinBuilder b(4, 1);
+  b.AddClass("A");
+  const std::size_t r = b.AddRelation("r");
+  // Two paths of length 2 from node 3 to node 0: via 1 and via 2.
+  b.AddDirectedEdge(r, 1, 0);
+  b.AddDirectedEdge(r, 2, 0);
+  b.AddDirectedEdge(r, 3, 1);
+  b.AddDirectedEdge(r, 3, 2);
+  const Hin hin = std::move(b).Build();
+  const la::SparseMatrix m2 = ComposeMetaPath(hin, {0, 0});
+  EXPECT_DOUBLE_EQ(m2.At(0, 3), 2.0);
+}
+
+TEST(MetaPathTest, BinarizeLinks) {
+  const la::SparseMatrix m =
+      la::SparseMatrix::FromTriplets(2, 2, {{0, 1, 2.0}, {1, 0, 0.5}});
+  const la::SparseMatrix bin = BinarizeLinks(m);
+  EXPECT_DOUBLE_EQ(bin.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(bin.At(1, 0), 1.0);
+}
+
+TEST(MetaPathTest, AllLength2RespectsCaps) {
+  const Hin hin = PathHin();
+  const auto all = AllLength2MetaPaths(hin, /*min_links=*/1, /*max_paths=*/2);
+  EXPECT_LE(all.size(), 2u);
+  const auto none = AllLength2MetaPaths(hin, /*min_links=*/100, 10);
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace tmark::hin

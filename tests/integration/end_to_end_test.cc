@@ -1,0 +1,129 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tmark/baselines/registry.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/datasets/nus.h"
+#include "tmark/datasets/paper_example.h"
+#include "tmark/eval/experiment.h"
+#include "tmark/hin/hin_io.h"
+
+namespace tmark {
+namespace {
+
+/// Integration tests: several modules working together on realistic (but
+/// scaled-down) versions of the paper's experiments. Kept small enough to
+/// run in seconds; the full-size versions live in bench/.
+
+TEST(EndToEndTest, PaperExampleThroughRegistry) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  auto clf = baselines::MakeClassifier("T-Mark");
+  clf->Fit(hin, datasets::PaperExampleLabeledNodes());
+  const auto pred = clf->PredictSingleLabel();
+  EXPECT_EQ(pred[2], 1u);
+  EXPECT_EQ(pred[3], 0u);
+}
+
+TEST(EndToEndTest, TMarkBeatsContentOnlyBaselineOnDblp) {
+  datasets::DblpOptions options;
+  options.num_authors = 220;
+  const hin::Hin hin = datasets::MakeDblp(options);
+  Rng rng(5);
+  const auto labeled = eval::StratifiedSplit(hin, 0.2, &rng);
+
+  auto tmark = baselines::MakeClassifier("T-Mark");
+  const double acc_tmark = eval::EvaluateClassifier(
+      hin, tmark.get(), labeled, /*multi_label=*/false, 0.5);
+  auto hn = baselines::MakeClassifier("HN");
+  const double acc_hn = eval::EvaluateClassifier(
+      hin, hn.get(), labeled, /*multi_label=*/false, 0.5);
+  EXPECT_GT(acc_tmark, 0.75);
+  EXPECT_GT(acc_tmark, acc_hn);
+}
+
+TEST(EndToEndTest, DblpLinkRankingFavorsHomeAreaConferences) {
+  // Table 2's shape: each area's top-ranked conferences are its own.
+  datasets::DblpOptions options;
+  options.num_authors = 300;
+  const hin::Hin hin = datasets::MakeDblp(options);
+  Rng rng(7);
+  const auto labeled = eval::StratifiedSplit(hin, 0.3, &rng);
+  core::TMarkClassifier clf;
+  clf.Fit(hin, labeled);
+  const auto area_confs = datasets::DblpAreaConferences();
+  for (std::size_t area = 0; area < 4; ++area) {
+    const auto ranking = clf.RankRelationsForClass(area);
+    // At least 3 of the top-5 ranked conferences belong to the area.
+    std::size_t hits = 0;
+    for (std::size_t r = 0; r < 5; ++r) {
+      const std::string& name = hin.relation_name(ranking[r]);
+      for (const std::string& conf : area_confs[area]) {
+        if (conf == name) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    EXPECT_GE(hits, 3u) << "area " << hin.class_name(area);
+  }
+}
+
+TEST(EndToEndTest, NusTagset1BeatsTagset2) {
+  // The Sec. 6.3 link-selection result: relevant links -> high accuracy,
+  // frequency-selected links -> stuck low.
+  datasets::NusOptions options;
+  options.num_images = 400;
+  const hin::Hin relevant = datasets::MakeNus(options);
+  options.tagset = datasets::NusTagset::kTagset2;
+  const hin::Hin frequent = datasets::MakeNus(options);
+
+  Rng rng(9);
+  const auto labeled1 = eval::StratifiedSplit(relevant, 0.1, &rng);
+  const auto labeled2 = eval::StratifiedSplit(frequent, 0.1, &rng);
+  core::TMarkConfig config;
+  config.alpha = 0.9;
+  config.gamma = 0.4;
+  core::TMarkClassifier clf1(config), clf2(config);
+  const double acc1 = eval::EvaluateClassifier(relevant, &clf1, labeled1,
+                                               false, 0.5);
+  const double acc2 = eval::EvaluateClassifier(frequent, &clf2, labeled2,
+                                               false, 0.5);
+  EXPECT_GT(acc1, acc2 + 0.1);
+  EXPECT_GT(acc1, 0.85);
+}
+
+TEST(EndToEndTest, SerializedHinGivesIdenticalPredictions) {
+  datasets::DblpOptions options;
+  options.num_authors = 120;
+  const hin::Hin hin = datasets::MakeDblp(options);
+  std::stringstream ss;
+  hin::SaveHin(hin, ss);
+  const hin::Hin back = hin::LoadHin(ss);
+
+  Rng rng(11);
+  const auto labeled = eval::StratifiedSplit(hin, 0.3, &rng);
+  core::TMarkClassifier a, b;
+  a.Fit(hin, labeled);
+  b.Fit(back, labeled);
+  EXPECT_LT(a.Confidences().MaxAbsDiff(b.Confidences()), 1e-12);
+}
+
+TEST(EndToEndTest, AllMethodsCompleteOnTinyDblp) {
+  datasets::DblpOptions options;
+  options.num_authors = 90;
+  const hin::Hin hin = datasets::MakeDblp(options);
+  Rng rng(13);
+  const auto labeled = eval::StratifiedSplit(hin, 0.3, &rng);
+  for (const std::string& name : baselines::PaperMethodNames()) {
+    auto clf = baselines::MakeClassifier(name);
+    const double acc =
+        eval::EvaluateClassifier(hin, clf.get(), labeled, false, 0.5);
+    EXPECT_GE(acc, 0.0) << name;
+    EXPECT_LE(acc, 1.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tmark

@@ -1,0 +1,128 @@
+#include "tmark/ml/graph_conv.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/random.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::ml {
+namespace {
+
+TEST(SymmetricNormalizeTest, OutputIsSymmetric) {
+  const la::SparseMatrix a = la::SparseMatrix::FromTriplets(
+      4, 4, {{0, 1, 1.0}, {2, 3, 1.0}, {1, 2, 1.0}});
+  const la::SparseMatrix norm = SymmetricNormalize(a);
+  const la::DenseMatrix d = norm.ToDense();
+  EXPECT_LT(d.MaxAbsDiff(norm.Transpose().ToDense()), 1e-12);
+}
+
+TEST(SymmetricNormalizeTest, IsolatedNodeKeepsSelfLoop) {
+  const la::SparseMatrix a =
+      la::SparseMatrix::FromTriplets(3, 3, {{0, 1, 1.0}});
+  const la::SparseMatrix norm = SymmetricNormalize(a);
+  // Node 2 only has its self-loop, normalized to 1.
+  EXPECT_NEAR(norm.At(2, 2), 1.0, 1e-12);
+}
+
+TEST(SymmetricNormalizeTest, RegularGraphRowsSumToOne) {
+  // A 4-cycle is 2-regular; with self-loops deg = 3 everywhere, so
+  // D^{-1/2} (A + I) D^{-1/2} has rows summing to 1.
+  const la::SparseMatrix a = la::SparseMatrix::FromTriplets(
+      4, 4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  const la::Vector sums = SymmetricNormalize(a).RowSums();
+  for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+/// Builds a 2-community graph with informative features.
+void MakeCommunityData(std::size_t per_class, la::SparseMatrix* features,
+                       std::vector<la::SparseMatrix>* adjacencies,
+                       std::vector<std::size_t>* y, Rng* rng) {
+  const std::size_t n = 2 * per_class;
+  std::vector<la::Triplet> feats, edges;
+  y->assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i < per_class ? 0 : 1;
+    (*y)[i] = c;
+    // Two signal dims per class plus a noise dim.
+    feats.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(c * 2 + rng->UniformInt(2)),
+                     1.0});
+    if (rng->Bernoulli(0.5)) {
+      feats.push_back({static_cast<std::uint32_t>(i), 4, 1.0});
+    }
+  }
+  for (std::size_t e = 0; e < 4 * n; ++e) {
+    const std::size_t i = rng->UniformInt(n);
+    std::size_t j;
+    if (rng->Bernoulli(0.9)) {
+      // Same community.
+      j = (i < per_class) ? rng->UniformInt(per_class)
+                          : per_class + rng->UniformInt(per_class);
+    } else {
+      j = rng->UniformInt(n);
+    }
+    if (i != j) {
+      edges.push_back({static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(j), 1.0});
+    }
+  }
+  *features = la::SparseMatrix::FromTriplets(n, 5, feats);
+  adjacencies->clear();
+  adjacencies->push_back(la::SparseMatrix::FromTriplets(n, n, edges));
+}
+
+TEST(GraphInceptionNetTest, LearnsCommunities) {
+  Rng rng(11);
+  la::SparseMatrix features;
+  std::vector<la::SparseMatrix> adjacencies;
+  std::vector<std::size_t> y;
+  MakeCommunityData(40, &features, &adjacencies, &y, &rng);
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < y.size(); i += 2) labeled.push_back(i);
+  GraphInceptionNet net;
+  net.Fit(features, adjacencies, y, labeled, 2);
+  const la::DenseMatrix& proba = net.Proba();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (la::ArgMax(proba.Row(i)) == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(y.size()),
+            0.85);
+}
+
+TEST(GraphInceptionNetTest, ChannelCapPoolsTail) {
+  Rng rng(12);
+  la::SparseMatrix features;
+  std::vector<la::SparseMatrix> adjacencies;
+  std::vector<std::size_t> y;
+  MakeCommunityData(20, &features, &adjacencies, &y, &rng);
+  // Duplicate the adjacency into 12 relations; cap at 4 channels x 2 hops.
+  std::vector<la::SparseMatrix> many(12, adjacencies[0]);
+  GraphInceptionNetConfig config;
+  config.max_channels = 4;
+  config.hops = 2;
+  config.epochs = 5;
+  GraphInceptionNet net(config);
+  std::vector<std::size_t> labeled = {0, 1, 20, 21};
+  net.Fit(features, many, y, labeled, 2);
+  EXPECT_EQ(net.num_channels(), 8u);  // 4 channels x 2 hops
+}
+
+TEST(GraphInceptionNetTest, ProbaRowsSumToOne) {
+  Rng rng(13);
+  la::SparseMatrix features;
+  std::vector<la::SparseMatrix> adjacencies;
+  std::vector<std::size_t> y;
+  MakeCommunityData(15, &features, &adjacencies, &y, &rng);
+  GraphInceptionNetConfig config;
+  config.epochs = 10;
+  GraphInceptionNet net(config);
+  std::vector<std::size_t> labeled = {0, 1, 15, 16};
+  net.Fit(features, adjacencies, y, labeled, 2);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(la::IsProbabilityVector(net.Proba().Row(i), 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace tmark::ml

@@ -1,0 +1,95 @@
+#include "tmark/ml/linear_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::ml {
+namespace {
+
+void MakeBlobs(std::size_t per_class, double spread, Rng* rng,
+               la::DenseMatrix* x, std::vector<std::size_t>* y) {
+  const double centers[3][2] = {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  *x = la::DenseMatrix(3 * per_class, 2);
+  y->clear();
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      x->At(row, 0) = rng->Normal(centers[c][0], spread);
+      x->At(row, 1) = rng->Normal(centers[c][1], spread);
+      y->push_back(c);
+    }
+  }
+}
+
+TEST(LinearSvmTest, SeparableBlobsLearned) {
+  Rng rng(7);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(40, 0.5, &rng, &x, &y);
+  LinearSvm model;
+  model.Fit(x, y, 3);
+  EXPECT_GT(Accuracy(y, model.Predict(x)), 0.95);
+}
+
+TEST(LinearSvmTest, DecisionMarginsFavorTrueClass) {
+  Rng rng(8);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(30, 0.4, &rng, &x, &y);
+  LinearSvm model;
+  model.Fit(x, y, 3);
+  const la::DenseMatrix margins = model.DecisionFunction(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (la::ArgMax(margins.Row(i)) == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.rows()),
+            0.95);
+}
+
+TEST(LinearSvmTest, ProbaRowsSumToOne) {
+  Rng rng(9);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(20, 1.0, &rng, &x, &y);
+  LinearSvm model;
+  model.Fit(x, y, 3);
+  const la::DenseMatrix proba = model.PredictProba(x);
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    EXPECT_TRUE(la::IsProbabilityVector(proba.Row(i), 1e-9));
+  }
+}
+
+TEST(LinearSvmTest, BinaryProblem) {
+  la::DenseMatrix x = la::DenseMatrix::FromRows(
+      {{-1.0, 0.0}, {-1.2, 0.1}, {1.0, 0.0}, {1.1, -0.1}});
+  LinearSvm model;
+  model.Fit(x, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(model.Predict(x), (std::vector<std::size_t>{0, 0, 1, 1}));
+}
+
+TEST(LinearSvmTest, DeterministicGivenSeed) {
+  Rng rng(10);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(15, 0.6, &rng, &x, &y);
+  LinearSvm a, b;
+  a.Fit(x, y, 3);
+  b.Fit(x, y, 3);
+  EXPECT_DOUBLE_EQ(
+      a.DecisionFunction(x).MaxAbsDiff(b.DecisionFunction(x)), 0.0);
+}
+
+TEST(LinearSvmTest, InputValidation) {
+  LinearSvm model;
+  la::DenseMatrix x(2, 2);
+  EXPECT_THROW(model.Fit(x, {0}, 2), CheckError);
+  EXPECT_THROW(model.Fit(x, {0, 5}, 2), CheckError);
+  EXPECT_THROW(model.DecisionFunction(x), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::ml

@@ -1,0 +1,113 @@
+#include "tmark/ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::ml {
+namespace {
+
+/// Three Gaussian blobs, one per class.
+void MakeBlobs(std::size_t per_class, double spread, Rng* rng,
+               la::DenseMatrix* x, std::vector<std::size_t>* y) {
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  *x = la::DenseMatrix(3 * per_class, 2);
+  y->clear();
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      x->At(row, 0) = rng->Normal(centers[c][0], spread);
+      x->At(row, 1) = rng->Normal(centers[c][1], spread);
+      y->push_back(c);
+    }
+  }
+}
+
+TEST(SoftmaxTest, NormalizesAndOrders) {
+  la::Vector v = {1.0, 3.0, 2.0};
+  SoftmaxInPlace(&v);
+  EXPECT_TRUE(la::IsProbabilityVector(v, 1e-12));
+  EXPECT_GT(v[1], v[2]);
+  EXPECT_GT(v[2], v[0]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  la::Vector v = {1000.0, 1001.0};
+  SoftmaxInPlace(&v);
+  EXPECT_TRUE(la::IsProbabilityVector(v, 1e-12));
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(LogisticRegressionTest, SeparableBlobsLearned) {
+  Rng rng(3);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(40, 0.5, &rng, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y, 3);
+  EXPECT_GT(Accuracy(y, model.Predict(x)), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbaRowsSumToOne) {
+  Rng rng(4);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(20, 1.0, &rng, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y, 3);
+  const la::DenseMatrix proba = model.PredictProba(x);
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    EXPECT_TRUE(la::IsProbabilityVector(proba.Row(i), 1e-9));
+  }
+}
+
+TEST(LogisticRegressionTest, TrainingReducesLoss) {
+  Rng rng(5);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(30, 0.8, &rng, &x, &y);
+  LogisticRegressionConfig short_config;
+  short_config.epochs = 1;
+  LogisticRegression short_model(short_config);
+  short_model.Fit(x, y, 3);
+  LogisticRegression long_model;
+  long_model.Fit(x, y, 3);
+  EXPECT_LT(long_model.Loss(x, y), short_model.Loss(x, y));
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  Rng rng(6);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(15, 0.7, &rng, &x, &y);
+  LogisticRegression a, b;
+  a.Fit(x, y, 3);
+  b.Fit(x, y, 3);
+  EXPECT_DOUBLE_EQ(a.weights().MaxAbsDiff(b.weights()), 0.0);
+}
+
+TEST(LogisticRegressionTest, InputValidation) {
+  LogisticRegression model;
+  la::DenseMatrix x(2, 2);
+  EXPECT_THROW(model.Fit(x, {0}, 2), CheckError);        // size mismatch
+  EXPECT_THROW(model.Fit(x, {0, 2}, 2), CheckError);     // label out of range
+  EXPECT_THROW(model.Fit(x, {0, 0}, 1), CheckError);     // < 2 classes
+  EXPECT_THROW(model.PredictProba(x), CheckError);       // unfitted
+}
+
+TEST(LogisticRegressionTest, UnseenClassGetsZeroishProbability) {
+  // Train with targets only from classes {0, 1} but declare 3 classes.
+  la::DenseMatrix x = la::DenseMatrix::FromRows(
+      {{0.0, 1.0}, {0.0, 1.2}, {1.0, 0.0}, {1.2, 0.0}});
+  LogisticRegression model;
+  model.Fit(x, {0, 0, 1, 1}, 3);
+  const la::DenseMatrix proba = model.PredictProba(x);
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    EXPECT_LT(proba.At(i, 2), 0.34);
+  }
+}
+
+}  // namespace
+}  // namespace tmark::ml

@@ -1,0 +1,73 @@
+#include "tmark/ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+
+namespace tmark::ml {
+namespace {
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2, 0}, {0, 1, 0, 1}), 0.5);
+  EXPECT_THROW(Accuracy({}, {}), CheckError);
+  EXPECT_THROW(Accuracy({0}, {0, 1}), CheckError);
+}
+
+TEST(ConfusionMatrixTest, CountsEntries) {
+  const la::DenseMatrix cm =
+      ConfusionMatrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_DOUBLE_EQ(cm.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.At(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(cm.At(1, 0), 1.0);
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+}
+
+TEST(MacroF1Test, HandComputedCase) {
+  // Class 0: tp=1 fp=1 fn=0 -> f1 = 2/3; class 1: tp=1 fp=0 fn=1 -> 2/3.
+  const double f1 = MacroF1({0, 1, 1}, {0, 1, 0}, 2);
+  EXPECT_NEAR(f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassesSkipped) {
+  // Class 2 appears nowhere; macro-F1 averages classes 0 and 1 only.
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1}, {0, 1}, 3), 1.0);
+}
+
+TEST(MultiLabelMacroF1Test, PerfectAndPartial) {
+  EXPECT_DOUBLE_EQ(MultiLabelMacroF1({{0, 1}, {1}}, {{0, 1}, {1}}, 2), 1.0);
+  // Class 0: tp=1 fp=0 fn=0 -> 1.0. Class 1: tp=1 fp=1 fn=1 -> 0.5.
+  const double f1 =
+      MultiLabelMacroF1({{0, 1}, {0}}, {{0, 1}, {0, 1}}, 2);
+  // Hmm: class 1 truth {node0}, predicted {node0, node1}: tp=1 fp=1 fn=0
+  // -> 2/3. Average = (1.0 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(f1, 5.0 / 6.0, 1e-12);
+}
+
+TEST(MultiLabelMacroF1Test, EmptyPredictionsScoreZeroRecall) {
+  const double f1 = MultiLabelMacroF1({{0}, {0}}, {{}, {}}, 1);
+  EXPECT_DOUBLE_EQ(f1, 0.0);
+}
+
+TEST(MultiLabelMicroF1Test, PoolsGlobally) {
+  // tp = 2, fp = 1, fn = 1 -> micro F1 = 2*2 / (2*2 + 1 + 1) = 2/3.
+  const double f1 = MultiLabelMicroF1({{0, 1}, {1}}, {{0}, {1, 0}});
+  // node0: pred {0}: tp=1, fn(label 1)=1. node1: pred {1,0}: tp=1, fp=1.
+  EXPECT_NEAR(f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MultiLabelMicroF1Test, AllEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MultiLabelMicroF1({{}, {}}, {{}, {}}), 0.0);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  EXPECT_THROW(MultiLabelMacroF1({{0}}, {{0}, {1}}, 2), CheckError);
+  EXPECT_THROW(MultiLabelMicroF1({{0}}, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::ml

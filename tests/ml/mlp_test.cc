@@ -1,0 +1,124 @@
+#include "tmark/ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+#include "tmark/ml/metrics.h"
+
+namespace tmark::ml {
+namespace {
+
+void MakeBlobs(std::size_t per_class, double spread, Rng* rng,
+               la::DenseMatrix* x, std::vector<std::size_t>* y) {
+  const double centers[2][2] = {{0.0, 0.0}, {3.0, 3.0}};
+  *x = la::DenseMatrix(2 * per_class, 2);
+  y->clear();
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      x->At(row, 0) = rng->Normal(centers[c][0], spread);
+      x->At(row, 1) = rng->Normal(centers[c][1], spread);
+      y->push_back(c);
+    }
+  }
+}
+
+/// XOR: not linearly separable; requires the nonlinear hidden layers.
+void MakeXor(std::size_t per_quadrant, Rng* rng, la::DenseMatrix* x,
+             std::vector<std::size_t>* y) {
+  *x = la::DenseMatrix(4 * per_quadrant, 2);
+  y->clear();
+  const double signs[4][2] = {{1, 1}, {-1, -1}, {1, -1}, {-1, 1}};
+  for (std::size_t quad = 0; quad < 4; ++quad) {
+    for (std::size_t i = 0; i < per_quadrant; ++i) {
+      const std::size_t row = quad * per_quadrant + i;
+      x->At(row, 0) = signs[quad][0] * rng->Uniform(0.5, 1.5);
+      x->At(row, 1) = signs[quad][1] * rng->Uniform(0.5, 1.5);
+      y->push_back(quad < 2 ? 0 : 1);
+    }
+  }
+}
+
+TEST(HighwayMlpTest, LearnsLinearBlobs) {
+  Rng rng(1);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(40, 0.5, &rng, &x, &y);
+  HighwayMlp net;
+  net.Fit(x, y, 2);
+  EXPECT_GT(Accuracy(y, net.Predict(x)), 0.95);
+}
+
+TEST(HighwayMlpTest, LearnsXor) {
+  Rng rng(2);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeXor(30, &rng, &x, &y);
+  HighwayMlpConfig config;
+  config.epochs = 300;
+  config.hidden = 16;
+  HighwayMlp net(config);
+  net.Fit(x, y, 2);
+  EXPECT_GT(Accuracy(y, net.Predict(x)), 0.9);
+}
+
+TEST(HighwayMlpTest, TrainingReducesLoss) {
+  Rng rng(3);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeXor(20, &rng, &x, &y);
+  HighwayMlpConfig brief;
+  brief.epochs = 1;
+  HighwayMlp a(brief);
+  a.Fit(x, y, 2);
+  HighwayMlpConfig longer;
+  longer.epochs = 200;
+  HighwayMlp b(longer);
+  b.Fit(x, y, 2);
+  EXPECT_LT(b.Loss(x, y), a.Loss(x, y));
+}
+
+TEST(HighwayMlpTest, ProbaRowsSumToOne) {
+  Rng rng(4);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(20, 1.0, &rng, &x, &y);
+  HighwayMlp net;
+  net.Fit(x, y, 2);
+  const la::DenseMatrix proba = net.PredictProba(x);
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    EXPECT_TRUE(la::IsProbabilityVector(proba.Row(i), 1e-9));
+  }
+}
+
+TEST(HighwayMlpTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(10, 0.6, &rng, &x, &y);
+  HighwayMlp a, b;
+  a.Fit(x, y, 2);
+  b.Fit(x, y, 2);
+  EXPECT_DOUBLE_EQ(a.PredictProba(x).MaxAbsDiff(b.PredictProba(x)), 0.0);
+}
+
+TEST(HighwayMlpTest, ZeroHighwayLayersStillWorks) {
+  Rng rng(6);
+  la::DenseMatrix x;
+  std::vector<std::size_t> y;
+  MakeBlobs(30, 0.5, &rng, &x, &y);
+  HighwayMlpConfig config;
+  config.num_highway_layers = 0;
+  HighwayMlp net(config);
+  net.Fit(x, y, 2);
+  EXPECT_GT(Accuracy(y, net.Predict(x)), 0.9);
+}
+
+TEST(HighwayMlpTest, UnfittedPredictThrows) {
+  HighwayMlp net;
+  EXPECT_THROW(net.PredictProba(la::DenseMatrix(1, 2)), CheckError);
+}
+
+}  // namespace
+}  // namespace tmark::ml

@@ -1,0 +1,95 @@
+#include "tmark/ml/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+
+namespace tmark::ml {
+namespace {
+
+/// Minimizes f(p) = 0.5 * ||p - target||^2 with the given optimizer.
+double Converge(Optimizer* opt, std::vector<double> params,
+                const std::vector<double>& target, int steps) {
+  std::vector<double> grads(params.size());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      grads[i] = params[i] - target[i];
+    }
+    opt->Step(grads, &params);
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    err += std::abs(params[i] - target[i]);
+  }
+  return err;
+}
+
+TEST(SgdOptimizerTest, ConvergesOnQuadratic) {
+  SgdOptimizer opt(3, 0.1);
+  EXPECT_LT(Converge(&opt, {0.0, 0.0, 0.0}, {1.0, -2.0, 3.0}, 200), 1e-6);
+}
+
+TEST(SgdOptimizerTest, MomentumAccelerates) {
+  SgdOptimizer plain(1, 0.01);
+  SgdOptimizer momentum(1, 0.01, 0.9);
+  const double err_plain = Converge(&plain, {0.0}, {5.0}, 50);
+  const double err_momentum = Converge(&momentum, {0.0}, {5.0}, 50);
+  EXPECT_LT(err_momentum, err_plain);
+}
+
+TEST(SgdOptimizerTest, ResetClearsVelocity) {
+  SgdOptimizer opt(1, 0.5, 0.9);
+  std::vector<double> p = {0.0};
+  opt.Step({1.0}, &p);
+  opt.Reset();
+  std::vector<double> p2 = {0.0};
+  opt.Step({1.0}, &p2);
+  EXPECT_DOUBLE_EQ(p[0], p2[0]);
+}
+
+TEST(SgdOptimizerTest, InvalidHyperparamsThrow) {
+  EXPECT_THROW(SgdOptimizer(1, 0.0), CheckError);
+  EXPECT_THROW(SgdOptimizer(1, 0.1, 1.0), CheckError);
+}
+
+TEST(SgdOptimizerTest, SizeMismatchThrows) {
+  SgdOptimizer opt(2, 0.1);
+  std::vector<double> p = {0.0};
+  EXPECT_THROW(opt.Step({1.0, 2.0}, &p), CheckError);
+}
+
+TEST(AdamOptimizerTest, ConvergesOnQuadratic) {
+  AdamOptimizer opt(3, 0.1);
+  EXPECT_LT(Converge(&opt, {0.0, 0.0, 0.0}, {1.0, -2.0, 3.0}, 500), 1e-4);
+}
+
+TEST(AdamOptimizerTest, HandlesIllConditionedScales) {
+  // Adam's per-coordinate scaling copes with wildly different curvatures.
+  AdamOptimizer opt(2, 0.05);
+  std::vector<double> params = {0.0, 0.0};
+  const std::vector<double> target = {100.0, 0.001};
+  std::vector<double> grads(2);
+  for (int s = 0; s < 4000; ++s) {
+    grads[0] = 0.01 * (params[0] - target[0]);
+    grads[1] = 100.0 * (params[1] - target[1]);
+    opt.Step(grads, &params);
+  }
+  EXPECT_NEAR(params[1], target[1], 1e-3);
+  EXPECT_GT(params[0], 50.0);
+}
+
+TEST(AdamOptimizerTest, ResetRestartsMoments) {
+  AdamOptimizer opt(1, 0.1);
+  std::vector<double> p = {0.0};
+  opt.Step({1.0}, &p);
+  const double first = p[0];
+  opt.Reset();
+  std::vector<double> p2 = {0.0};
+  opt.Step({1.0}, &p2);
+  EXPECT_DOUBLE_EQ(first, p2[0]);
+}
+
+}  // namespace
+}  // namespace tmark::ml

@@ -1,0 +1,176 @@
+#include "tmark/tensor/transition_tensors.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+#include "tmark/common/random.h"
+#include "tmark/la/vector_ops.h"
+
+namespace tmark::tensor {
+namespace {
+
+SparseTensor3 RandomTensor(std::size_t n, std::size_t m, double density,
+                           Rng* rng) {
+  std::vector<TensorEntry> entries;
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng->Bernoulli(density)) {
+          entries.push_back({static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(j),
+                             static_cast<std::uint32_t>(k),
+                             rng->Uniform(0.1, 1.0)});
+        }
+      }
+    }
+  }
+  return SparseTensor3::FromEntries(n, m, std::move(entries));
+}
+
+la::Vector RandomProbability(std::size_t n, Rng* rng) {
+  la::Vector v(n);
+  for (double& x : v) x = rng->Uniform(0.01, 1.0);
+  la::NormalizeL1(&v);
+  return v;
+}
+
+TEST(TransitionTensorsTest, OColumnsAreStochastic) {
+  // Eq. (1): each (j, k) column of O sums to one, including dangling ones.
+  Rng rng(1);
+  const SparseTensor3 a = RandomTensor(6, 3, 0.25, &rng);
+  const TransitionTensors t = TransitionTensors::Build(a);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < 6; ++i) sum += t.OEntry(i, j, k);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "column (" << j << "," << k << ")";
+    }
+  }
+}
+
+TEST(TransitionTensorsTest, RFibersAreStochastic) {
+  // Eq. (2): for every (i, j) pair, sum_k R[i,j,k] = 1 (dangling -> 1/m).
+  Rng rng(2);
+  const SparseTensor3 a = RandomTensor(5, 4, 0.2, &rng);
+  const TransitionTensors t = TransitionTensors::Build(a);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) sum += t.REntry(i, j, k);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "fiber (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TransitionTensorsTest, DanglingColumnIsUniform) {
+  // Node 2 has no outgoing link in relation 0 -> its column is 1/n.
+  const SparseTensor3 a = SparseTensor3::FromEntries(
+      3, 1, {{0, 1, 0, 1.0}, {1, 0, 0, 1.0}});
+  const TransitionTensors t = TransitionTensors::Build(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(t.OEntry(i, 2, 0), 1.0 / 3.0);
+  }
+  ASSERT_EQ(t.dangling_columns()[0].size(), 1u);
+  EXPECT_EQ(t.dangling_columns()[0][0], 2u);
+}
+
+TEST(TransitionTensorsTest, UnlinkedPairIsUniformOverRelations) {
+  const SparseTensor3 a = SparseTensor3::FromEntries(
+      3, 2, {{0, 1, 0, 1.0}, {0, 1, 1, 3.0}});
+  const TransitionTensors t = TransitionTensors::Build(a);
+  // Linked pair (0,1): normalized over relations.
+  EXPECT_DOUBLE_EQ(t.REntry(0, 1, 0), 0.25);
+  EXPECT_DOUBLE_EQ(t.REntry(0, 1, 1), 0.75);
+  // Unlinked pair (2,0): uniform 1/m.
+  EXPECT_DOUBLE_EQ(t.REntry(2, 0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t.REntry(2, 0, 1), 0.5);
+}
+
+TEST(TransitionTensorsTest, ApplyOMatchesDenseReference) {
+  Rng rng(3);
+  const SparseTensor3 a = RandomTensor(7, 3, 0.2, &rng);
+  const TransitionTensors t = TransitionTensors::Build(a);
+  const la::Vector x = RandomProbability(7, &rng);
+  const la::Vector z = RandomProbability(3, &rng);
+  const la::Vector fast = t.ApplyO(x, z);
+  for (std::size_t i = 0; i < 7; ++i) {
+    double expect = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        expect += t.OEntry(i, j, k) * x[j] * z[k];
+      }
+    }
+    EXPECT_NEAR(fast[i], expect, 1e-12);
+  }
+}
+
+TEST(TransitionTensorsTest, ApplyRMatchesDenseReference) {
+  Rng rng(4);
+  const SparseTensor3 a = RandomTensor(6, 4, 0.15, &rng);
+  const TransitionTensors t = TransitionTensors::Build(a);
+  const la::Vector x = RandomProbability(6, &rng);
+  const la::Vector fast = t.ApplyR(x, x);
+  for (std::size_t k = 0; k < 4; ++k) {
+    double expect = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        expect += t.REntry(i, j, k) * x[i] * x[j];
+      }
+    }
+    EXPECT_NEAR(fast[k], expect, 1e-12);
+  }
+}
+
+/// Theorem 1 (simplex preservation), swept over random tensors.
+class SimplexPreservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPreservationTest, ApplyOAndApplyRStayOnSimplex) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 4 + rng.UniformInt(8);
+  const std::size_t m = 2 + rng.UniformInt(4);
+  const SparseTensor3 a = RandomTensor(n, m, 0.15, &rng);
+  const TransitionTensors t = TransitionTensors::Build(a);
+  la::Vector x = RandomProbability(n, &rng);
+  la::Vector z = RandomProbability(m, &rng);
+  for (int step = 0; step < 5; ++step) {
+    x = t.ApplyO(x, z);
+    z = t.ApplyR(x, x);
+    EXPECT_TRUE(la::IsProbabilityVector(x, 1e-9));
+    EXPECT_TRUE(la::IsProbabilityVector(z, 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPreservationTest,
+                         ::testing::Range(100, 112));
+
+TEST(TransitionTensorsTest, DenseSliceMaterialization) {
+  const SparseTensor3 a = SparseTensor3::FromEntries(
+      2, 1, {{0, 1, 0, 2.0}, {1, 1, 0, 2.0}});
+  const TransitionTensors t = TransitionTensors::Build(a);
+  const la::DenseMatrix o = t.DenseOSlice(0);
+  // Column 0 dangling -> uniform; column 1 normalized (0.5, 0.5).
+  EXPECT_DOUBLE_EQ(o.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(o.At(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(o.At(1, 1), 0.5);
+  const la::DenseMatrix r = t.DenseRSlice(0);
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 1.0);  // only relation on the linked pair
+  EXPECT_DOUBLE_EQ(r.At(0, 0), 1.0);  // unlinked -> 1/m with m = 1
+}
+
+TEST(TransitionTensorsTest, RejectsNegativeTensor) {
+  const SparseTensor3 neg =
+      SparseTensor3::FromEntries(2, 1, {{0, 1, 0, -1.0}});
+  EXPECT_THROW(TransitionTensors::Build(neg), CheckError);
+}
+
+TEST(TransitionTensorsTest, WeightsInfluenceO) {
+  // Column (j=0, k=0) has entries 1 and 3 -> probabilities 0.25 / 0.75.
+  const SparseTensor3 a = SparseTensor3::FromEntries(
+      2, 1, {{0, 0, 0, 1.0}, {1, 0, 0, 3.0}});
+  const TransitionTensors t = TransitionTensors::Build(a);
+  EXPECT_DOUBLE_EQ(t.OEntry(0, 0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(t.OEntry(1, 0, 0), 0.75);
+}
+
+}  // namespace
+}  // namespace tmark::tensor
