@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tmark"
+  "../bench/bench_ablation_tmark.pdb"
+  "CMakeFiles/bench_ablation_tmark.dir/bench_ablation_tmark.cc.o"
+  "CMakeFiles/bench_ablation_tmark.dir/bench_ablation_tmark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_acm_links"
+  "../bench/bench_fig5_acm_links.pdb"
+  "CMakeFiles/bench_fig5_acm_links.dir/bench_fig5_acm_links.cc.o"
+  "CMakeFiles/bench_fig5_acm_links.dir/bench_fig5_acm_links.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_acm_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_9_gamma"
+  "../bench/bench_fig8_9_gamma.pdb"
+  "CMakeFiles/bench_fig8_9_gamma.dir/bench_fig8_9_gamma.cc.o"
+  "CMakeFiles/bench_fig8_9_gamma.dir/bench_fig8_9_gamma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_paper_example"
+  "../bench/bench_paper_example.pdb"
+  "CMakeFiles/bench_paper_example.dir/bench_paper_example.cc.o"
+  "CMakeFiles/bench_paper_example.dir/bench_paper_example.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

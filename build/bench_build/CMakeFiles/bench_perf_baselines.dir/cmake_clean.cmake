@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_baselines"
+  "../bench/bench_perf_baselines.pdb"
+  "CMakeFiles/bench_perf_baselines.dir/bench_perf_baselines.cc.o"
+  "CMakeFiles/bench_perf_baselines.dir/bench_perf_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

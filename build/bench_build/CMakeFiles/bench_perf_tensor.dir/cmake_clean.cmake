@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_tensor"
+  "../bench/bench_perf_tensor.pdb"
+  "CMakeFiles/bench_perf_tensor.dir/bench_perf_tensor.cc.o"
+  "CMakeFiles/bench_perf_tensor.dir/bench_perf_tensor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_tmark"
+  "../bench/bench_perf_tmark.pdb"
+  "CMakeFiles/bench_perf_tmark.dir/bench_perf_tmark.cc.o"
+  "CMakeFiles/bench_perf_tmark.dir/bench_perf_tmark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_tmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

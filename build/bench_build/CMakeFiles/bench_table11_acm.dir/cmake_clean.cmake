@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_acm"
+  "../bench/bench_table11_acm.pdb"
+  "CMakeFiles/bench_table11_acm.dir/bench_table11_acm.cc.o"
+  "CMakeFiles/bench_table11_acm.dir/bench_table11_acm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_dblp"
+  "../bench/bench_table3_dblp.pdb"
+  "CMakeFiles/bench_table3_dblp.dir/bench_table3_dblp.cc.o"
+  "CMakeFiles/bench_table3_dblp.dir/bench_table3_dblp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_movies"
+  "../bench/bench_table4_movies.pdb"
+  "CMakeFiles/bench_table4_movies.dir/bench_table4_movies.cc.o"
+  "CMakeFiles/bench_table4_movies.dir/bench_table4_movies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_movies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_movies_ranking"
+  "../bench/bench_table5_movies_ranking.pdb"
+  "CMakeFiles/bench_table5_movies_ranking.dir/bench_table5_movies_ranking.cc.o"
+  "CMakeFiles/bench_table5_movies_ranking.dir/bench_table5_movies_ranking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_movies_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_nus_tagsets"
+  "../bench/bench_table8_nus_tagsets.pdb"
+  "CMakeFiles/bench_table8_nus_tagsets.dir/bench_table8_nus_tagsets.cc.o"
+  "CMakeFiles/bench_table8_nus_tagsets.dir/bench_table8_nus_tagsets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_nus_tagsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_nus_tagsets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_acm_multilabel.dir/acm_multilabel.cpp.o"
+  "CMakeFiles/example_acm_multilabel.dir/acm_multilabel.cpp.o.d"
+  "example_acm_multilabel"
+  "example_acm_multilabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_acm_multilabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_acm_multilabel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dblp_author_classification.dir/dblp_author_classification.cpp.o"
+  "CMakeFiles/example_dblp_author_classification.dir/dblp_author_classification.cpp.o.d"
+  "example_dblp_author_classification"
+  "example_dblp_author_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dblp_author_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_dblp_author_classification.
+# This may be replaced when dependencies are built.

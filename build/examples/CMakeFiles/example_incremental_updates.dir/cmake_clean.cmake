@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incremental_updates.dir/incremental_updates.cpp.o"
+  "CMakeFiles/example_incremental_updates.dir/incremental_updates.cpp.o.d"
+  "example_incremental_updates"
+  "example_incremental_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incremental_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

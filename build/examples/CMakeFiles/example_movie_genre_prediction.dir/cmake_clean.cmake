@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_movie_genre_prediction.dir/movie_genre_prediction.cpp.o"
+  "CMakeFiles/example_movie_genre_prediction.dir/movie_genre_prediction.cpp.o.d"
+  "example_movie_genre_prediction"
+  "example_movie_genre_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_movie_genre_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

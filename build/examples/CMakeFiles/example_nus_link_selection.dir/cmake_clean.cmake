@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nus_link_selection.dir/nus_link_selection.cpp.o"
+  "CMakeFiles/example_nus_link_selection.dir/nus_link_selection.cpp.o.d"
+  "example_nus_link_selection"
+  "example_nus_link_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nus_link_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

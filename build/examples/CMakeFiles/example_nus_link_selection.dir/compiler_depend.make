@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_nus_link_selection.
+# This may be replaced when dependencies are built.

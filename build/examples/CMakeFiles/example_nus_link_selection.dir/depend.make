@@ -1,0 +1,2 @@
+# Empty dependencies file for example_nus_link_selection.
+# This may be replaced when dependencies are built.

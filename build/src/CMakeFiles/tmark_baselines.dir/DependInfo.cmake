@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/baselines/emr.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/emr.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/emr.cc.o.d"
+  "/root/repo/src/tmark/baselines/gnetmine.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/gnetmine.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/gnetmine.cc.o.d"
+  "/root/repo/src/tmark/baselines/graph_inception.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/graph_inception.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/graph_inception.cc.o.d"
+  "/root/repo/src/tmark/baselines/hcc.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/hcc.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/hcc.cc.o.d"
+  "/root/repo/src/tmark/baselines/highway_net.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/highway_net.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/highway_net.cc.o.d"
+  "/root/repo/src/tmark/baselines/ica.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/ica.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/ica.cc.o.d"
+  "/root/repo/src/tmark/baselines/rankclass.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/rankclass.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/rankclass.cc.o.d"
+  "/root/repo/src/tmark/baselines/registry.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/registry.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/registry.cc.o.d"
+  "/root/repo/src/tmark/baselines/relational_features.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/relational_features.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/relational_features.cc.o.d"
+  "/root/repo/src/tmark/baselines/wvrn_rl.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/wvrn_rl.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/wvrn_rl.cc.o.d"
+  "/root/repo/src/tmark/baselines/zoobp.cc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/zoobp.cc.o" "gcc" "src/CMakeFiles/tmark_baselines.dir/tmark/baselines/zoobp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

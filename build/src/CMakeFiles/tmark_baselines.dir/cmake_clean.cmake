@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/emr.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/emr.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/gnetmine.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/gnetmine.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/graph_inception.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/graph_inception.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/hcc.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/hcc.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/highway_net.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/highway_net.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/ica.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/ica.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/rankclass.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/rankclass.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/registry.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/registry.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/relational_features.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/relational_features.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/wvrn_rl.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/wvrn_rl.cc.o.d"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/zoobp.cc.o"
+  "CMakeFiles/tmark_baselines.dir/tmark/baselines/zoobp.cc.o.d"
+  "libtmark_baselines.a"
+  "libtmark_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

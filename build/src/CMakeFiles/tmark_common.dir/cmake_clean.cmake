@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_common.dir/tmark/common/random.cc.o"
+  "CMakeFiles/tmark_common.dir/tmark/common/random.cc.o.d"
+  "CMakeFiles/tmark_common.dir/tmark/common/string_util.cc.o"
+  "CMakeFiles/tmark_common.dir/tmark/common/string_util.cc.o.d"
+  "libtmark_common.a"
+  "libtmark_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/core/har.cc" "src/CMakeFiles/tmark_core.dir/tmark/core/har.cc.o" "gcc" "src/CMakeFiles/tmark_core.dir/tmark/core/har.cc.o.d"
+  "/root/repo/src/tmark/core/model_io.cc" "src/CMakeFiles/tmark_core.dir/tmark/core/model_io.cc.o" "gcc" "src/CMakeFiles/tmark_core.dir/tmark/core/model_io.cc.o.d"
+  "/root/repo/src/tmark/core/multirank.cc" "src/CMakeFiles/tmark_core.dir/tmark/core/multirank.cc.o" "gcc" "src/CMakeFiles/tmark_core.dir/tmark/core/multirank.cc.o.d"
+  "/root/repo/src/tmark/core/tensor_rrcc.cc" "src/CMakeFiles/tmark_core.dir/tmark/core/tensor_rrcc.cc.o" "gcc" "src/CMakeFiles/tmark_core.dir/tmark/core/tensor_rrcc.cc.o.d"
+  "/root/repo/src/tmark/core/tmark.cc" "src/CMakeFiles/tmark_core.dir/tmark/core/tmark.cc.o" "gcc" "src/CMakeFiles/tmark_core.dir/tmark/core/tmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

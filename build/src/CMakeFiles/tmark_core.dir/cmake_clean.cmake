@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_core.dir/tmark/core/har.cc.o"
+  "CMakeFiles/tmark_core.dir/tmark/core/har.cc.o.d"
+  "CMakeFiles/tmark_core.dir/tmark/core/model_io.cc.o"
+  "CMakeFiles/tmark_core.dir/tmark/core/model_io.cc.o.d"
+  "CMakeFiles/tmark_core.dir/tmark/core/multirank.cc.o"
+  "CMakeFiles/tmark_core.dir/tmark/core/multirank.cc.o.d"
+  "CMakeFiles/tmark_core.dir/tmark/core/tensor_rrcc.cc.o"
+  "CMakeFiles/tmark_core.dir/tmark/core/tensor_rrcc.cc.o.d"
+  "CMakeFiles/tmark_core.dir/tmark/core/tmark.cc.o"
+  "CMakeFiles/tmark_core.dir/tmark/core/tmark.cc.o.d"
+  "libtmark_core.a"
+  "libtmark_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

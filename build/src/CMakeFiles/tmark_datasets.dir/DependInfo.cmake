@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/datasets/acm.cc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/acm.cc.o" "gcc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/acm.cc.o.d"
+  "/root/repo/src/tmark/datasets/dblp.cc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/dblp.cc.o" "gcc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/dblp.cc.o.d"
+  "/root/repo/src/tmark/datasets/movies.cc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/movies.cc.o" "gcc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/movies.cc.o.d"
+  "/root/repo/src/tmark/datasets/nus.cc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/nus.cc.o" "gcc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/nus.cc.o.d"
+  "/root/repo/src/tmark/datasets/paper_example.cc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/paper_example.cc.o" "gcc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/paper_example.cc.o.d"
+  "/root/repo/src/tmark/datasets/synthetic_hin.cc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/synthetic_hin.cc.o" "gcc" "src/CMakeFiles/tmark_datasets.dir/tmark/datasets/synthetic_hin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/acm.cc.o"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/acm.cc.o.d"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/dblp.cc.o"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/dblp.cc.o.d"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/movies.cc.o"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/movies.cc.o.d"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/nus.cc.o"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/nus.cc.o.d"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/paper_example.cc.o"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/paper_example.cc.o.d"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/synthetic_hin.cc.o"
+  "CMakeFiles/tmark_datasets.dir/tmark/datasets/synthetic_hin.cc.o.d"
+  "libtmark_datasets.a"
+  "libtmark_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_eval.dir/tmark/eval/experiment.cc.o"
+  "CMakeFiles/tmark_eval.dir/tmark/eval/experiment.cc.o.d"
+  "CMakeFiles/tmark_eval.dir/tmark/eval/stats.cc.o"
+  "CMakeFiles/tmark_eval.dir/tmark/eval/stats.cc.o.d"
+  "CMakeFiles/tmark_eval.dir/tmark/eval/table_printer.cc.o"
+  "CMakeFiles/tmark_eval.dir/tmark/eval/table_printer.cc.o.d"
+  "libtmark_eval.a"
+  "libtmark_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

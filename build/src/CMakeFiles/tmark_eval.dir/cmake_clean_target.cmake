@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmark_eval.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/hin/feature_similarity.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/feature_similarity.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/feature_similarity.cc.o.d"
+  "/root/repo/src/tmark/hin/hin.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/hin.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/hin.cc.o.d"
+  "/root/repo/src/tmark/hin/hin_builder.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/hin_builder.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/hin_builder.cc.o.d"
+  "/root/repo/src/tmark/hin/hin_io.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/hin_io.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/hin_io.cc.o.d"
+  "/root/repo/src/tmark/hin/label_vector.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/label_vector.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/label_vector.cc.o.d"
+  "/root/repo/src/tmark/hin/meta_path.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/meta_path.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/meta_path.cc.o.d"
+  "/root/repo/src/tmark/hin/similarity_kernel.cc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/similarity_kernel.cc.o" "gcc" "src/CMakeFiles/tmark_hin.dir/tmark/hin/similarity_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

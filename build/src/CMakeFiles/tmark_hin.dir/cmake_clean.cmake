@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_hin.dir/tmark/hin/feature_similarity.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/feature_similarity.cc.o.d"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/hin.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/hin.cc.o.d"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/hin_builder.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/hin_builder.cc.o.d"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/hin_io.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/hin_io.cc.o.d"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/label_vector.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/label_vector.cc.o.d"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/meta_path.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/meta_path.cc.o.d"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/similarity_kernel.cc.o"
+  "CMakeFiles/tmark_hin.dir/tmark/hin/similarity_kernel.cc.o.d"
+  "libtmark_hin.a"
+  "libtmark_hin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_hin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/la/dense_matrix.cc" "src/CMakeFiles/tmark_la.dir/tmark/la/dense_matrix.cc.o" "gcc" "src/CMakeFiles/tmark_la.dir/tmark/la/dense_matrix.cc.o.d"
+  "/root/repo/src/tmark/la/sparse_matrix.cc" "src/CMakeFiles/tmark_la.dir/tmark/la/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/tmark_la.dir/tmark/la/sparse_matrix.cc.o.d"
+  "/root/repo/src/tmark/la/vector_ops.cc" "src/CMakeFiles/tmark_la.dir/tmark/la/vector_ops.cc.o" "gcc" "src/CMakeFiles/tmark_la.dir/tmark/la/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_la.dir/tmark/la/dense_matrix.cc.o"
+  "CMakeFiles/tmark_la.dir/tmark/la/dense_matrix.cc.o.d"
+  "CMakeFiles/tmark_la.dir/tmark/la/sparse_matrix.cc.o"
+  "CMakeFiles/tmark_la.dir/tmark/la/sparse_matrix.cc.o.d"
+  "CMakeFiles/tmark_la.dir/tmark/la/vector_ops.cc.o"
+  "CMakeFiles/tmark_la.dir/tmark/la/vector_ops.cc.o.d"
+  "libtmark_la.a"
+  "libtmark_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

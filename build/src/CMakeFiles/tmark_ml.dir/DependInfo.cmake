@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/ml/graph_conv.cc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/graph_conv.cc.o" "gcc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/graph_conv.cc.o.d"
+  "/root/repo/src/tmark/ml/linear_svm.cc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/linear_svm.cc.o.d"
+  "/root/repo/src/tmark/ml/logistic_regression.cc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/tmark/ml/metrics.cc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/metrics.cc.o" "gcc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/metrics.cc.o.d"
+  "/root/repo/src/tmark/ml/mlp.cc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/mlp.cc.o" "gcc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/mlp.cc.o.d"
+  "/root/repo/src/tmark/ml/optimizer.cc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/optimizer.cc.o" "gcc" "src/CMakeFiles/tmark_ml.dir/tmark/ml/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_ml.dir/tmark/ml/graph_conv.cc.o"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/graph_conv.cc.o.d"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/linear_svm.cc.o"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/linear_svm.cc.o.d"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/logistic_regression.cc.o"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/metrics.cc.o"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/metrics.cc.o.d"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/mlp.cc.o"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/mlp.cc.o.d"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/optimizer.cc.o"
+  "CMakeFiles/tmark_ml.dir/tmark/ml/optimizer.cc.o.d"
+  "libtmark_ml.a"
+  "libtmark_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmark/tensor/matricization.cc" "src/CMakeFiles/tmark_tensor.dir/tmark/tensor/matricization.cc.o" "gcc" "src/CMakeFiles/tmark_tensor.dir/tmark/tensor/matricization.cc.o.d"
+  "/root/repo/src/tmark/tensor/sparse_tensor3.cc" "src/CMakeFiles/tmark_tensor.dir/tmark/tensor/sparse_tensor3.cc.o" "gcc" "src/CMakeFiles/tmark_tensor.dir/tmark/tensor/sparse_tensor3.cc.o.d"
+  "/root/repo/src/tmark/tensor/transition_tensors.cc" "src/CMakeFiles/tmark_tensor.dir/tmark/tensor/transition_tensors.cc.o" "gcc" "src/CMakeFiles/tmark_tensor.dir/tmark/tensor/transition_tensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_tensor.dir/tmark/tensor/matricization.cc.o"
+  "CMakeFiles/tmark_tensor.dir/tmark/tensor/matricization.cc.o.d"
+  "CMakeFiles/tmark_tensor.dir/tmark/tensor/sparse_tensor3.cc.o"
+  "CMakeFiles/tmark_tensor.dir/tmark/tensor/sparse_tensor3.cc.o.d"
+  "CMakeFiles/tmark_tensor.dir/tmark/tensor/transition_tensors.cc.o"
+  "CMakeFiles/tmark_tensor.dir/tmark/tensor/transition_tensors.cc.o.d"
+  "libtmark_tensor.a"
+  "libtmark_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_classifiers_test.dir/baselines/baseline_classifiers_test.cc.o"
+  "CMakeFiles/baseline_classifiers_test.dir/baselines/baseline_classifiers_test.cc.o.d"
+  "baseline_classifiers_test"
+  "baseline_classifiers_test.pdb"
+  "baseline_classifiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_classifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_configs_test.dir/baselines/baseline_configs_test.cc.o"
+  "CMakeFiles/baseline_configs_test.dir/baselines/baseline_configs_test.cc.o.d"
+  "baseline_configs_test"
+  "baseline_configs_test.pdb"
+  "baseline_configs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_configs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_interface_test.dir/hin/classifier_interface_test.cc.o"
+  "CMakeFiles/classifier_interface_test.dir/hin/classifier_interface_test.cc.o.d"
+  "classifier_interface_test"
+  "classifier_interface_test.pdb"
+  "classifier_interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_baselines_test.dir/baselines/extension_baselines_test.cc.o"
+  "CMakeFiles/extension_baselines_test.dir/baselines/extension_baselines_test.cc.o.d"
+  "extension_baselines_test"
+  "extension_baselines_test.pdb"
+  "extension_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_similarity_test.dir/hin/feature_similarity_test.cc.o"
+  "CMakeFiles/feature_similarity_test.dir/hin/feature_similarity_test.cc.o.d"
+  "feature_similarity_test"
+  "feature_similarity_test.pdb"
+  "feature_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_conv_test.dir/ml/graph_conv_test.cc.o"
+  "CMakeFiles/graph_conv_test.dir/ml/graph_conv_test.cc.o.d"
+  "graph_conv_test"
+  "graph_conv_test.pdb"
+  "graph_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

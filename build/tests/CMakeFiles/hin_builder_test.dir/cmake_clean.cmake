@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hin_builder_test.dir/hin/hin_builder_test.cc.o"
+  "CMakeFiles/hin_builder_test.dir/hin/hin_builder_test.cc.o.d"
+  "hin_builder_test"
+  "hin_builder_test.pdb"
+  "hin_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hin_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hin_io_test.dir/hin/hin_io_test.cc.o"
+  "CMakeFiles/hin_io_test.dir/hin/hin_io_test.cc.o.d"
+  "hin_io_test"
+  "hin_io_test.pdb"
+  "hin_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hin_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_vector_test.dir/hin/label_vector_test.cc.o"
+  "CMakeFiles/label_vector_test.dir/hin/label_vector_test.cc.o.d"
+  "label_vector_test"
+  "label_vector_test.pdb"
+  "label_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_regression_test.dir/ml/logistic_regression_test.cc.o"
+  "CMakeFiles/logistic_regression_test.dir/ml/logistic_regression_test.cc.o.d"
+  "logistic_regression_test"
+  "logistic_regression_test.pdb"
+  "logistic_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matricization_test.dir/tensor/matricization_test.cc.o"
+  "CMakeFiles/matricization_test.dir/tensor/matricization_test.cc.o.d"
+  "matricization_test"
+  "matricization_test.pdb"
+  "matricization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matricization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

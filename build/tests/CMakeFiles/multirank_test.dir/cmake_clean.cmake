@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirank_test.dir/core/multirank_test.cc.o"
+  "CMakeFiles/multirank_test.dir/core/multirank_test.cc.o.d"
+  "multirank_test"
+  "multirank_test.pdb"
+  "multirank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

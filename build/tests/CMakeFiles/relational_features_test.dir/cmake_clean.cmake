@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_features_test.dir/baselines/relational_features_test.cc.o"
+  "CMakeFiles/relational_features_test.dir/baselines/relational_features_test.cc.o.d"
+  "relational_features_test"
+  "relational_features_test.pdb"
+  "relational_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_kernel_test.dir/hin/similarity_kernel_test.cc.o"
+  "CMakeFiles/similarity_kernel_test.dir/hin/similarity_kernel_test.cc.o.d"
+  "similarity_kernel_test"
+  "similarity_kernel_test.pdb"
+  "similarity_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

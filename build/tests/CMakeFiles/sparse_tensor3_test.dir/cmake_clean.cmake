@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_tensor3_test.dir/tensor/sparse_tensor3_test.cc.o"
+  "CMakeFiles/sparse_tensor3_test.dir/tensor/sparse_tensor3_test.cc.o.d"
+  "sparse_tensor3_test"
+  "sparse_tensor3_test.pdb"
+  "sparse_tensor3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_tensor3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

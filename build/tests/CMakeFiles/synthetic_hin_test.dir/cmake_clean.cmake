@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_hin_test.dir/datasets/synthetic_hin_test.cc.o"
+  "CMakeFiles/synthetic_hin_test.dir/datasets/synthetic_hin_test.cc.o.d"
+  "synthetic_hin_test"
+  "synthetic_hin_test.pdb"
+  "synthetic_hin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_hin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

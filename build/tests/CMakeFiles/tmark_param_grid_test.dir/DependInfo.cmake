@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/tmark_param_grid_test.cc" "tests/CMakeFiles/tmark_param_grid_test.dir/core/tmark_param_grid_test.cc.o" "gcc" "tests/CMakeFiles/tmark_param_grid_test.dir/core/tmark_param_grid_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmark_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_param_grid_test.dir/core/tmark_param_grid_test.cc.o"
+  "CMakeFiles/tmark_param_grid_test.dir/core/tmark_param_grid_test.cc.o.d"
+  "tmark_param_grid_test"
+  "tmark_param_grid_test.pdb"
+  "tmark_param_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_param_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_test.dir/core/tmark_test.cc.o"
+  "CMakeFiles/tmark_test.dir/core/tmark_test.cc.o.d"
+  "tmark_test"
+  "tmark_test.pdb"
+  "tmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_tensors_test.dir/tensor/transition_tensors_test.cc.o"
+  "CMakeFiles/transition_tensors_test.dir/tensor/transition_tensors_test.cc.o.d"
+  "transition_tensors_test"
+  "transition_tensors_test.pdb"
+  "transition_tensors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_tensors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_hin_test.dir/integration/weighted_hin_test.cc.o"
+  "CMakeFiles/weighted_hin_test.dir/integration/weighted_hin_test.cc.o.d"
+  "weighted_hin_test"
+  "weighted_hin_test.pdb"
+  "weighted_hin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_hin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoobp_test.dir/baselines/zoobp_test.cc.o"
+  "CMakeFiles/zoobp_test.dir/baselines/zoobp_test.cc.o.d"
+  "zoobp_test"
+  "zoobp_test.pdb"
+  "zoobp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoobp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

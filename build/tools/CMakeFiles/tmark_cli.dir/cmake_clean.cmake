@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmark_cli.dir/tmark_cli.cc.o"
+  "CMakeFiles/tmark_cli.dir/tmark_cli.cc.o.d"
+  "tmark_cli"
+  "tmark_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmark_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
