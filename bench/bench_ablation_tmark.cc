@@ -35,6 +35,7 @@ double Evaluate(const hin::Hin& hin, const core::TMarkConfig& config,
 }  // namespace
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_ablation_tmark");
   const int trials = eval::BenchTrials(3);
   datasets::DblpOptions dblp_options;
   dblp_options.num_authors = bench::ScaledNodes(400);

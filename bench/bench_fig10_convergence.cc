@@ -36,6 +36,7 @@ std::vector<double> Trace(const hin::Hin& hin, double alpha, double gamma,
 }  // namespace
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_fig10_convergence");
   const std::size_t kIters = 20;
 
   datasets::DblpOptions dblp_options;

@@ -11,6 +11,7 @@
 #include "tmark/eval/table_printer.h"
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_fig5_acm_links");
   using namespace tmark;
   datasets::AcmOptions options;
   options.num_publications = bench::ScaledNodes(550);

@@ -39,6 +39,7 @@ std::vector<double> SweepAlpha(const hin::Hin& hin, double gamma,
 }  // namespace
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_fig6_7_alpha");
   const std::vector<double> alphas = {0.1, 0.2, 0.3, 0.4, 0.5,
                                       0.6, 0.7, 0.8, 0.9, 0.99};
   const int trials = eval::BenchTrials(3);
@@ -46,13 +47,13 @@ int main() {
   datasets::DblpOptions dblp_options;
   dblp_options.num_authors = bench::ScaledNodes(400);
   const hin::Hin dblp = datasets::MakeDblp(dblp_options);
-  std::cerr << "  sweeping alpha on DBLP ..." << std::endl;
+  tmark::obs::LogInfo("bench.sweep", {{"param", "alpha"}, {"dataset", "dblp"}});
   const std::vector<double> dblp_acc = SweepAlpha(dblp, 0.6, alphas, trials);
 
   datasets::NusOptions nus_options;
   nus_options.num_images = bench::ScaledNodes(600);
   const hin::Hin nus = datasets::MakeNus(nus_options);
-  std::cerr << "  sweeping alpha on NUS ..." << std::endl;
+  tmark::obs::LogInfo("bench.sweep", {{"param", "alpha"}, {"dataset", "nus"}});
   const std::vector<double> nus_acc = SweepAlpha(nus, 0.4, alphas, trials);
 
   std::cout << "== Figs. 6-7: accuracy vs restart parameter alpha ==\n";

@@ -40,6 +40,7 @@ std::vector<double> SweepGamma(const hin::Hin& hin, double alpha,
 }  // namespace
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_fig8_9_gamma");
   const std::vector<double> gammas = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
                                       0.6, 0.7, 0.8, 0.9, 1.0};
   const int trials = eval::BenchTrials(3);
@@ -47,13 +48,13 @@ int main() {
   datasets::DblpOptions dblp_options;
   dblp_options.num_authors = bench::ScaledNodes(400);
   const hin::Hin dblp = datasets::MakeDblp(dblp_options);
-  std::cerr << "  sweeping gamma on DBLP ..." << std::endl;
+  tmark::obs::LogInfo("bench.sweep", {{"param", "gamma"}, {"dataset", "dblp"}});
   const std::vector<double> dblp_acc = SweepGamma(dblp, 0.8, gammas, trials);
 
   datasets::NusOptions nus_options;
   nus_options.num_images = bench::ScaledNodes(600);
   const hin::Hin nus = datasets::MakeNus(nus_options);
-  std::cerr << "  sweeping gamma on NUS ..." << std::endl;
+  tmark::obs::LogInfo("bench.sweep", {{"param", "gamma"}, {"dataset", "nus"}});
   const std::vector<double> nus_acc = SweepGamma(nus, 0.9, gammas, trials);
 
   std::cout << "== Figs. 8-9: accuracy vs scale parameter gamma ==\n";

@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
+
 #include "tmark/core/tmark.h"
 #include "tmark/datasets/paper_example.h"
 #include "tmark/hin/feature_similarity.h"
@@ -29,6 +31,7 @@ void PrintDense(const char* title, const tmark::la::DenseMatrix& m) {
 }  // namespace
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_paper_example");
   using namespace tmark;
   const hin::Hin hin = datasets::MakePaperExample();
   const tensor::SparseTensor3 a = hin.ToAdjacencyTensor();

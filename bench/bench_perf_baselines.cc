@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "tmark/baselines/registry.h"
 #include "tmark/datasets/dblp.h"
 #include "tmark/eval/experiment.h"
@@ -67,4 +69,4 @@ BENCHMARK(BM_Fit_GNetMine)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TMARK_BENCH_MAIN();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "tmark/common/random.h"
 #include "tmark/tensor/transition_tensors.h"
 
@@ -102,4 +104,4 @@ BENCHMARK(BM_Matricization)->Arg(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TMARK_BENCH_MAIN();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "tmark/core/tensor_rrcc.h"
 #include "tmark/core/tmark.h"
 #include "tmark/datasets/synthetic_hin.h"
@@ -93,4 +95,4 @@ BENCHMARK(BM_StratifiedSplit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TMARK_BENCH_MAIN();

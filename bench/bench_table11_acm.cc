@@ -10,6 +10,7 @@
 #include "tmark/datasets/acm.h"
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_table11_acm");
   using namespace tmark;
   datasets::AcmOptions options;
   options.num_publications = bench::ScaledNodes(500);

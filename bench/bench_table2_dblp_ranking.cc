@@ -13,6 +13,7 @@
 #include "tmark/eval/table_printer.h"
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_table2_dblp_ranking");
   using namespace tmark;
   datasets::DblpOptions options;
   options.num_authors = bench::ScaledNodes(600);

@@ -11,6 +11,7 @@
 #include "tmark/datasets/dblp.h"
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_table3_dblp");
   using namespace tmark;
   datasets::DblpOptions options;
   options.num_authors = bench::ScaledNodes(500);

@@ -11,6 +11,7 @@
 #include "tmark/datasets/movies.h"
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_table4_movies");
   using namespace tmark;
   datasets::MoviesOptions options;
   options.num_movies = bench::ScaledNodes(700);

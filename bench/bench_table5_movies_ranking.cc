@@ -13,6 +13,7 @@
 #include "tmark/eval/table_printer.h"
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_table5_movies_ranking");
   using namespace tmark;
   datasets::MoviesOptions options;
   options.num_movies = bench::ScaledNodes(700);

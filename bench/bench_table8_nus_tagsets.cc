@@ -46,6 +46,7 @@ void PrintTop12PerClass(const char* title, const hin::Hin& hin,
 }  // namespace
 
 int main() {
+  tmark::bench::BenchObsSession obs_session("bench_table8_nus_tagsets");
   datasets::NusOptions options;
   options.num_images = bench::ScaledNodes(900);
 
@@ -67,9 +68,9 @@ int main() {
   config.alpha = 0.9;  // Fig. 7: NUS default
   config.gamma = 0.4;  // Fig. 9: NUS default
   config.lambda = 0.95;  // weak tags: accept only near-certain nodes
-  std::cerr << "  sweeping T-Mark on Tagset1 HIN ..." << std::endl;
+  tmark::obs::LogInfo("bench.sweep", {{"dataset", "nus-tagset1"}});
   const eval::MethodSweep s1 = eval::RunSweep(hin1, "T-Mark", config);
-  std::cerr << "  sweeping T-Mark on Tagset2 HIN ..." << std::endl;
+  tmark::obs::LogInfo("bench.sweep", {{"dataset", "nus-tagset2"}});
   const eval::MethodSweep s2 = eval::RunSweep(hin2, "T-Mark", config);
 
   std::cout << "== Table 8: T-Mark accuracy, Tagset1 vs Tagset2 (n = "

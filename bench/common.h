@@ -5,22 +5,116 @@
 // regenerates one table or figure of the paper; TMARK_BENCH_TRIALS and
 // TMARK_BENCH_SCALE (see eval::BenchTrials / eval::BenchScale) trade
 // fidelity for wall-clock.
+//
+// Setting TMARK_BENCH_JSON=<path> additionally enables the obs subsystem
+// for the run and writes a machine-readable dump — every printed table's
+// cells, the metrics-registry snapshot (per-phase fit timings, residual
+// series, nnz gauges, ...), and the trace-span tree — as one JSON document
+// (schema: docs/OBSERVABILITY.md, validated by scripts/check_bench_json.py).
+// Each bench main() constructs one BenchObsSession to opt in; with the env
+// var unset the session and all instrumentation are inert.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tmark/common/string_util.h"
 #include "tmark/eval/experiment.h"
 #include "tmark/eval/table_printer.h"
 #include "tmark/hin/hin.h"
+#include "tmark/obs/json_export.h"
+#include "tmark/obs/logging.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace tmark::bench {
 
+/// One recorded table: the title plus the printed cells, verbatim.
+struct RecordedTable {
+  std::string title;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Per-binary observability session. When TMARK_BENCH_JSON names a file,
+/// the constructor turns the metrics registry and tracer on and the
+/// destructor writes the bench JSON document there; otherwise the session
+/// is a no-op. Construct exactly one, first thing in main().
+class BenchObsSession {
+ public:
+  explicit BenchObsSession(const char* binary = "") : binary_(binary) {
+    const char* path = std::getenv("TMARK_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    path_ = path;
+    obs::Registry::Instance().set_enabled(true);
+    obs::Tracer::Instance().set_enabled(true);
+    active_instance_ = this;
+  }
+
+  ~BenchObsSession() {
+    if (path_.empty()) return;
+    active_instance_ = nullptr;
+    WriteJson();
+  }
+
+  BenchObsSession(const BenchObsSession&) = delete;
+  BenchObsSession& operator=(const BenchObsSession&) = delete;
+
+  /// The session of this binary, or nullptr when JSON mode is off.
+  static BenchObsSession* active() { return active_instance_; }
+
+  void RecordTable(RecordedTable table) {
+    tables_.push_back(std::move(table));
+  }
+
+ private:
+  void WriteJson() {
+    obs::JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("schema").Value("tmark-bench-v1");
+    writer.Key("binary").Value(binary_);
+    writer.Key("tables").BeginArray();
+    for (const RecordedTable& table : tables_) {
+      writer.BeginObject();
+      writer.Key("title").Value(table.title);
+      writer.Key("headers").BeginArray();
+      for (const std::string& h : table.headers) writer.Value(h);
+      writer.EndArray();
+      writer.Key("rows").BeginArray();
+      for (const std::vector<std::string>& row : table.rows) {
+        writer.BeginArray();
+        for (const std::string& cell : row) writer.Value(cell);
+        writer.EndArray();
+      }
+      writer.EndArray();
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.Key("metrics");
+    obs::WriteMetrics(writer, obs::Registry::Instance().Snapshot());
+    writer.Key("spans");
+    obs::WriteSpans(writer, obs::Tracer::Instance().FinishedCopy());
+    writer.EndObject();
+    if (!obs::WriteTextFile(path_, writer.TakeString())) {
+      obs::LogError("bench.json_write_failed", {{"path", path_}});
+    } else {
+      obs::LogInfo("bench.json_written", {{"path", path_}});
+    }
+  }
+
+  inline static BenchObsSession* active_instance_ = nullptr;
+  std::string binary_;
+  std::string path_;
+  std::vector<RecordedTable> tables_;
+};
+
 /// Prints the paper-style sweep table: one row per training fraction, one
 /// column per method, plus (optionally) the paper's reported T-Mark column
-/// for eyeball comparison.
+/// for eyeball comparison. In JSON mode the cells are also recorded into
+/// the active BenchObsSession.
 inline void PrintSweepTable(const hin::Hin& hin,
                             const std::vector<std::string>& methods,
                             const eval::SweepConfig& config,
@@ -29,13 +123,14 @@ inline void PrintSweepTable(const hin::Hin& hin,
   std::vector<eval::MethodSweep> sweeps;
   sweeps.reserve(methods.size());
   for (const std::string& method : methods) {
-    std::cerr << "  fitting " << method << " ..." << std::endl;
+    obs::LogInfo("bench.fit", {{"method", method}});
     sweeps.push_back(eval::RunSweep(hin, method, config));
   }
   std::vector<std::string> headers = {"Percentage"};
   for (const std::string& m : methods) headers.push_back(m);
   if (!paper_tmark.empty()) headers.push_back("[paper T-Mark]");
   eval::TablePrinter table(headers);
+  std::vector<std::vector<std::string>> recorded_rows;
   for (std::size_t f = 0; f < config.train_fractions.size(); ++f) {
     std::vector<std::string> row = {
         FormatDouble(config.train_fractions[f], 1)};
@@ -45,11 +140,16 @@ inline void PrintSweepTable(const hin::Hin& hin,
     if (!paper_tmark.empty()) {
       row.push_back(FormatDouble(paper_tmark[f], 3));
     }
+    recorded_rows.push_back(row);
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
   std::cout << "(" << metric_name << ", mean over " << config.trials
             << " trials; paper column: reported values for T-Mark)\n";
+  if (BenchObsSession* session = BenchObsSession::active()) {
+    session->RecordTable(
+        {metric_name, std::move(headers), std::move(recorded_rows)});
+  }
 }
 
 /// Scales a node count by TMARK_BENCH_SCALE with a sane floor.
@@ -59,5 +159,19 @@ inline std::size_t ScaledNodes(std::size_t base) {
 }
 
 }  // namespace tmark::bench
+
+/// Replacement for BENCHMARK_MAIN() that threads the google-benchmark run
+/// through a BenchObsSession, so TMARK_BENCH_JSON also works for the perf
+/// binaries. Requires <benchmark/benchmark.h> at the expansion site.
+#define TMARK_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                         \
+    tmark::bench::BenchObsSession obs_session(argv[0]);                     \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
 
 #endif  // TMARK_BENCH_COMMON_H_

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validates a TMARK_BENCH_JSON dump against the tmark-bench-v1 schema.
+
+Usage: check_bench_json.py FILE [--require-series PREFIX]
+                                [--require-histogram NAME]
+
+The schema is documented in docs/OBSERVABILITY.md. Exits 0 when FILE is a
+well-formed document, 1 (with a message on stderr) otherwise. The optional
+--require-* flags additionally assert that the metrics snapshot contains a
+series whose name starts with PREFIX / a histogram with at least one
+observation named NAME — the ctest wiring uses them to pin the fit
+telemetry end-to-end.
+"""
+
+import argparse
+import json
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_number(value, path):
+    expect(value is None or isinstance(value, (int, float)), path,
+           f"expected number or null, got {type(value).__name__}")
+
+
+def check_string_list(value, path):
+    expect(isinstance(value, list), path, "expected a list")
+    for i, item in enumerate(value):
+        expect(isinstance(item, str), f"{path}[{i}]", "expected a string")
+
+
+def check_table(table, path):
+    expect(isinstance(table, dict), path, "expected an object")
+    expect(isinstance(table.get("title"), str), f"{path}.title",
+           "expected a string")
+    check_string_list(table.get("headers"), f"{path}.headers")
+    rows = table.get("rows")
+    expect(isinstance(rows, list), f"{path}.rows", "expected a list")
+    width = len(table["headers"])
+    for i, row in enumerate(rows):
+        check_string_list(row, f"{path}.rows[{i}]")
+        expect(len(row) == width, f"{path}.rows[{i}]",
+               f"expected {width} cells to match headers, got {len(row)}")
+
+
+def check_named_value(entry, path):
+    expect(isinstance(entry, dict), path, "expected an object")
+    expect(isinstance(entry.get("name"), str), f"{path}.name",
+           "expected a string")
+    check_number(entry.get("value"), f"{path}.value")
+    expect(entry.get("value") is not None, f"{path}.value",
+           "must not be null")
+
+
+def check_histogram(hist, path):
+    expect(isinstance(hist, dict), path, "expected an object")
+    expect(isinstance(hist.get("name"), str), f"{path}.name",
+           "expected a string")
+    for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+        expect(key in hist, path, f"missing key '{key}'")
+        check_number(hist[key], f"{path}.{key}")
+    buckets = hist.get("buckets")
+    expect(isinstance(buckets, list), f"{path}.buckets", "expected a list")
+    total = 0
+    for i, bucket in enumerate(buckets):
+        bpath = f"{path}.buckets[{i}]"
+        expect(isinstance(bucket, dict), bpath, "expected an object")
+        check_number(bucket.get("le"), f"{bpath}.le")  # null = +inf
+        expect(isinstance(bucket.get("count"), int), f"{bpath}.count",
+               "expected an integer")
+        total += bucket["count"]
+    expect(total == hist["count"], f"{path}.buckets",
+           f"bucket counts sum to {total}, histogram count is "
+           f"{hist['count']}")
+
+
+def check_series(series, path):
+    expect(isinstance(series, dict), path, "expected an object")
+    expect(isinstance(series.get("name"), str), f"{path}.name",
+           "expected a string")
+    expect(isinstance(series.get("total_count"), int), f"{path}.total_count",
+           "expected an integer")
+    values = series.get("values")
+    expect(isinstance(values, list), f"{path}.values", "expected a list")
+    for i, v in enumerate(values):
+        check_number(v, f"{path}.values[{i}]")
+    expect(len(values) <= series["total_count"], f"{path}.values",
+           "stored values exceed total_count")
+
+
+def check_span(span, path):
+    expect(isinstance(span, dict), path, "expected an object")
+    expect(isinstance(span.get("name"), str), f"{path}.name",
+           "expected a string")
+    check_number(span.get("start_ms"), f"{path}.start_ms")
+    check_number(span.get("duration_ms"), f"{path}.duration_ms")
+    fields = span.get("fields")
+    expect(isinstance(fields, dict), f"{path}.fields", "expected an object")
+    for key, value in fields.items():
+        expect(isinstance(value, str), f"{path}.fields.{key}",
+               "expected a string")
+    children = span.get("children")
+    expect(isinstance(children, list), f"{path}.children", "expected a list")
+    for i, child in enumerate(children):
+        check_span(child, f"{path}.children[{i}]")
+
+
+def check_document(doc):
+    expect(isinstance(doc, dict), "$", "expected a top-level object")
+    expect(doc.get("schema") == "tmark-bench-v1", "$.schema",
+           f"expected 'tmark-bench-v1', got {doc.get('schema')!r}")
+    expect(isinstance(doc.get("binary"), str), "$.binary",
+           "expected a string")
+    tables = doc.get("tables")
+    expect(isinstance(tables, list), "$.tables", "expected a list")
+    for i, table in enumerate(tables):
+        check_table(table, f"$.tables[{i}]")
+    metrics = doc.get("metrics")
+    expect(isinstance(metrics, dict), "$.metrics", "expected an object")
+    for section, checker in (("counters", check_named_value),
+                             ("gauges", check_named_value),
+                             ("histograms", check_histogram),
+                             ("series", check_series)):
+        entries = metrics.get(section)
+        expect(isinstance(entries, list), f"$.metrics.{section}",
+               "expected a list")
+        for i, entry in enumerate(entries):
+            checker(entry, f"$.metrics.{section}[{i}]")
+    spans = doc.get("spans")
+    expect(isinstance(spans, list), "$.spans", "expected a list")
+    for i, span in enumerate(spans):
+        check_span(span, f"$.spans[{i}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--require-series", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a non-empty series whose name "
+                             "starts with PREFIX is present")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless histogram NAME has count > 0")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_bench_json: cannot read {args.file}: {e}",
+              file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"check_bench_json: {args.file} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        check_document(doc)
+        series = doc["metrics"]["series"]
+        for prefix in args.require_series:
+            expect(any(s["name"].startswith(prefix) and s["values"]
+                       for s in series),
+                   "$.metrics.series",
+                   f"no non-empty series named '{prefix}*'")
+        histograms = doc["metrics"]["histograms"]
+        for name in args.require_histogram:
+            expect(any(h["name"] == name and h["count"] > 0
+                       for h in histograms),
+                   "$.metrics.histograms",
+                   f"no populated histogram named '{name}'")
+    except SchemaError as e:
+        print(f"check_bench_json: {args.file}: {e}", file=sys.stderr)
+        return 1
+
+    print(f"check_bench_json: {args.file} conforms to tmark-bench-v1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

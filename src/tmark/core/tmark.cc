@@ -1,9 +1,12 @@
 #include "tmark/core/tmark.h"
 
 #include <algorithm>
+#include <string>
 
 #include "tmark/common/check.h"
 #include "tmark/hin/label_vector.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace tmark::core {
 
@@ -39,6 +42,14 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   TMARK_CHECK(n > 0 && m > 0 && q > 0);
   TMARK_CHECK_MSG(!labeled.empty(), "T-Mark needs at least one labeled node");
 
+  obs::TraceSpan fit_span("tmark.fit");
+  fit_span.AddField("nodes", n);
+  fit_span.AddField("relations", m);
+  fit_span.AddField("classes", q);
+  fit_span.AddField("warm_start", warm_start);
+  obs::ScopedTimer fit_timer("tmark.fit.total_ms");
+  obs::IncrCounter("tmark.fit.calls");
+
   const tensor::TransitionTensors tensors =
       tensor::TransitionTensors::Build(hin.ToAdjacencyTensor());
   const hin::FeatureSimilarity similarity =
@@ -56,6 +67,12 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   traces_.reserve(q);
 
   for (std::size_t c = 0; c < q; ++c) {
+    obs::TraceSpan class_span("tmark.fit.class");
+    class_span.AddField("class", c);
+    obs::ScopedTimer class_timer("tmark.fit.class_ms");
+    const std::string residual_series =
+        "tmark.fit.residual.c" + std::to_string(c);
+
     la::Vector l = hin::InitialLabelVector(hin, labeled, c);
     la::Vector x = l;  // Start the walker on the labeled nodes (Sec. 4.3).
     la::Vector z = la::UniformProbability(m);
@@ -69,22 +86,36 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
     trace.class_index = c;
     for (int t = 1; t <= config_.max_iterations; ++t) {
       if (config_.ica_update && t > 2) {
+        obs::ScopedTimer phase("tmark.fit.phase.ica_update_ms");
         l = hin::UpdatedLabelVector(hin, labeled, c, x, config_.lambda);
       }
-      la::Vector x_next = tensors.ApplyO(x, z);
-      la::Scale(rel_weight, &x_next);
-      la::Vector wx = similarity.Apply(x);
-      la::Axpy(beta, wx, &x_next);
-      la::Axpy(alpha, l, &x_next);
-      la::Vector z_next = tensors.ApplyR(x_next, x_next);
-      // Simplex re-projection guards against the cubic amplification of
-      // rounding error through the z = (sum x)^2 coupling (see MultiRank).
-      la::NormalizeL1(&x_next);
-      la::NormalizeL1(&z_next);
+      la::Vector x_next;
+      {
+        obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms");
+        x_next = tensors.ApplyO(x, z);
+        la::Scale(rel_weight, &x_next);
+      }
+      {
+        obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms");
+        la::Vector wx = similarity.Apply(x);
+        la::Axpy(beta, wx, &x_next);
+        la::Axpy(alpha, l, &x_next);
+      }
+      la::Vector z_next;
+      {
+        obs::ScopedTimer phase("tmark.fit.phase.z_update_ms");
+        z_next = tensors.ApplyR(x_next, x_next);
+        // Simplex re-projection guards against the cubic amplification of
+        // rounding error through the z = (sum x)^2 coupling (see MultiRank).
+        la::NormalizeL1(&x_next);
+        la::NormalizeL1(&z_next);
+      }
 
       const double rho =
           la::L1Distance(x_next, x) + la::L1Distance(z_next, z);
       trace.residuals.push_back(rho);
+      obs::IncrCounter("tmark.fit.iterations");
+      obs::AppendSeries(residual_series, rho);
       x = std::move(x_next);
       z = std::move(z_next);
       if (rho < config_.epsilon) {
@@ -92,6 +123,8 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
         break;
       }
     }
+    class_span.AddField("iterations", trace.residuals.size());
+    class_span.AddField("converged", trace.converged);
     for (std::size_t i = 0; i < n; ++i) confidences_.At(i, c) = x[i];
     for (std::size_t k = 0; k < m; ++k) link_importance_.At(k, c) = z[k];
     traces_.push_back(std::move(trace));

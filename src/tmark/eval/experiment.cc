@@ -7,6 +7,9 @@
 #include "tmark/baselines/registry.h"
 #include "tmark/common/check.h"
 #include "tmark/ml/metrics.h"
+#include "tmark/obs/logging.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace tmark::eval {
 
@@ -38,7 +41,18 @@ double EvaluateClassifier(const hin::Hin& hin,
                           const std::vector<std::size_t>& labeled,
                           bool multi_label, double multi_label_threshold) {
   TMARK_CHECK(classifier != nullptr);
-  classifier->Fit(hin, labeled);
+  // Per-method fit/predict wall-clock; the sweep span (RunSweep) carries
+  // the per-fraction breakdown.
+  const bool timed = obs::MetricsEnabled();
+  {
+    obs::Stopwatch watch;
+    classifier->Fit(hin, labeled);
+    if (timed) {
+      obs::ObserveHistogram("eval.fit_ms." + classifier->Name(),
+                            watch.ElapsedMs());
+    }
+  }
+  obs::Stopwatch predict_watch;
   std::vector<bool> is_labeled(hin.num_nodes(), false);
   for (std::size_t node : labeled) is_labeled[node] = true;
   std::vector<std::size_t> test;
@@ -49,6 +63,10 @@ double EvaluateClassifier(const hin::Hin& hin,
 
   if (!multi_label) {
     const std::vector<std::size_t> pred = classifier->PredictSingleLabel();
+    if (timed) {
+      obs::ObserveHistogram("eval.predict_ms." + classifier->Name(),
+                            predict_watch.ElapsedMs());
+    }
     std::vector<std::size_t> truth_v, pred_v;
     truth_v.reserve(test.size());
     pred_v.reserve(test.size());
@@ -60,6 +78,10 @@ double EvaluateClassifier(const hin::Hin& hin,
   }
   const std::vector<std::vector<std::size_t>> pred =
       classifier->PredictMultiLabel(multi_label_threshold);
+  if (timed) {
+    obs::ObserveHistogram("eval.predict_ms." + classifier->Name(),
+                          predict_watch.ElapsedMs());
+  }
   std::vector<std::vector<std::size_t>> truth_v, pred_v;
   truth_v.reserve(test.size());
   pred_v.reserve(test.size());
@@ -76,8 +98,16 @@ MethodSweep RunSweep(const hin::Hin& hin, const std::string& method,
                      const SweepConfig& config) {
   MethodSweep sweep;
   sweep.method = method;
+  obs::TraceSpan sweep_span("eval.sweep");
+  sweep_span.AddField("method", method);
   Rng master(config.seed);
   for (double fraction : config.train_fractions) {
+    obs::TraceSpan cell_span("eval.sweep.cell");
+    cell_span.AddField("method", method);
+    cell_span.AddField("fraction", fraction);
+    obs::LogDebug("eval.sweep.cell", {{"method", method},
+                                      {"fraction", fraction},
+                                      {"trials", config.trials}});
     std::vector<double> scores;
     scores.reserve(static_cast<std::size_t>(config.trials));
     Rng rng = master.Fork();

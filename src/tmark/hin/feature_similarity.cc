@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "tmark/common/check.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace tmark::hin {
 
@@ -10,6 +12,8 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
                                            SimilarityKernel kernel) {
   TMARK_CHECK_MSG(features.IsNonNegative(),
                   "feature similarity assumes non-negative features");
+  obs::TraceSpan span("hin.similarity.build");
+  obs::ScopedTimer timer("hin.similarity.build_ms");
   const std::size_t n = features.rows();
   FeatureSimilarity fs;
   fs.kernel_ = kernel;
@@ -61,6 +65,17 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
   fs.col_sums_ = fs.fhat_.MatVec(t);
   // Numerical floor: nodes with features have c_ii = 1, so col sum >= 1.
   for (std::uint32_t j : fs.dangling_) fs.col_sums_[j] = 0.0;
+  if (obs::MetricsEnabled()) {
+    obs::IncrCounter("hin.similarity.builds");
+    obs::SetGauge("hin.similarity.nnz",
+                  static_cast<double>(fs.fhat_.NumNonZeros()));
+    obs::SetGauge("hin.similarity.dangling_nodes",
+                  static_cast<double>(fs.dangling_.size()));
+  }
+  if (span.active()) {
+    span.AddField("nodes", n);
+    span.AddField("nnz", fs.fhat_.NumNonZeros());
+  }
   return fs;
 }
 

@@ -1,0 +1,236 @@
+#include "tmark/obs/json_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+
+namespace tmark::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!container_has_items_.empty()) {
+    if (container_has_items_.back()) out_ << ',';
+    container_has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix();
+  out_ << '{';
+  container_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  container_has_items_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix();
+  out_ << '[';
+  container_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  container_has_items_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Prefix();
+  out_ << '"' << JsonEscape(key) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Prefix();
+  out_ << '"' << JsonEscape(value) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) return Null();
+  Prefix();
+  out_ << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t value) {
+  Prefix();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t value) {
+  Prefix();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  Prefix();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prefix();
+  out_ << "null";
+  return *this;
+}
+
+void WriteMetrics(JsonWriter& writer, const MetricsSnapshot& snapshot) {
+  writer.BeginObject();
+  writer.Key("counters").BeginArray();
+  for (const CounterSnapshot& c : snapshot.counters) {
+    writer.BeginObject();
+    writer.Key("name").Value(c.name);
+    writer.Key("value").Value(c.value);
+    writer.EndObject();
+  }
+  writer.EndArray();
+
+  writer.Key("gauges").BeginArray();
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    writer.BeginObject();
+    writer.Key("name").Value(g.name);
+    writer.Key("value").Value(g.value);
+    writer.EndObject();
+  }
+  writer.EndArray();
+
+  writer.Key("histograms").BeginArray();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    writer.BeginObject();
+    writer.Key("name").Value(h.name);
+    writer.Key("count").Value(h.count);
+    writer.Key("sum").Value(h.sum);
+    writer.Key("min").Value(h.min);
+    writer.Key("max").Value(h.max);
+    writer.Key("p50").Value(h.p50);
+    writer.Key("p95").Value(h.p95);
+    writer.Key("p99").Value(h.p99);
+    writer.Key("buckets").BeginArray();
+    for (const HistogramBucket& bucket : h.buckets) {
+      writer.BeginObject();
+      // +inf upper bound serializes as null (JSON has no Infinity).
+      writer.Key("le").Value(bucket.upper_bound);
+      writer.Key("count").Value(bucket.count);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+
+  writer.Key("series").BeginArray();
+  for (const SeriesSnapshot& s : snapshot.series) {
+    writer.BeginObject();
+    writer.Key("name").Value(s.name);
+    writer.Key("total_count").Value(s.total_count);
+    writer.Key("values").BeginArray();
+    for (double v : s.values) writer.Value(v);
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+namespace {
+
+void WriteSpan(JsonWriter& writer, const SpanNode& span) {
+  writer.BeginObject();
+  writer.Key("name").Value(span.name);
+  writer.Key("start_ms").Value(span.start_ms);
+  writer.Key("duration_ms").Value(span.duration_ms);
+  writer.Key("fields").BeginObject();
+  for (const auto& [key, value] : span.fields) {
+    writer.Key(key).Value(value);
+  }
+  writer.EndObject();
+  writer.Key("children").BeginArray();
+  for (const SpanNode& child : span.children) WriteSpan(writer, child);
+  writer.EndArray();
+  writer.EndObject();
+}
+
+}  // namespace
+
+void WriteSpans(JsonWriter& writer, const std::vector<SpanNode>& spans) {
+  writer.BeginArray();
+  for (const SpanNode& span : spans) WriteSpan(writer, span);
+  writer.EndArray();
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter writer;
+  WriteMetrics(writer, snapshot);
+  return writer.TakeString();
+}
+
+std::string SpansToJson(const std::vector<SpanNode>& spans) {
+  JsonWriter writer;
+  WriteSpans(writer, spans);
+  return writer.TakeString();
+}
+
+bool WriteTextFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  return out.good();
+}
+
+}  // namespace tmark::obs

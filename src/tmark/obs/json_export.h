@@ -1,0 +1,75 @@
+#ifndef TMARK_OBS_JSON_EXPORT_H_
+#define TMARK_OBS_JSON_EXPORT_H_
+
+// Dependency-free JSON serialization for the obs subsystem: a small
+// streaming writer with correct string escaping, plus canned exporters for
+// the metrics registry snapshot and the tracer span tree. The document
+// layout is specified in docs/OBSERVABILITY.md and validated by
+// scripts/check_bench_json.py.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
+
+namespace tmark::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \, and control characters below 0x20 become escape
+/// sequences; everything else passes through byte-for-byte.
+std::string JsonEscape(std::string_view s);
+
+/// Streaming JSON writer. The caller provides the document shape through
+/// Begin/End calls; commas are inserted automatically. Numbers that are not
+/// finite are emitted as null so the output always parses.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(std::uint64_t value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// The serialized document. Call once all Begin/End pairs are balanced.
+  std::string TakeString() { return std::move(out_).str(); }
+
+ private:
+  void Prefix();
+
+  std::ostringstream out_;
+  std::vector<bool> container_has_items_;
+  bool after_key_ = false;
+};
+
+/// Writes `snapshot` as an object with "counters", "gauges", "histograms",
+/// and "series" arrays into an already-positioned writer (after Key() or at
+/// an array/document position).
+void WriteMetrics(JsonWriter& writer, const MetricsSnapshot& snapshot);
+
+/// Writes `spans` as an array of {name, start_ms, duration_ms, fields,
+/// children} objects (children recurse with the same shape).
+void WriteSpans(JsonWriter& writer, const std::vector<SpanNode>& spans);
+
+/// Standalone documents for the CLI --metrics-json / --trace-json flags.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+std::string SpansToJson(const std::vector<SpanNode>& spans);
+
+/// Overwrites `path` with `content`; false on any I/O failure.
+bool WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace tmark::obs
+
+#endif  // TMARK_OBS_JSON_EXPORT_H_

@@ -1,0 +1,182 @@
+#include "tmark/obs/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+
+namespace tmark::obs {
+namespace {
+
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '"' || c == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendQuoted(std::string* out, std::string_view v) {
+  out->push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::optional<LogLevel> ParseLogLevel(std::string_view s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+struct Logger::Impl {
+  std::atomic<int> level{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<bool> stderr_enabled{true};
+  std::mutex mu;                     // guards file sink + line emission
+  std::ofstream file;                // optional secondary sink
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};
+
+Logger::Logger() : impl_(new Impl) {
+  if (const char* env = std::getenv("TMARK_LOG_LEVEL")) {
+    if (const auto parsed = ParseLogLevel(env)) {
+      impl_->level.store(static_cast<int>(*parsed),
+                         std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr,
+                   "[warn] tmark: unrecognized TMARK_LOG_LEVEL '%s' "
+                   "(expected debug|info|warn|error|off)\n",
+                   env);
+    }
+  }
+  if (const char* env = std::getenv("TMARK_LOG_FILE")) {
+    if (*env != '\0' && !set_sink_file(env)) {
+      std::fprintf(stderr, "[warn] tmark: cannot open TMARK_LOG_FILE '%s'\n",
+                   env);
+    }
+  }
+}
+
+Logger::~Logger() { delete impl_; }
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+LogLevel Logger::level() const {
+  return static_cast<LogLevel>(impl_->level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(LogLevel level) {
+  impl_->level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool Logger::set_sink_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (path.empty()) {
+    impl_->file.close();
+    return true;
+  }
+  std::ofstream next(path, std::ios::app);
+  if (!next.is_open()) return false;
+  impl_->file = std::move(next);
+  return true;
+}
+
+void Logger::set_stderr_enabled(bool enabled) {
+  impl_->stderr_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, std::string_view event,
+                   std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    impl_->start)
+          .count();
+  std::string line;
+  line.reserve(64 + 24 * fields.size());
+  line.push_back('[');
+  const std::string_view name = LogLevelName(level);
+  for (char c : name) {
+    line.push_back(static_cast<char>(c >= 'a' && c <= 'z' ? c - 'a' + 'A'
+                                                          : c));
+  }
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), " +%.3fs] ", elapsed);
+  line.append(stamp);
+  line.append(event);
+  for (const LogField& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    if (NeedsQuoting(field.value)) {
+      AppendQuoted(&line, field.value);
+    } else {
+      line.append(field.value);
+    }
+  }
+  line.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->stderr_enabled.load(std::memory_order_relaxed)) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+  if (impl_->file.is_open()) {
+    impl_->file.write(line.data(),
+                      static_cast<std::streamsize>(line.size()));
+    impl_->file.flush();
+  }
+}
+
+}  // namespace tmark::obs

@@ -1,0 +1,130 @@
+#ifndef TMARK_OBS_LOGGING_H_
+#define TMARK_OBS_LOGGING_H_
+
+// Leveled structured logging for the whole library. One process-global
+// Logger writes `[LEVEL +elapsed] event key=value ...` lines to stderr and,
+// optionally, to a file sink. Everything is off-by-default except warnings
+// and errors; the environment overrides:
+//
+//   TMARK_LOG_LEVEL = debug | info | warn | error | off
+//   TMARK_LOG_FILE  = <path>   (append; in addition to stderr)
+//
+// Call sites pay one atomic load + branch when the level is filtered out
+// (field construction is cheap key=value pairs, so the convenience wrappers
+// below are plain functions, not macros).
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace tmark::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" -> kDebug etc. (case-insensitive; accepts "warning"/"none" too).
+std::optional<LogLevel> ParseLogLevel(std::string_view s);
+
+/// Canonical lower-case name ("debug", "info", ...).
+std::string_view LogLevelName(LogLevel level);
+
+/// One key=value field of a structured log line. Numeric and boolean values
+/// are formatted on construction so Write() only concatenates.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  LogField(std::string_view k, T v) : key(k) {
+    if constexpr (std::is_same_v<T, bool>) {
+      value = v ? "true" : "false";
+    } else {
+      std::ostringstream os;
+      os << v;
+      value = os.str();
+    }
+  }
+};
+
+/// Process-global leveled logger. Thread-safe; line-buffered per Write.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  LogLevel level() const;
+  void set_level(LogLevel level);
+
+  /// Mirrors every line to `path` (append). Empty path closes the sink.
+  /// Returns false (and keeps the previous sink) when the file cannot be
+  /// opened.
+  bool set_sink_file(const std::string& path);
+
+  /// Disables the stderr sink (tests use this to keep output clean).
+  void set_stderr_enabled(bool enabled);
+
+  bool Enabled(LogLevel level) const { return level >= this->level(); }
+
+  /// Emits one structured line. `event` is a dot-separated identifier
+  /// (e.g. "bench.fit"); fields follow as key=value, values quoted when
+  /// they contain whitespace, quotes, or '='.
+  void Write(LogLevel level, std::string_view event,
+             std::initializer_list<LogField> fields);
+
+ private:
+  Logger();
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+inline void LogDebug(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::Instance();
+  if (logger.Enabled(LogLevel::kDebug)) {
+    logger.Write(LogLevel::kDebug, event, fields);
+  }
+}
+
+inline void LogInfo(std::string_view event,
+                    std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::Instance();
+  if (logger.Enabled(LogLevel::kInfo)) {
+    logger.Write(LogLevel::kInfo, event, fields);
+  }
+}
+
+inline void LogWarn(std::string_view event,
+                    std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::Instance();
+  if (logger.Enabled(LogLevel::kWarn)) {
+    logger.Write(LogLevel::kWarn, event, fields);
+  }
+}
+
+inline void LogError(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::Instance();
+  if (logger.Enabled(LogLevel::kError)) {
+    logger.Write(LogLevel::kError, event, fields);
+  }
+}
+
+}  // namespace tmark::obs
+
+#endif  // TMARK_OBS_LOGGING_H_

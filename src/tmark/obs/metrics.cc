@@ -1,0 +1,181 @@
+#include "tmark/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmark/common/check.h"
+
+namespace tmark::obs {
+
+std::vector<double> Histogram::DefaultTimingBucketsMs() {
+  // 1-2-5 ladder from 1µs to 10s (values are milliseconds).
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 2e4; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  TMARK_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bucket bounds must be strictly ascending");
+}
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::PercentileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among `count_` observations (1-based).
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The quantile falls inside bucket b: interpolate linearly between its
+    // bounds, then clamp to the observed range so sparse tails (and the
+    // +inf overflow bucket) cannot report values never seen.
+    const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+    const double upper =
+        b < bounds_.size() ? bounds_[b] : max_;
+    const double in_bucket = static_cast<double>(counts_[b]);
+    const double frac =
+        in_bucket > 0.0 ? (rank - below) / in_bucket : 0.0;
+    const double est = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    return std::clamp(est, min_, max_);
+  }
+  return max_;
+}
+
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(q);
+}
+
+HistogramSnapshot Histogram::Snapshot(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.name = std::string(name);
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = count_ > 0 ? min_ : 0.0;
+  snap.max = count_ > 0 ? max_ : 0.0;
+  snap.p50 = PercentileLocked(0.50);
+  snap.p95 = PercentileLocked(0.95);
+  snap.p99 = PercentileLocked(0.99);
+  snap.buckets.reserve(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    HistogramBucket bucket;
+    bucket.upper_bound = b < bounds_.size()
+                             ? bounds_[b]
+                             : std::numeric_limits<double>::infinity();
+    bucket.count = counts_[b];
+    snap.buckets.push_back(bucket);
+  }
+  return snap;
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_count_;
+  if (values_.size() < kMaxPoints) values_.push_back(v);
+}
+
+SeriesSnapshot Series::Snapshot(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SeriesSnapshot snap;
+  snap.name = std::string(name);
+  snap.total_count = total_count_;
+  snap.values = values_;
+  return snap;
+}
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry;  // never destroyed (exit-safe)
+  return *registry;
+}
+
+namespace {
+
+template <typename Map, typename Factory>
+auto& GetOrCreate(Map& map, std::string_view name, Factory make) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(histograms_, name, [&bounds] {
+    return bounds.empty() ? std::make_unique<Histogram>()
+                          : std::make_unique<Histogram>(std::move(bounds));
+  });
+}
+
+Series& Registry::GetSeries(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(series_, name, [] { return std::make_unique<Series>(); });
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->Snapshot(name));
+  }
+  snap.series.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    snap.series.push_back(s->Snapshot(name));
+  }
+  return snap;
+}
+
+}  // namespace tmark::obs

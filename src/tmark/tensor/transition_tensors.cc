@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "tmark/common/check.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace tmark::tensor {
 
 TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
   TMARK_CHECK_MSG(adjacency.IsNonNegative(),
                   "adjacency tensor must be non-negative");
+  obs::TraceSpan span("tensor.transition.build");
+  obs::ScopedTimer timer("tensor.transition.build_ms");
   const std::size_t n = adjacency.num_nodes();
   const std::size_t m = adjacency.num_relations();
   TransitionTensors t;
@@ -64,6 +68,18 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
       }
     }
     t.linked_mask_ = la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+  }
+  if (obs::MetricsEnabled()) {
+    obs::IncrCounter("tensor.transition.builds");
+    obs::SetGauge("tensor.transition.nnz_o",
+                  static_cast<double>(t.o_.NumNonZeros()));
+    obs::SetGauge("tensor.transition.nnz_r",
+                  static_cast<double>(t.r_.NumNonZeros()));
+  }
+  if (span.active()) {
+    span.AddField("nodes", n);
+    span.AddField("relations", m);
+    span.AddField("nnz", adjacency.NumNonZeros());
   }
   return t;
 }

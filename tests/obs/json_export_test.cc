@@ -1,0 +1,289 @@
+#include "tmark/obs/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
+
+namespace tmark::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax validator (RFC 8259 subset) used to
+// prove exporter output is well-formed without pulling in a JSON library.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view doc) : doc_(doc) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == doc_.size();
+  }
+
+ private:
+  bool ParseValue() {
+    if (pos_ >= doc_.size()) return false;
+    switch (doc_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < doc_.size()) {
+      const unsigned char c = static_cast<unsigned char>(doc_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= doc_.size()) return false;
+        const char esc = doc_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= doc_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(doc_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (doc_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < doc_.size() ? doc_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < doc_.size() &&
+           (doc_[pos_] == ' ' || doc_[pos_] == '\t' || doc_[pos_] == '\n' ||
+            doc_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+bool IsValidJson(std::string_view doc) { return JsonValidator(doc).Valid(); }
+
+// ---------------------------------------------------------------------------
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string_view("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonEscape("\x01\x1f"), "\\u0001\\u001f");
+  // UTF-8 multi-byte sequences pass through untouched.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriterTest, WritesNestedDocumentWithCommas) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("name").Value("x");
+  writer.Key("items").BeginArray();
+  writer.Value(std::int64_t{1});
+  writer.Value(2.5);
+  writer.Value(true);
+  writer.Null();
+  writer.EndArray();
+  writer.Key("empty").BeginObject().EndObject();
+  writer.EndObject();
+  const std::string doc = writer.TakeString();
+  EXPECT_EQ(doc, R"({"name":"x","items":[1,2.5,true,null],"empty":{}})");
+  EXPECT_TRUE(IsValidJson(doc));
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Value(std::numeric_limits<double>::infinity());
+  writer.Value(-std::numeric_limits<double>::infinity());
+  writer.Value(std::numeric_limits<double>::quiet_NaN());
+  writer.EndArray();
+  const std::string doc = writer.TakeString();
+  EXPECT_EQ(doc, "[null,null,null]");
+  EXPECT_TRUE(IsValidJson(doc));
+}
+
+TEST(JsonWriterTest, EscapesKeysAndValues) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("weird\"key\n").Value("weird\\value\t");
+  writer.EndObject();
+  const std::string doc = writer.TakeString();
+  EXPECT_EQ(doc, "{\"weird\\\"key\\n\":\"weird\\\\value\\t\"}");
+  EXPECT_TRUE(IsValidJson(doc));
+}
+
+TEST(JsonExportTest, MetricsSnapshotRoundTripsThroughValidator) {
+  Registry& registry = Registry::Instance();
+  registry.Reset();
+  registry.set_enabled(true);
+  IncrCounter("json.counter", 7);
+  IncrCounter("json.counter\"quoted\"", 1);  // hostile metric name
+  SetGauge("json.gauge", -0.125);
+  ObserveHistogram("json.hist", 3.5);
+  ObserveHistogram("json.hist", 4.5);
+  AppendSeries("json.series", 0.25);
+  AppendSeries("json.series", 0.125);
+  registry.set_enabled(false);
+
+  const std::string doc = MetricsToJson(registry.Snapshot());
+  registry.Reset();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  // Spot-check content: the histogram +inf bucket must serialize as null,
+  // and the hostile name must arrive escaped.
+  EXPECT_NE(doc.find("\"json.counter\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(doc.find("\"le\":null"), std::string::npos);
+  EXPECT_NE(doc.find("\"total_count\":2"), std::string::npos);
+}
+
+TEST(JsonExportTest, SpanTreeRoundTripsThroughValidator) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Reset();
+  tracer.set_enabled(true);
+  {
+    TraceSpan root("json.root");
+    root.AddField("note", "has \"quotes\" and\nnewline");
+    TraceSpan child("json.child");
+    child.AddField("n", std::size_t{3});
+  }
+  tracer.set_enabled(false);
+
+  const std::string doc = SpansToJson(tracer.TakeFinished());
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"json.root\""), std::string::npos);
+  EXPECT_NE(doc.find("\"json.child\""), std::string::npos);
+  EXPECT_NE(doc.find("has \\\"quotes\\\" and\\nnewline"),
+            std::string::npos);
+}
+
+TEST(JsonExportTest, EmptySnapshotsAreValidDocuments) {
+  EXPECT_TRUE(IsValidJson(MetricsToJson(MetricsSnapshot{})));
+  EXPECT_TRUE(IsValidJson(SpansToJson({})));
+}
+
+TEST(JsonExportTest, WriteTextFileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/tmark_json_export_test.json";
+  ASSERT_TRUE(WriteTextFile(path, "{\"ok\":true}"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"ok\":true}");
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y.json", "{}"));
+}
+
+}  // namespace
+}  // namespace tmark::obs

@@ -1,0 +1,183 @@
+#include "tmark/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "tmark/common/check.h"
+
+namespace tmark::obs {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::Instance().Reset();
+    Registry::Instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Registry::Instance().set_enabled(false);
+    Registry::Instance().Reset();
+  }
+};
+
+TEST_F(RegistryTest, CounterIncrementsAndAccumulates) {
+  Counter& c = Registry::Instance().GetCounter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name -> same counter.
+  EXPECT_EQ(Registry::Instance().GetCounter("test.counter").value(), 42);
+}
+
+TEST_F(RegistryTest, GaugeIsLastWriteWins) {
+  Gauge& g = Registry::Instance().GetGauge("test.gauge");
+  g.Set(1.5);
+  g.Set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST_F(RegistryTest, GatedHelpersNoOpWhileDisabled) {
+  Registry::Instance().set_enabled(false);
+  IncrCounter("gated.counter");
+  SetGauge("gated.gauge", 7.0);
+  ObserveHistogram("gated.histogram", 1.0);
+  AppendSeries("gated.series", 1.0);
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.series.empty());
+
+  Registry::Instance().set_enabled(true);
+  IncrCounter("gated.counter", 3);
+  EXPECT_EQ(Registry::Instance().GetCounter("gated.counter").value(), 3);
+}
+
+TEST_F(RegistryTest, HistogramPercentilesInterpolateWithinBuckets) {
+  // Deciles 10..100 with one observation per integer 1..100 make the
+  // percentile estimates exact under linear interpolation.
+  std::vector<double> bounds;
+  for (int b = 10; b <= 100; b += 10) bounds.push_back(b);
+  Histogram& h = Registry::Instance().GetHistogram("test.hist", bounds);
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.00), 100.0);
+
+  const HistogramSnapshot snap = h.Snapshot("test.hist");
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 50.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 95.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 99.0);
+  ASSERT_EQ(snap.buckets.size(), bounds.size() + 1);
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    EXPECT_EQ(snap.buckets[b].count, 10u) << "bucket " << b;
+  }
+  EXPECT_EQ(snap.buckets.back().count, 0u);  // overflow
+}
+
+TEST_F(RegistryTest, HistogramSingleValueClampsAllPercentiles) {
+  Histogram& h = Registry::Instance().GetHistogram("test.single");
+  h.Observe(7.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 7.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 7.25);
+}
+
+TEST_F(RegistryTest, HistogramOverflowBucketStaysWithinObservedRange) {
+  Histogram& h =
+      Registry::Instance().GetHistogram("test.overflow", {1.0});
+  h.Observe(0.5);
+  h.Observe(500.0);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_GE(p99, 0.5);
+  EXPECT_LE(p99, 500.0);
+  const HistogramSnapshot snap = h.Snapshot("test.overflow");
+  ASSERT_EQ(snap.buckets.size(), 2u);
+  EXPECT_EQ(snap.buckets[0].count, 1u);
+  EXPECT_EQ(snap.buckets[1].count, 1u);
+}
+
+TEST_F(RegistryTest, EmptyHistogramReportsZeros) {
+  Histogram& h = Registry::Instance().GetHistogram("test.empty");
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  const HistogramSnapshot snap = h.Snapshot("test.empty");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST_F(RegistryTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({3.0, 1.0}), CheckError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), CheckError);
+}
+
+TEST_F(RegistryTest, SeriesKeepsOrderAndCapsStoredPoints) {
+  Series& s = Registry::Instance().GetSeries("test.series");
+  for (std::size_t i = 0; i < Series::kMaxPoints + 10; ++i) {
+    s.Append(static_cast<double>(i));
+  }
+  const SeriesSnapshot snap = s.Snapshot("test.series");
+  EXPECT_EQ(snap.total_count, Series::kMaxPoints + 10);
+  ASSERT_EQ(snap.values.size(), Series::kMaxPoints);
+  EXPECT_DOUBLE_EQ(snap.values.front(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.values.back(),
+                   static_cast<double>(Series::kMaxPoints - 1));
+}
+
+TEST_F(RegistryTest, ResetDropsEveryMetric) {
+  IncrCounter("reset.counter");
+  SetGauge("reset.gauge", 1.0);
+  ObserveHistogram("reset.histogram", 1.0);
+  AppendSeries("reset.series", 1.0);
+  EXPECT_FALSE(Registry::Instance().Snapshot().counters.empty());
+  Registry::Instance().Reset();
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.series.empty());
+}
+
+TEST_F(RegistryTest, SnapshotIsSortedByName) {
+  IncrCounter("z.last");
+  IncrCounter("a.first");
+  IncrCounter("m.middle");
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "m.middle");
+  EXPECT_EQ(snap.counters[2].name, "z.last");
+}
+
+TEST_F(RegistryTest, ConcurrentIncrementsDoNotLoseUpdates) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        IncrCounter("test.concurrent");
+        ObserveHistogram("test.concurrent_hist", 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(Registry::Instance().GetCounter("test.concurrent").value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(Registry::Instance()
+                .GetHistogram("test.concurrent_hist")
+                .Snapshot("test.concurrent_hist")
+                .count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace tmark::obs

@@ -1,0 +1,149 @@
+#include "tmark/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "tmark/obs/metrics.h"
+
+namespace tmark::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().Reset();
+    Tracer::Instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::Instance().set_enabled(false);
+    Tracer::Instance().Reset();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansFormATreeInOpenOrder) {
+  {
+    TraceSpan root("root");
+    {
+      TraceSpan first("child.first");
+      TraceSpan grandchild("grandchild");
+    }
+    TraceSpan second("child.second");
+  }
+  std::vector<SpanNode> spans = Tracer::Instance().TakeFinished();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanNode& root = spans[0];
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "child.first");
+  EXPECT_EQ(root.children[1].name, "child.second");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "grandchild");
+  EXPECT_TRUE(root.children[1].children.empty());
+}
+
+TEST_F(TraceTest, SiblingRootsFinishInCloseOrder) {
+  { TraceSpan a("a"); }
+  { TraceSpan b("b"); }
+  std::vector<SpanNode> spans = Tracer::Instance().TakeFinished();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].name, "b");
+}
+
+TEST_F(TraceTest, SpanTimingIsMonotoneAndContainsChildren) {
+  {
+    TraceSpan root("root");
+    TraceSpan child("child");
+  }
+  std::vector<SpanNode> spans = Tracer::Instance().TakeFinished();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanNode& root = spans[0];
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& child = root.children[0];
+  EXPECT_GE(root.duration_ms, 0.0);
+  EXPECT_GE(child.start_ms, root.start_ms);
+  // Child closes before the parent, so it cannot outlast it.
+  EXPECT_LE(child.start_ms + child.duration_ms,
+            root.start_ms + root.duration_ms + 1e-6);
+}
+
+TEST_F(TraceTest, FieldsAreFormattedAndOrdered) {
+  {
+    TraceSpan span("fields");
+    span.AddField("text", "value");
+    span.AddField("count", std::size_t{42});
+    span.AddField("flag", true);
+  }
+  std::vector<SpanNode> spans = Tracer::Instance().TakeFinished();
+  ASSERT_EQ(spans.size(), 1u);
+  const auto& fields = spans[0].fields;
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], (std::pair<std::string, std::string>{"text",
+                                                            "value"}));
+  EXPECT_EQ(fields[1], (std::pair<std::string, std::string>{"count", "42"}));
+  EXPECT_EQ(fields[2], (std::pair<std::string, std::string>{"flag",
+                                                            "true"}));
+}
+
+TEST_F(TraceTest, DisabledTracerMakesSpansInert) {
+  Tracer::Instance().set_enabled(false);
+  {
+    TraceSpan span("inert");
+    EXPECT_FALSE(span.active());
+    span.AddField("ignored", "x");
+  }
+  EXPECT_TRUE(Tracer::Instance().TakeFinished().empty());
+}
+
+TEST_F(TraceTest, InactiveMiddleSpanDoesNotBreakNesting) {
+  {
+    TraceSpan outer("outer");
+    Tracer::Instance().set_enabled(false);
+    {
+      TraceSpan skipped("skipped");  // inactive: opened while disabled
+      Tracer::Instance().set_enabled(true);
+      TraceSpan inner("inner");  // attaches to `outer`, not `skipped`
+    }
+  }
+  std::vector<SpanNode> spans = Tracer::Instance().TakeFinished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+  ASSERT_EQ(spans[0].children.size(), 1u);
+  EXPECT_EQ(spans[0].children[0].name, "inner");
+}
+
+TEST_F(TraceTest, ResetDropsFinishedSpans) {
+  { TraceSpan span("dropped"); }
+  Tracer::Instance().Reset();
+  EXPECT_TRUE(Tracer::Instance().TakeFinished().empty());
+}
+
+TEST_F(TraceTest, FinishedCopyDoesNotDrain) {
+  { TraceSpan span("kept"); }
+  EXPECT_EQ(Tracer::Instance().FinishedCopy().size(), 1u);
+  EXPECT_EQ(Tracer::Instance().FinishedCopy().size(), 1u);
+  EXPECT_EQ(Tracer::Instance().TakeFinished().size(), 1u);
+  EXPECT_TRUE(Tracer::Instance().FinishedCopy().empty());
+}
+
+TEST_F(TraceTest, ScopedTimerFeedsHistogramWhenMetricsEnabled) {
+  Registry::Instance().Reset();
+  Registry::Instance().set_enabled(true);
+  { ScopedTimer timer("trace_test.timer_ms"); }
+  Registry::Instance().set_enabled(false);
+  const HistogramSnapshot snap = Registry::Instance()
+                                     .GetHistogram("trace_test.timer_ms")
+                                     .Snapshot("trace_test.timer_ms");
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 0.0);
+  Registry::Instance().Reset();
+}
+
+TEST_F(TraceTest, ScopedTimerIsInertWhenMetricsDisabled) {
+  Registry::Instance().Reset();
+  Registry::Instance().set_enabled(false);
+  { ScopedTimer timer("trace_test.inert_ms"); }
+  EXPECT_TRUE(Registry::Instance().Snapshot().histograms.empty());
+}
+
+}  // namespace
+}  // namespace tmark::obs

@@ -8,10 +8,16 @@
 // `generate` writes a synthetic HIN in the tmark-hin text format; the other
 // commands load any file in that format, so real corpora can be converted
 // once and then driven entirely from here.
+//
+// Observability (any command): --log-level debug|info|warn|error|off,
+// --metrics-json FILE (dump the metrics-registry snapshot on exit),
+// --trace-json FILE (dump the trace-span tree on exit). See
+// docs/OBSERVABILITY.md.
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,10 +32,21 @@
 #include "tmark/datasets/paper_example.h"
 #include "tmark/eval/experiment.h"
 #include "tmark/hin/hin_io.h"
+#include "tmark/obs/json_export.h"
+#include "tmark/obs/logging.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace {
 
 using namespace tmark;
+
+/// Bad command-line input (unknown flag value, malformed number, ...);
+/// reported as a usage error, exit code 2, instead of a raw exception.
+class FlagError : public std::runtime_error {
+ public:
+  explicit FlagError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct Args {
   std::string command;
@@ -41,20 +58,45 @@ struct Args {
   }
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) throw std::invalid_argument("");
+      return v;
+    } catch (const std::exception&) {
+      throw FlagError("invalid value '" + it->second + "' for --" + key +
+                      " (expected a number)");
+    }
   }
   std::size_t GetSize(const std::string& key, std::size_t fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stoul(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const unsigned long v = std::stoul(it->second, &consumed);
+      if (consumed != it->second.size() || it->second[0] == '-') {
+        throw std::invalid_argument("");
+      }
+      return static_cast<std::size_t>(v);
+    } catch (const std::exception&) {
+      throw FlagError("invalid value '" + it->second + "' for --" + key +
+                      " (expected a non-negative integer)");
+    }
   }
 };
 
 Args Parse(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    TMARK_CHECK_MSG(key.rfind("--", 0) == 0, "expected --flag, got " << key);
+  for (int i = 2; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw FlagError("expected --flag, got '" + key + "'");
+    }
+    if (i + 1 >= argc) {
+      throw FlagError("missing value for " + key);
+    }
     args.flags[key.substr(2)] = argv[i + 1];
   }
   return args;
@@ -70,9 +112,63 @@ int Usage() {
                "           [--alpha A] [--gamma G] [--seed S]\n"
                "  rank     --hin FILE [--train-fraction F] [--alpha A]\n"
                "           [--gamma G] [--top K] [--seed S]\n"
-               "           [--save-model FILE | --model FILE]\n");
+               "           [--save-model FILE | --model FILE]\n"
+               "global flags (any command):\n"
+               "  --log-level debug|info|warn|error|off\n"
+               "  --metrics-json FILE   dump metrics snapshot on exit\n"
+               "  --trace-json FILE     dump trace spans on exit\n");
   return 2;
 }
+
+/// Applies --log-level and switches the obs subsystem on when a JSON dump
+/// was requested. Returns after the command so main can write the files.
+struct ObsFlags {
+  std::string metrics_json;
+  std::string trace_json;
+
+  explicit ObsFlags(const Args& args)
+      : metrics_json(args.Get("metrics-json", "")),
+        trace_json(args.Get("trace-json", "")) {
+    const std::string level = args.Get("log-level", "");
+    if (!level.empty()) {
+      const auto parsed = obs::ParseLogLevel(level);
+      if (!parsed.has_value()) {
+        throw FlagError("invalid value '" + level +
+                        "' for --log-level (expected "
+                        "debug|info|warn|error|off)");
+      }
+      obs::Logger::Instance().set_level(*parsed);
+    }
+    if (!metrics_json.empty()) obs::Registry::Instance().set_enabled(true);
+    if (!trace_json.empty()) {
+      obs::Registry::Instance().set_enabled(true);
+      obs::Tracer::Instance().set_enabled(true);
+    }
+  }
+
+  /// Writes the requested dumps; true unless a file could not be written.
+  bool Flush() const {
+    bool ok = true;
+    if (!metrics_json.empty()) {
+      const std::string doc =
+          obs::MetricsToJson(obs::Registry::Instance().Snapshot());
+      if (!obs::WriteTextFile(metrics_json, doc)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_json.c_str());
+        ok = false;
+      }
+    }
+    if (!trace_json.empty()) {
+      const std::string doc =
+          obs::SpansToJson(obs::Tracer::Instance().FinishedCopy());
+      if (!obs::WriteTextFile(trace_json, doc)) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_json.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
 
 hin::Hin GeneratePreset(const Args& args) {
   const std::string preset = args.Get("preset", "dblp");
@@ -192,10 +288,23 @@ int Rank(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
-    if (args.command == "generate") return Generate(args);
-    if (args.command == "info") return Info(args);
-    if (args.command == "classify") return Classify(args);
-    if (args.command == "rank") return Rank(args);
+    const ObsFlags obs_flags(args);
+    int rc;
+    if (args.command == "generate") {
+      rc = Generate(args);
+    } else if (args.command == "info") {
+      rc = Info(args);
+    } else if (args.command == "classify") {
+      rc = Classify(args);
+    } else if (args.command == "rank") {
+      rc = Rank(args);
+    } else {
+      return Usage();
+    }
+    if (!obs_flags.Flush() && rc == 0) rc = 1;
+    return rc;
+  } catch (const FlagError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return Usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
