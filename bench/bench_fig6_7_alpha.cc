@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/common.h"
+#include "tmark/core/prepared_operators.h"
 #include "tmark/core/tmark.h"
 #include "tmark/datasets/dblp.h"
 #include "tmark/datasets/nus.h"
@@ -19,6 +20,9 @@ std::vector<double> SweepAlpha(const hin::Hin& hin, double gamma,
                                const std::vector<double>& alphas,
                                int trials) {
   std::vector<double> out;
+  // Alpha only affects the iteration, not the O/R/W operators: every trial
+  // of the sweep shares one prepared build for this HIN.
+  core::OperatorCache operator_cache;
   Rng master(31);
   for (double alpha : alphas) {
     double acc = 0.0;
@@ -29,6 +33,8 @@ std::vector<double> SweepAlpha(const hin::Hin& hin, double gamma,
       config.alpha = alpha;
       config.gamma = gamma;
       core::TMarkClassifier clf(config);
+      clf.SetPreparedOperators(
+          operator_cache.GetOrBuild(hin, config.similarity));
       acc += eval::EvaluateClassifier(hin, &clf, labeled, false, 0.5);
     }
     out.push_back(acc / trials);
@@ -48,13 +54,17 @@ int main() {
   dblp_options.num_authors = bench::ScaledNodes(400);
   const hin::Hin dblp = datasets::MakeDblp(dblp_options);
   tmark::obs::LogInfo("bench.sweep", {{"param", "alpha"}, {"dataset", "dblp"}});
-  const std::vector<double> dblp_acc = SweepAlpha(dblp, 0.6, alphas, trials);
+  std::vector<double> dblp_acc;
+  const bench::BenchTimer::Timing dblp_time = bench::BenchTimer::Time(
+      [&] { dblp_acc = SweepAlpha(dblp, 0.6, alphas, trials); });
 
   datasets::NusOptions nus_options;
   nus_options.num_images = bench::ScaledNodes(600);
   const hin::Hin nus = datasets::MakeNus(nus_options);
   tmark::obs::LogInfo("bench.sweep", {{"param", "alpha"}, {"dataset", "nus"}});
-  const std::vector<double> nus_acc = SweepAlpha(nus, 0.4, alphas, trials);
+  std::vector<double> nus_acc;
+  const bench::BenchTimer::Timing nus_time = bench::BenchTimer::Time(
+      [&] { nus_acc = SweepAlpha(nus, 0.4, alphas, trials); });
 
   std::cout << "== Figs. 6-7: accuracy vs restart parameter alpha ==\n";
   eval::TablePrinter table({"alpha", "DBLP (Fig. 6)", "NUS (Fig. 7)"});
@@ -65,5 +75,21 @@ int main() {
   table.Print(std::cout);
   std::cout << "(paper: DBLP peaks near alpha = 0.8; NUS keeps improving "
                "toward alpha = 0.9)\n";
+  std::printf(
+      "sweep wall-clock: dblp min %.1f ms / median %.1f ms, "
+      "nus min %.1f ms / median %.1f ms (%d repeats)\n",
+      dblp_time.min_ms, dblp_time.median_ms, nus_time.min_ms,
+      nus_time.median_ms, dblp_time.repeats);
+  if (auto* session = bench::BenchObsSession::active()) {
+    session->RecordTable(
+        {"sweep wall-clock (ms)",
+         {"dataset", "min_ms", "median_ms", "repeats"},
+         {{"dblp", FormatDouble(dblp_time.min_ms, 2),
+           FormatDouble(dblp_time.median_ms, 2),
+           std::to_string(dblp_time.repeats)},
+          {"nus", FormatDouble(nus_time.min_ms, 2),
+           FormatDouble(nus_time.median_ms, 2),
+           std::to_string(nus_time.repeats)}}});
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench/common.h"
+#include "tmark/core/prepared_operators.h"
 #include "tmark/core/tmark.h"
 #include "tmark/datasets/dblp.h"
 #include "tmark/datasets/nus.h"
@@ -20,6 +21,9 @@ std::vector<double> SweepGamma(const hin::Hin& hin, double alpha,
                                const std::vector<double>& gammas,
                                int trials) {
   std::vector<double> out;
+  // Gamma only reweights the walks; the O/R/W operators are shared across
+  // the whole sweep through one prepared build.
+  core::OperatorCache operator_cache;
   Rng master(37);
   for (double gamma : gammas) {
     double acc = 0.0;
@@ -30,6 +34,8 @@ std::vector<double> SweepGamma(const hin::Hin& hin, double alpha,
       config.alpha = alpha;
       config.gamma = gamma;
       core::TMarkClassifier clf(config);
+      clf.SetPreparedOperators(
+          operator_cache.GetOrBuild(hin, config.similarity));
       acc += eval::EvaluateClassifier(hin, &clf, labeled, false, 0.5);
     }
     out.push_back(acc / trials);
@@ -49,13 +55,17 @@ int main() {
   dblp_options.num_authors = bench::ScaledNodes(400);
   const hin::Hin dblp = datasets::MakeDblp(dblp_options);
   tmark::obs::LogInfo("bench.sweep", {{"param", "gamma"}, {"dataset", "dblp"}});
-  const std::vector<double> dblp_acc = SweepGamma(dblp, 0.8, gammas, trials);
+  std::vector<double> dblp_acc;
+  const bench::BenchTimer::Timing dblp_time = bench::BenchTimer::Time(
+      [&] { dblp_acc = SweepGamma(dblp, 0.8, gammas, trials); });
 
   datasets::NusOptions nus_options;
   nus_options.num_images = bench::ScaledNodes(600);
   const hin::Hin nus = datasets::MakeNus(nus_options);
   tmark::obs::LogInfo("bench.sweep", {{"param", "gamma"}, {"dataset", "nus"}});
-  const std::vector<double> nus_acc = SweepGamma(nus, 0.9, gammas, trials);
+  std::vector<double> nus_acc;
+  const bench::BenchTimer::Timing nus_time = bench::BenchTimer::Time(
+      [&] { nus_acc = SweepGamma(nus, 0.9, gammas, trials); });
 
   std::cout << "== Figs. 8-9: accuracy vs scale parameter gamma ==\n";
   eval::TablePrinter table({"gamma", "DBLP (Fig. 8)", "NUS (Fig. 9)"});
@@ -66,5 +76,21 @@ int main() {
   table.Print(std::cout);
   std::cout << "(paper: DBLP best around gamma = 0.6, worst at gamma = 1; "
                "NUS flat to ~0.4 then degrades)\n";
+  std::printf(
+      "sweep wall-clock: dblp min %.1f ms / median %.1f ms, "
+      "nus min %.1f ms / median %.1f ms (%d repeats)\n",
+      dblp_time.min_ms, dblp_time.median_ms, nus_time.min_ms,
+      nus_time.median_ms, dblp_time.repeats);
+  if (auto* session = bench::BenchObsSession::active()) {
+    session->RecordTable(
+        {"sweep wall-clock (ms)",
+         {"dataset", "min_ms", "median_ms", "repeats"},
+         {{"dblp", FormatDouble(dblp_time.min_ms, 2),
+           FormatDouble(dblp_time.median_ms, 2),
+           std::to_string(dblp_time.repeats)},
+          {"nus", FormatDouble(nus_time.min_ms, 2),
+           FormatDouble(nus_time.median_ms, 2),
+           std::to_string(nus_time.repeats)}}});
+  }
   return 0;
 }

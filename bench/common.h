@@ -14,6 +14,7 @@
 // Each bench main() constructs one BenchObsSession to opt in; with the env
 // var unset the session and all instrumentation are inert.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -29,6 +30,7 @@
 #include "tmark/obs/logging.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
+#include "tmark/parallel/thread_pool.h"
 
 namespace tmark::bench {
 
@@ -51,6 +53,8 @@ class BenchObsSession {
     path_ = path;
     obs::Registry::Instance().set_enabled(true);
     obs::Tracer::Instance().set_enabled(true);
+    obs::SetGauge("parallel.threads",
+                  static_cast<double>(parallel::NumThreads()));
     active_instance_ = this;
   }
 
@@ -157,6 +161,54 @@ inline std::size_t ScaledNodes(std::size_t base) {
   const double scaled = static_cast<double>(base) * eval::BenchScale();
   return scaled < 60.0 ? 60 : static_cast<std::size_t>(scaled);
 }
+
+/// Warm-up/repeat timing loop for the table benches: runs the workload
+/// TMARK_BENCH_WARMUP times untimed (default 0), then TMARK_BENCH_REPEATS
+/// times timed (default 1), and reports min and median wall-clock. Min and
+/// median are stable across the fleet where a single run is not — speedup
+/// claims in docs/PERFORMANCE.md quote them.
+class BenchTimer {
+ public:
+  struct Timing {
+    double min_ms = 0.0;
+    double median_ms = 0.0;
+    int repeats = 1;
+  };
+
+  static int Warmup() { return EnvCount("TMARK_BENCH_WARMUP", 0); }
+  static int Repeats() { return EnvCount("TMARK_BENCH_REPEATS", 1); }
+
+  template <typename Fn>
+  static Timing Time(Fn&& fn) {
+    const int warmup = Warmup();
+    const int repeats = std::max(1, Repeats());
+    for (int i = 0; i < warmup; ++i) fn();
+    std::vector<double> runs;
+    runs.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i) {
+      obs::Stopwatch watch;
+      fn();
+      runs.push_back(watch.ElapsedMs());
+    }
+    std::sort(runs.begin(), runs.end());
+    const std::size_t mid = runs.size() / 2;
+    Timing timing;
+    timing.min_ms = runs.front();
+    timing.median_ms = runs.size() % 2 == 1
+                           ? runs[mid]
+                           : 0.5 * (runs[mid - 1] + runs[mid]);
+    timing.repeats = repeats;
+    return timing;
+  }
+
+ private:
+  static int EnvCount(const char* name, int fallback) {
+    const char* env = std::getenv(name);
+    if (env == nullptr) return fallback;
+    const int v = std::atoi(env);
+    return v >= 0 ? v : fallback;
+  }
+};
 
 }  // namespace tmark::bench
 

@@ -3,13 +3,14 @@
 
 Usage: check_bench_json.py FILE [--require-series PREFIX]
                                 [--require-histogram NAME]
+                                [--require-gauge NAME]
 
 The schema is documented in docs/OBSERVABILITY.md. Exits 0 when FILE is a
 well-formed document, 1 (with a message on stderr) otherwise. The optional
 --require-* flags additionally assert that the metrics snapshot contains a
 series whose name starts with PREFIX / a histogram with at least one
-observation named NAME — the ctest wiring uses them to pin the fit
-telemetry end-to-end.
+observation named NAME / a gauge named NAME — the ctest wiring uses them to
+pin the fit telemetry end-to-end.
 """
 
 import argparse
@@ -150,6 +151,9 @@ def main():
     parser.add_argument("--require-histogram", action="append", default=[],
                         metavar="NAME",
                         help="fail unless histogram NAME has count > 0")
+    parser.add_argument("--require-gauge", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless gauge NAME is present")
     args = parser.parse_args()
 
     try:
@@ -178,6 +182,11 @@ def main():
                        for h in histograms),
                    "$.metrics.histograms",
                    f"no populated histogram named '{name}'")
+        gauges = doc["metrics"]["gauges"]
+        for name in args.require_gauge:
+            expect(any(g["name"] == name for g in gauges),
+                   "$.metrics.gauges",
+                   f"no gauge named '{name}'")
     except SchemaError as e:
         print(f"check_bench_json: {args.file}: {e}", file=sys.stderr)
         return 1

@@ -1,0 +1,108 @@
+#include "tmark/core/prepared_operators.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tmark/obs/metrics.h"
+
+namespace tmark::core {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(const void* data, std::size_t len, std::uint64_t* h) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t x = *h;
+  for (std::size_t i = 0; i < len; ++i) {
+    x ^= bytes[i];
+    x *= kFnvPrime;
+  }
+  *h = x;
+}
+
+void HashValue(std::uint64_t value, std::uint64_t* h) {
+  HashBytes(&value, sizeof(value), h);
+}
+
+void HashMatrix(const la::SparseMatrix& m, std::uint64_t* h) {
+  HashValue(m.rows(), h);
+  HashValue(m.cols(), h);
+  HashValue(m.NumNonZeros(), h);
+  HashBytes(m.row_ptr().data(), m.row_ptr().size() * sizeof(std::size_t), h);
+  HashBytes(m.col_idx().data(), m.col_idx().size() * sizeof(std::uint32_t), h);
+  HashBytes(m.values().data(), m.values().size() * sizeof(double), h);
+}
+
+}  // namespace
+
+std::uint64_t FingerprintOperators(const hin::Hin& hin,
+                                   hin::SimilarityKernel kernel) {
+  std::uint64_t h = kFnvOffset;
+  HashValue(hin.num_nodes(), &h);
+  HashValue(hin.num_relations(), &h);
+  HashValue(static_cast<std::uint64_t>(kernel), &h);
+  for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+    HashMatrix(hin.relation(k), &h);
+  }
+  HashMatrix(hin.features(), &h);
+  return h;
+}
+
+PreparedOperators PreparedOperators::Build(const hin::Hin& hin,
+                                           hin::SimilarityKernel kernel) {
+  // No span of its own: the tensor / similarity build spans attach directly
+  // to whatever span is open at the call site (e.g. tmark.fit).
+  const std::uint64_t fingerprint = FingerprintOperators(hin, kernel);
+  tensor::TransitionTensors tensors =
+      tensor::TransitionTensors::Build(hin.ToAdjacencyTensor());
+  hin::FeatureSimilarity similarity =
+      hin::FeatureSimilarity::Build(hin.features(), kernel);
+  obs::IncrCounter("core.prepared.builds");
+  return PreparedOperators(std::move(tensors), std::move(similarity),
+                           fingerprint, hin.num_nodes(), hin.num_relations(),
+                           kernel);
+}
+
+std::shared_ptr<const PreparedOperators> PreparedOperators::BuildShared(
+    const hin::Hin& hin, hin::SimilarityKernel kernel) {
+  return std::make_shared<const PreparedOperators>(Build(hin, kernel));
+}
+
+OperatorCache::OperatorCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const PreparedOperators> OperatorCache::GetOrBuild(
+    const hin::Hin& hin, hin::SimilarityKernel kernel) {
+  const std::uint64_t fingerprint = FingerprintOperators(hin, kernel);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find_if(
+        entries_.begin(), entries_.end(),
+        [fingerprint](const std::shared_ptr<const PreparedOperators>& e) {
+          return e->fingerprint() == fingerprint;
+        });
+    if (it != entries_.end()) {
+      std::shared_ptr<const PreparedOperators> hit = *it;
+      entries_.erase(it);
+      entries_.insert(entries_.begin(), hit);  // refresh MRU position
+      obs::IncrCounter("core.prepared.cache_hits");
+      return hit;
+    }
+  }
+  // Build outside the lock: concurrent misses may build twice, but both
+  // results are identical and the cache stays consistent.
+  std::shared_ptr<const PreparedOperators> built =
+      PreparedOperators::BuildShared(hin, kernel);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.insert(entries_.begin(), built);
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+  return built;
+}
+
+std::size_t OperatorCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace tmark::core

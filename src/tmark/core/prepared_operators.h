@@ -1,0 +1,97 @@
+#ifndef TMARK_CORE_PREPARED_OPERATORS_H_
+#define TMARK_CORE_PREPARED_OPERATORS_H_
+
+// Precomputed T-Mark operators and their reuse machinery.
+//
+// Building the transition tensors (O, R — Sec. 4.1) and the feature
+// similarity walk (W — Sec. 4.2) costs O(D) + O(nnz(F)) and depends only on
+// the HIN and the similarity kernel, not on the labeled set or the
+// hyper-parameters alpha/gamma/lambda. PreparedOperators bundles both
+// together with a content fingerprint of their inputs so that repeated
+// Fit calls on an unchanged HIN — alpha/gamma sweeps, label-fraction
+// trials, warm restarts — skip the rebuild entirely (docs/PERFORMANCE.md).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "tmark/hin/feature_similarity.h"
+#include "tmark/hin/hin.h"
+#include "tmark/hin/similarity_kernel.h"
+#include "tmark/tensor/transition_tensors.h"
+
+namespace tmark::core {
+
+/// 64-bit FNV-1a fingerprint of everything the operators are derived from:
+/// node/relation counts, every relation's CSR arrays, the feature matrix,
+/// and the similarity kernel. Equal fingerprints imply bit-identical
+/// operators (the builds are deterministic functions of these inputs).
+std::uint64_t FingerprintOperators(const hin::Hin& hin,
+                                   hin::SimilarityKernel kernel);
+
+/// Immutable bundle of the label-independent fit operators.
+class PreparedOperators {
+ public:
+  /// Builds O, R, and W from the HIN. Increments the "core.prepared.builds"
+  /// counter (plus the per-operator build counters of the underlying
+  /// subsystems).
+  static PreparedOperators Build(const hin::Hin& hin,
+                                 hin::SimilarityKernel kernel);
+
+  /// Build wrapped in a shared_ptr, for caching / cross-classifier sharing.
+  static std::shared_ptr<const PreparedOperators> BuildShared(
+      const hin::Hin& hin, hin::SimilarityKernel kernel);
+
+  const tensor::TransitionTensors& tensors() const { return tensors_; }
+  const hin::FeatureSimilarity& similarity() const { return similarity_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_relations() const { return num_relations_; }
+  hin::SimilarityKernel kernel() const { return kernel_; }
+
+ private:
+  PreparedOperators(tensor::TransitionTensors tensors,
+                    hin::FeatureSimilarity similarity,
+                    std::uint64_t fingerprint, std::size_t num_nodes,
+                    std::size_t num_relations, hin::SimilarityKernel kernel)
+      : tensors_(std::move(tensors)),
+        similarity_(std::move(similarity)),
+        fingerprint_(fingerprint),
+        num_nodes_(num_nodes),
+        num_relations_(num_relations),
+        kernel_(kernel) {}
+
+  tensor::TransitionTensors tensors_;
+  hin::FeatureSimilarity similarity_;
+  std::uint64_t fingerprint_;
+  std::size_t num_nodes_;
+  std::size_t num_relations_;
+  hin::SimilarityKernel kernel_;
+};
+
+/// Small bounded MRU cache of shared PreparedOperators keyed by
+/// fingerprint. One instance per sweep/experiment lets every trial on the
+/// same HIN + kernel share one build (counters: "core.prepared.cache_hits"
+/// on reuse). Thread-safe.
+class OperatorCache {
+ public:
+  explicit OperatorCache(std::size_t capacity = 4);
+
+  /// Returns the cached operators for (hin, kernel), building on miss. The
+  /// returned pointer stays valid independent of later evictions.
+  std::shared_ptr<const PreparedOperators> GetOrBuild(
+      const hin::Hin& hin, hin::SimilarityKernel kernel);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<std::shared_ptr<const PreparedOperators>> entries_;  // MRU first
+};
+
+}  // namespace tmark::core
+
+#endif  // TMARK_CORE_PREPARED_OPERATORS_H_

@@ -7,6 +7,7 @@
 #include "tmark/hin/label_vector.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
+#include "tmark/parallel/parallel_for.h"
 
 namespace tmark::core {
 
@@ -22,7 +23,17 @@ TMarkClassifier::TMarkClassifier(TMarkConfig config) : config_(config) {
 
 void TMarkClassifier::Fit(const hin::Hin& hin,
                           const std::vector<std::size_t>& labeled) {
-  FitInternal(hin, labeled, /*warm_start=*/false);
+  FitInternal(hin, labeled, /*warm_start=*/false, /*external_ops=*/nullptr);
+}
+
+void TMarkClassifier::Fit(const hin::Hin& hin, const PreparedOperators& ops,
+                          const std::vector<std::size_t>& labeled) {
+  FitInternal(hin, labeled, /*warm_start=*/false, &ops);
+}
+
+void TMarkClassifier::SetPreparedOperators(
+    std::shared_ptr<const PreparedOperators> ops) {
+  prepared_ = std::move(ops);
 }
 
 void TMarkClassifier::Refit(const hin::Hin& hin,
@@ -30,12 +41,14 @@ void TMarkClassifier::Refit(const hin::Hin& hin,
   const bool compatible = confidences_.rows() == hin.num_nodes() &&
                           confidences_.cols() == hin.num_classes() &&
                           link_importance_.rows() == hin.num_relations();
-  FitInternal(hin, labeled, /*warm_start=*/compatible);
+  FitInternal(hin, labeled, /*warm_start=*/compatible,
+              /*external_ops=*/nullptr);
 }
 
 void TMarkClassifier::FitInternal(const hin::Hin& hin,
                                   const std::vector<std::size_t>& labeled,
-                                  bool warm_start) {
+                                  bool warm_start,
+                                  const PreparedOperators* external_ops) {
   const std::size_t n = hin.num_nodes();
   const std::size_t m = hin.num_relations();
   const std::size_t q = hin.num_classes();
@@ -50,10 +63,26 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   obs::ScopedTimer fit_timer("tmark.fit.total_ms");
   obs::IncrCounter("tmark.fit.calls");
 
-  const tensor::TransitionTensors tensors =
-      tensor::TransitionTensors::Build(hin.ToAdjacencyTensor());
-  const hin::FeatureSimilarity similarity =
-      hin::FeatureSimilarity::Build(hin.features(), config_.similarity);
+  const PreparedOperators* ops = external_ops;
+  if (ops != nullptr) {
+    TMARK_CHECK_MSG(ops->num_nodes() == n && ops->num_relations() == m &&
+                        ops->kernel() == config_.similarity,
+                    "prepared operators do not match the HIN / kernel");
+  } else {
+    // Fingerprint-checked cache: a repeated Fit on an unchanged HIN (sweep
+    // trials, refits) reuses the previous O/R/W builds.
+    obs::ScopedTimer prepare_timer("tmark.fit.prepare_ms");
+    const std::uint64_t fingerprint =
+        FingerprintOperators(hin, config_.similarity);
+    if (prepared_ != nullptr && prepared_->fingerprint() == fingerprint) {
+      obs::IncrCounter("tmark.fit.operator_cache_hits");
+    } else {
+      prepared_ = PreparedOperators::BuildShared(hin, config_.similarity);
+    }
+    ops = prepared_.get();
+  }
+  const tensor::TransitionTensors& tensors = ops->tensors();
+  const hin::FeatureSimilarity& similarity = ops->similarity();
 
   const double alpha = config_.alpha;
   const double beta = config_.beta();
@@ -63,11 +92,16 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   la::DenseMatrix prev_z = std::move(link_importance_);
   confidences_ = la::DenseMatrix(n, q);
   link_importance_ = la::DenseMatrix(m, q);
-  traces_.clear();
-  traces_.reserve(q);
+  traces_.assign(q, ConvergenceTrace{});
 
-  for (std::size_t c = 0; c < q; ++c) {
-    obs::TraceSpan class_span("tmark.fit.class");
+  // The per-class chains are mutually independent (one (x_c, z_c) pair per
+  // class) and write disjoint columns of confidences_/link_importance_ and
+  // disjoint traces_ slots, so they run in parallel; results are identical
+  // to the serial loop. Worker-side spans land in class_nodes and are
+  // stitched back under fit_span in class order after the join.
+  std::vector<obs::SpanNode> class_nodes(q);
+  parallel::ParallelFor(q, /*grain=*/1, [&](std::size_t c) {
+    obs::TraceSpan class_span("tmark.fit.class", &class_nodes[c]);
     class_span.AddField("class", c);
     obs::ScopedTimer class_timer("tmark.fit.class_ms");
     const std::string residual_series =
@@ -127,7 +161,10 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
     class_span.AddField("converged", trace.converged);
     for (std::size_t i = 0; i < n; ++i) confidences_.At(i, c) = x[i];
     for (std::size_t k = 0; k < m; ++k) link_importance_.At(k, c) = z[k];
-    traces_.push_back(std::move(trace));
+    traces_[c] = std::move(trace);
+  });
+  for (obs::SpanNode& node : class_nodes) {
+    fit_span.AdoptChild(std::move(node));
   }
 }
 

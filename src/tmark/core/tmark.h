@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "tmark/core/prepared_operators.h"
 #include "tmark/hin/classifier.h"
 #include "tmark/hin/feature_similarity.h"
 #include "tmark/hin/similarity_kernel.h"
@@ -70,6 +72,24 @@ class TMarkClassifier : public hin::CollectiveClassifier {
   void Fit(const hin::Hin& hin,
            const std::vector<std::size_t>& labeled) override;
 
+  /// Fit against operators the caller prepared (and possibly shares across
+  /// classifiers); skips both the fingerprint check and any rebuild. `ops`
+  /// must have been built from `hin` with this classifier's similarity
+  /// kernel — shapes and kernel are checked, contents are trusted.
+  void Fit(const hin::Hin& hin, const PreparedOperators& ops,
+           const std::vector<std::size_t>& labeled);
+
+  /// Pins shared prepared operators (e.g. from an OperatorCache) for
+  /// subsequent Fit/Refit calls: they are used whenever their fingerprint
+  /// still matches the HIN being fitted, and dropped otherwise.
+  void SetPreparedOperators(std::shared_ptr<const PreparedOperators> ops);
+
+  /// The operators the last Fit used (also populated by the internal
+  /// fingerprint cache); null before the first fit.
+  const std::shared_ptr<const PreparedOperators>& prepared_operators() const {
+    return prepared_;
+  }
+
   /// Incremental mode: re-runs Algorithm 1 initialized from the previous
   /// stationary distributions instead of the label vectors. After modest
   /// changes to the HIN (new edges, extra labels) the chain starts near its
@@ -103,12 +123,17 @@ class TMarkClassifier : public hin::CollectiveClassifier {
 
   /// Shared implementation of Fit/Refit; `warm_start` seeds each class's
   /// iteration from the previous stationary vectors when available.
+  /// `external_ops` (optional) bypasses the internal operator cache.
   void FitInternal(const hin::Hin& hin,
-                   const std::vector<std::size_t>& labeled, bool warm_start);
+                   const std::vector<std::size_t>& labeled, bool warm_start,
+                   const PreparedOperators* external_ops);
 
   la::DenseMatrix confidences_;      ///< n x q.
   la::DenseMatrix link_importance_;  ///< m x q.
   std::vector<ConvergenceTrace> traces_;
+  /// Fingerprint-checked operator cache: reused by FitInternal while the
+  /// HIN content is unchanged, rebuilt (and replaced) when it is not.
+  std::shared_ptr<const PreparedOperators> prepared_;
 };
 
 }  // namespace tmark::core

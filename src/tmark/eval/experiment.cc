@@ -6,6 +6,8 @@
 
 #include "tmark/baselines/registry.h"
 #include "tmark/common/check.h"
+#include "tmark/core/prepared_operators.h"
+#include "tmark/core/tmark.h"
 #include "tmark/ml/metrics.h"
 #include "tmark/obs/logging.h"
 #include "tmark/obs/metrics.h"
@@ -100,6 +102,9 @@ MethodSweep RunSweep(const hin::Hin& hin, const std::string& method,
   sweep.method = method;
   obs::TraceSpan sweep_span("eval.sweep");
   sweep_span.AddField("method", method);
+  // The HIN is fixed across every fraction x trial cell, so all T-Mark
+  // variants in this sweep share one prepared-operator build per kernel.
+  core::OperatorCache operator_cache;
   Rng master(config.seed);
   for (double fraction : config.train_fractions) {
     obs::TraceSpan cell_span("eval.sweep.cell");
@@ -117,6 +122,11 @@ MethodSweep RunSweep(const hin::Hin& hin, const std::string& method,
       auto classifier =
           baselines::MakeClassifier(method, config.alpha, config.gamma,
                                     config.lambda);
+      if (auto* tmark =
+              dynamic_cast<core::TMarkClassifier*>(classifier.get())) {
+        tmark->SetPreparedOperators(
+            operator_cache.GetOrBuild(hin, tmark->config().similarity));
+      }
       scores.push_back(EvaluateClassifier(hin, classifier.get(), labeled,
                                           config.multi_label,
                                           config.multi_label_threshold));

@@ -5,6 +5,7 @@
 #include "tmark/common/check.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
+#include "tmark/parallel/parallel_for.h"
 
 namespace tmark::hin {
 
@@ -41,12 +42,16 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
   la::Vector inv_norm(n, 0.0);
   {
     la::Vector sq(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t p = transformed.row_ptr()[i];
-           p < transformed.row_ptr()[i + 1]; ++p) {
-        sq[i] += transformed.values()[p] * transformed.values()[p];
-      }
-    }
+    // Disjoint per-row squared norms: row-partitioning is bit-identical.
+    parallel::ParallelForRanges(
+        n, /*grain=*/2048, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t p = transformed.row_ptr()[i];
+                 p < transformed.row_ptr()[i + 1]; ++p) {
+              sq[i] += transformed.values()[p] * transformed.values()[p];
+            }
+          }
+        });
     for (std::size_t i = 0; i < n; ++i) {
       if (sq[i] > 0.0) {
         inv_norm[i] = kernel == SimilarityKernel::kDotProduct

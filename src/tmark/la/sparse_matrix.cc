@@ -4,8 +4,23 @@
 #include <map>
 
 #include "tmark/common/check.h"
+#include "tmark/parallel/parallel_for.h"
 
 namespace tmark::la {
+namespace {
+
+// Row grains for the parallel kernels. Below one grain of work the loops
+// collapse to a single chunk on the calling thread (the exact serial code).
+// Scatter/reduction kernels use a large grain and a small chunk cap so the
+// ordered per-chunk partial buffers stay cheap; their chunk boundaries are
+// fixed by the row count alone, keeping results bit-identical across thread
+// counts.
+constexpr std::size_t kMatVecGrain = 1024;
+constexpr std::size_t kScatterGrain = 8192;
+constexpr std::size_t kScatterMaxChunks = 16;
+constexpr std::size_t kReduceGrain = 8192;
+
+}  // namespace
 
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
@@ -70,25 +85,49 @@ double SparseMatrix::At(std::size_t r, std::size_t c) const {
 Vector SparseMatrix::MatVec(const Vector& x) const {
   TMARK_CHECK(x.size() == cols_);
   Vector y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      s += values_[p] * x[col_idx_[p]];
-    }
-    y[r] = s;
-  }
+  // Disjoint output rows: row-partitioning is bit-identical to serial.
+  parallel::ParallelForRanges(
+      rows_, kMatVecGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          double s = 0.0;
+          for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+            s += values_[p] * x[col_idx_[p]];
+          }
+          y[r] = s;
+        }
+      });
   return y;
 }
 
 Vector SparseMatrix::TransposeMatVec(const Vector& x) const {
   TMARK_CHECK(x.size() == rows_);
-  Vector y(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      y[col_idx_[p]] += values_[p] * xr;
+  auto scatter = [this, &x](std::size_t begin, std::size_t end, Vector* y) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        (*y)[col_idx_[p]] += values_[p] * xr;
+      }
     }
+  };
+  Vector y(cols_, 0.0);
+  const std::size_t chunks =
+      parallel::NumFixedChunks(rows_, kScatterGrain, kScatterMaxChunks);
+  if (chunks <= 1) {
+    scatter(0, rows_, &y);
+    return y;
+  }
+  // Colliding scatter targets: accumulate into ordered per-chunk partials
+  // and merge them in chunk order. Chunk boundaries depend only on the row
+  // count, so every thread count (serial included) sums in the same order.
+  std::vector<Vector> partials(chunks);
+  parallel::ParallelChunks(
+      rows_, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        partials[chunk].assign(cols_, 0.0);
+        scatter(begin, end, &partials[chunk]);
+      });
+  for (const Vector& partial : partials) {
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += partial[c];
   }
   return y;
 }
@@ -234,17 +273,24 @@ DenseMatrix SparseMatrix::ToDense() const {
 
 double SparseMatrix::Bilinear(const Vector& x, const Vector& y) const {
   TMARK_CHECK(x.size() == rows_ && y.size() == cols_);
-  double s = 0.0;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    double inner = 0.0;
-    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      inner += values_[p] * y[col_idx_[p]];
-    }
-    s += xr * inner;
-  }
-  return s;
+  // Per-chunk partial sums folded in chunk order; the fixed chunk layout
+  // makes the result identical at every thread count.
+  return parallel::ParallelReduce(
+      rows_, kReduceGrain, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t r = begin; r < end; ++r) {
+          const double xr = x[r];
+          if (xr == 0.0) continue;
+          double inner = 0.0;
+          for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+            inner += values_[p] * y[col_idx_[p]];
+          }
+          s += xr * inner;
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 bool SparseMatrix::IsNonNegative() const {

@@ -95,6 +95,15 @@ inline bool TracingEnabled() { return Tracer::Instance().enabled(); }
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name);
+
+  /// Detached span for fork/join code: on destruction the finished node is
+  /// moved into *sink instead of being attached to a parent span or the
+  /// Tracer. A worker thread opens the span with the slot it owns as the
+  /// sink; after the join the coordinating thread stitches the slots back
+  /// under its own span with AdoptChild in a deterministic order. The sink
+  /// must outlive the span; when tracing is disabled *sink is untouched.
+  TraceSpan(std::string_view name, SpanNode* sink);
+
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -112,9 +121,16 @@ class TraceSpan {
     AddField(key, std::string_view(value ? "true" : "false"));
   }
 
+  /// Appends an externally finished span (typically a sink-span filled on a
+  /// worker thread) as a child of this span. Call only after the producing
+  /// threads have joined; a node with an empty name (tracing was disabled
+  /// when the sink-span opened) is ignored.
+  void AdoptChild(SpanNode child);
+
  private:
   bool active_ = false;
   TraceSpan* parent_ = nullptr;  ///< Innermost active span at open time.
+  SpanNode* sink_ = nullptr;     ///< Non-null for detached spans.
   SpanNode node_;
 };
 

@@ -1,0 +1,103 @@
+#ifndef TMARK_PARALLEL_PARALLEL_FOR_H_
+#define TMARK_PARALLEL_PARALLEL_FOR_H_
+
+// Deterministic data-parallel loops on top of the global ThreadPool.
+//
+// Chunk boundaries are computed from the element count and grain alone —
+// never from the thread count — so a kernel that writes disjoint outputs is
+// bit-identical at any parallelism degree, and a reduction that combines
+// ordered per-chunk partials in chunk order is too. Callers pick grains
+// large enough that small (test-sized) inputs collapse to a single chunk,
+// which executes the exact serial loop on the calling thread.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tmark/parallel/thread_pool.h"
+
+namespace tmark::parallel {
+
+/// Default cap on the number of chunks a loop splits into. High enough for
+/// dynamic load balancing across any realistic pool, low enough that the
+/// per-chunk partial buffers of reductions stay cheap.
+inline constexpr std::size_t kDefaultMaxChunks = 64;
+
+/// Number of chunks for `count` elements at the given grain, capped at
+/// `max_chunks`. Depends only on the inputs (deterministic across thread
+/// counts). Returns 0 for an empty range, 1 when count <= grain.
+inline std::size_t NumFixedChunks(std::size_t count, std::size_t grain,
+                                  std::size_t max_chunks = kDefaultMaxChunks) {
+  if (count == 0) return 0;
+  if (grain == 0) grain = 1;
+  if (max_chunks == 0) max_chunks = 1;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  return chunks < max_chunks ? chunks : max_chunks;
+}
+
+/// Runs body(chunk, begin, end) for `num_chunks` contiguous, near-equal
+/// slices of [0, count). With 0 or 1 chunks the body runs inline on the
+/// calling thread (the guaranteed serial path).
+inline void ParallelChunks(
+    std::size_t count, std::size_t num_chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0 || num_chunks == 0) return;
+  if (num_chunks == 1) {
+    body(0, 0, count);
+    return;
+  }
+  if (num_chunks > count) num_chunks = count;
+  const std::size_t base = count / num_chunks;
+  const std::size_t extra = count % num_chunks;
+  GlobalPool().Run(num_chunks, [&](std::size_t chunk) {
+    // Chunks [0, extra) carry one extra element.
+    const std::size_t begin =
+        chunk * base + (chunk < extra ? chunk : extra);
+    const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
+    body(chunk, begin, end);
+  });
+}
+
+/// Runs body(begin, end) over grain-sized ranges of [0, count).
+inline void ParallelForRanges(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  ParallelChunks(count, NumFixedChunks(count, grain),
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                   body(begin, end);
+                 });
+}
+
+/// Runs body(i) for every i in [0, count), chunked by `grain`.
+inline void ParallelFor(std::size_t count, std::size_t grain,
+                        const std::function<void(std::size_t)>& body) {
+  ParallelForRanges(count, grain,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) body(i);
+                    });
+}
+
+/// Deterministic reduction: map(begin, end) produces one partial per chunk,
+/// combine folds the partials left-to-right in chunk order starting from
+/// `identity`. With one chunk this degenerates to
+/// combine(identity, map(0, count)) on the calling thread.
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(std::size_t count, std::size_t grain, T identity, Map&& map,
+                 Combine&& combine) {
+  const std::size_t chunks = NumFixedChunks(count, grain);
+  if (chunks == 0) return identity;
+  if (chunks == 1) return combine(std::move(identity), map(0, count));
+  std::vector<T> partials(chunks, identity);
+  ParallelChunks(count, chunks,
+                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                   partials[chunk] = map(begin, end);
+                 });
+  T result = std::move(identity);
+  for (T& partial : partials) result = combine(std::move(result), partial);
+  return result;
+}
+
+}  // namespace tmark::parallel
+
+#endif  // TMARK_PARALLEL_PARALLEL_FOR_H_

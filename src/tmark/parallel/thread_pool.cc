@@ -1,0 +1,173 @@
+#include "tmark/parallel/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "tmark/obs/metrics.h"
+
+namespace tmark::parallel {
+namespace {
+
+// True while the current thread executes inside a ThreadPool batch (as a
+// worker or as the participating caller). Nested Run calls observe it and
+// execute inline, which keeps run_mu_ non-reentrant and deadlock-free.
+thread_local bool t_inside_parallel_region = false;
+
+struct ScopedRegionFlag {
+  ScopedRegionFlag() : previous(t_inside_parallel_region) {
+    t_inside_parallel_region = true;
+  }
+  ~ScopedRegionFlag() { t_inside_parallel_region = previous; }
+  bool previous;
+};
+
+std::mutex g_config_mu;
+std::size_t g_num_threads = 0;  // 0 = not yet latched from the environment.
+std::unique_ptr<ThreadPool> g_pool;
+
+std::size_t DefaultNumThreads() {
+  const std::size_t env = ParseThreadCount(std::getenv("TMARK_NUM_THREADS"));
+  return env > 0 ? env : HardwareConcurrency();
+}
+
+std::size_t NumThreadsLocked() {
+  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+  return g_num_threads;
+}
+
+}  // namespace
+
+std::size_t HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t ParseThreadCount(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  std::size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+    if (value > kMaxConfigurableThreads) return kMaxConfigurableThreads;
+  }
+  return value;
+}
+
+std::size_t NumThreads() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return NumThreadsLocked();
+}
+
+void SetNumThreads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (n > kMaxConfigurableThreads) n = kMaxConfigurableThreads;
+  g_num_threads = n == 0 ? DefaultNumThreads() : n;
+  g_pool.reset();  // Rebuilt lazily with the new lane count.
+  obs::SetGauge("parallel.threads", static_cast<double>(g_num_threads));
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(NumThreadsLocked());
+    obs::SetGauge("parallel.threads", static_cast<double>(g_num_threads));
+  }
+  return *g_pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1 || t_inside_parallel_region) {
+    RunSerial(num_tasks, task);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    workers_remaining_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  {
+    ScopedRegionFlag region;
+    Drain(task);
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
+    task_ = nullptr;
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_parallel_region = true;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    Drain(*task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::Drain(const std::function<void(std::size_t)>& task) {
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) return;
+    const std::size_t t = next_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks_) return;
+    try {
+      task(t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void ThreadPool::RunSerial(std::size_t num_tasks,
+                           const std::function<void(std::size_t)>& task) {
+  for (std::size_t t = 0; t < num_tasks; ++t) task(t);
+}
+
+}  // namespace tmark::parallel

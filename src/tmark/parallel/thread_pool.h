@@ -1,0 +1,101 @@
+#ifndef TMARK_PARALLEL_THREAD_POOL_H_
+#define TMARK_PARALLEL_THREAD_POOL_H_
+
+// Fixed-size fork/join thread pool behind the contraction kernels and the
+// per-class fit loop (docs/PERFORMANCE.md).
+//
+// The process-wide parallelism degree comes from, in order of precedence,
+// SetNumThreads(), the TMARK_NUM_THREADS environment variable, and
+// std::thread::hardware_concurrency(). At 1 thread every entry point runs
+// the work inline on the calling thread, so the serial path is exactly the
+// pre-pool code shape with no synchronization.
+//
+// Determinism contract: the algorithm helpers in parallel_for.h partition
+// work by problem size only — never by thread count — so numerical results
+// are bit-identical across thread counts (serial included). Kernels with
+// disjoint outputs need nothing more; reductions and scatters additionally
+// merge ordered per-chunk partial buffers in chunk order.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tmark::parallel {
+
+/// std::thread::hardware_concurrency() with a floor of 1.
+std::size_t HardwareConcurrency();
+
+/// Parses a TMARK_NUM_THREADS-style value. Returns 0 (meaning "use the
+/// default") when `text` is null, empty, non-numeric, zero, or has trailing
+/// garbage; otherwise the parsed count clamped to kMaxConfigurableThreads.
+std::size_t ParseThreadCount(const char* text);
+
+/// Upper bound accepted from the env var / SetNumThreads (sanity clamp).
+inline constexpr std::size_t kMaxConfigurableThreads = 1024;
+
+/// The configured parallelism degree (>= 1). First call latches the
+/// TMARK_NUM_THREADS / hardware default.
+std::size_t NumThreads();
+
+/// Overrides the parallelism degree; 0 restores the environment/hardware
+/// default. Drops the current global pool, so call it between parallel
+/// regions (e.g. at startup or between fits), never from inside one.
+void SetNumThreads(std::size_t n);
+
+/// A fixed-size pool of `num_threads - 1` worker threads; the thread that
+/// calls Run participates as the extra lane. One batch runs at a time
+/// (concurrent Run calls from different threads serialize), and a Run
+/// issued from inside a task executes inline on the calling thread, so
+/// nested parallel regions cannot deadlock.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism including the caller (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Executes task(t) for every t in [0, num_tasks), blocking until all
+  /// complete. The first exception thrown by any task is rethrown here
+  /// (remaining unclaimed tasks are skipped); the pool stays usable.
+  void Run(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
+
+ private:
+  void WorkerLoop();
+  /// Claims and executes tasks of the current batch until it drains or a
+  /// task fails.
+  void Drain(const std::function<void(std::size_t)>& task);
+  static void RunSerial(std::size_t num_tasks,
+                        const std::function<void(std::size_t)>& task);
+
+  std::mutex run_mu_;  ///< Serializes whole batches.
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  std::uint64_t epoch_ = 0;          ///< Batch generation, bumped per Run.
+  std::size_t workers_remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-global pool, lazily built with NumThreads() lanes.
+ThreadPool& GlobalPool();
+
+}  // namespace tmark::parallel
+
+#endif  // TMARK_PARALLEL_THREAD_POOL_H_

@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "tmark/common/check.h"
+#include "tmark/parallel/parallel_for.h"
 
 namespace tmark::tensor {
+namespace {
+
+// Row grain for the mode-1 contraction; small inputs collapse to a single
+// chunk and run the exact serial loop on the calling thread.
+constexpr std::size_t kContractRowGrain = 512;
+
+}  // namespace
 
 SparseTensor3::SparseTensor3(std::size_t n, std::size_t m) : n_(n), m_(m) {
   slices_.reserve(m);
@@ -120,18 +128,24 @@ la::Vector SparseTensor3::ContractMode1(const la::Vector& x,
                                         const la::Vector& z) const {
   TMARK_CHECK(x.size() == n_ && z.size() == m_);
   la::Vector y(n_, 0.0);
-  for (std::size_t k = 0; k < m_; ++k) {
-    const double zk = z[k];
-    if (zk == 0.0) continue;
-    const la::SparseMatrix& s = slices_[k];
-    for (std::size_t i = 0; i < n_; ++i) {
-      double acc = 0.0;
-      for (std::size_t p = s.row_ptr()[i]; p < s.row_ptr()[i + 1]; ++p) {
-        acc += s.values()[p] * x[s.col_idx()[p]];
-      }
-      y[i] += zk * acc;
-    }
-  }
+  // Row-partitioned: each row accumulates its per-slice contributions in
+  // ascending k, exactly the per-element order of the serial k-outer loop,
+  // and rows are disjoint — bit-identical at any thread count.
+  parallel::ParallelForRanges(
+      n_, kContractRowGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = 0; k < m_; ++k) {
+          const double zk = z[k];
+          if (zk == 0.0) continue;
+          const la::SparseMatrix& s = slices_[k];
+          for (std::size_t i = begin; i < end; ++i) {
+            double acc = 0.0;
+            for (std::size_t p = s.row_ptr()[i]; p < s.row_ptr()[i + 1]; ++p) {
+              acc += s.values()[p] * x[s.col_idx()[p]];
+            }
+            y[i] += zk * acc;
+          }
+        }
+      });
   return y;
 }
 
@@ -139,9 +153,10 @@ la::Vector SparseTensor3::ContractMode3(const la::Vector& x,
                                         const la::Vector& y) const {
   TMARK_CHECK(x.size() == n_ && y.size() == n_);
   la::Vector w(m_, 0.0);
-  for (std::size_t k = 0; k < m_; ++k) {
+  // One independent bilinear form per slice; w entries are disjoint.
+  parallel::ParallelFor(m_, /*grain=*/1, [&](std::size_t k) {
     w[k] = slices_[k].Bilinear(x, y);
-  }
+  });
   return w;
 }
 

@@ -1,0 +1,156 @@
+// PreparedOperators / OperatorCache: repeated Fit on an unchanged HIN must
+// perform exactly one tensor/similarity build (pinned via the existing
+// tensor.transition.builds / hin.similarity.builds counters), a mutated HIN
+// must trigger a rebuild, and shared operators must not change results.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmark/common/check.h"
+#include "tmark/core/prepared_operators.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/obs/metrics.h"
+
+namespace tmark {
+namespace {
+
+hin::Hin MakeHin(std::uint64_t seed) {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 120;
+  config.class_names = {"A", "B", "C"};
+  config.relations = {{"r0", 0.8, 0.0, 3.0, {}, false},
+                      {"r1", 0.5, 0.2, 2.0, {}, true}};
+  config.seed = seed;
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> EveryThird(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  return labeled;
+}
+
+std::int64_t CounterValue(const std::string& name) {
+  const obs::MetricsSnapshot snap = obs::Registry::Instance().Snapshot();
+  for (const obs::CounterSnapshot& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+class PreparedOperatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Instance().Reset();
+    obs::Registry::Instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Registry::Instance().set_enabled(false);
+    obs::Registry::Instance().Reset();
+  }
+};
+
+TEST_F(PreparedOperatorsTest, RepeatedFitOnUnchangedHinBuildsOnce) {
+  const hin::Hin hin = MakeHin(11);
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+  core::TMarkClassifier clf;
+
+  clf.Fit(hin, labeled);
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 1);
+  EXPECT_EQ(CounterValue("hin.similarity.builds"), 1);
+  EXPECT_EQ(CounterValue("tmark.fit.operator_cache_hits"), 0);
+
+  clf.Fit(hin, labeled);
+  clf.Refit(hin, labeled);
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 1);
+  EXPECT_EQ(CounterValue("hin.similarity.builds"), 1);
+  EXPECT_EQ(CounterValue("tmark.fit.operator_cache_hits"), 2);
+}
+
+TEST_F(PreparedOperatorsTest, MutatedHinTriggersRebuild) {
+  const hin::Hin hin_a = MakeHin(11);
+  const hin::Hin hin_b = MakeHin(12);  // different content, same shapes
+  core::TMarkClassifier clf;
+
+  clf.Fit(hin_a, EveryThird(hin_a));
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 1);
+
+  clf.Fit(hin_b, EveryThird(hin_b));
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 2);
+  EXPECT_EQ(CounterValue("hin.similarity.builds"), 2);
+  EXPECT_EQ(CounterValue("tmark.fit.operator_cache_hits"), 0);
+
+  clf.Fit(hin_b, EveryThird(hin_b));
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 2);
+  EXPECT_EQ(CounterValue("tmark.fit.operator_cache_hits"), 1);
+}
+
+TEST_F(PreparedOperatorsTest, CacheSharesOneBuildAcrossClassifiers) {
+  const hin::Hin hin = MakeHin(21);
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+  core::OperatorCache cache;
+
+  core::TMarkClassifier plain;
+  plain.Fit(hin, labeled);
+
+  core::TMarkClassifier a;
+  core::TMarkClassifier b;
+  a.SetPreparedOperators(cache.GetOrBuild(hin, a.config().similarity));
+  b.SetPreparedOperators(cache.GetOrBuild(hin, b.config().similarity));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(CounterValue("core.prepared.builds"), 2);  // plain's + cache's
+  EXPECT_EQ(CounterValue("core.prepared.cache_hits"), 1);
+
+  a.Fit(hin, labeled);
+  b.Fit(hin, labeled);
+  // Two fits, zero extra builds — and the same numbers as an isolated fit.
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 2);
+  EXPECT_EQ(CounterValue("hin.similarity.builds"), 2);
+  EXPECT_DOUBLE_EQ(a.Confidences().MaxAbsDiff(plain.Confidences()), 0.0);
+  EXPECT_DOUBLE_EQ(b.Confidences().MaxAbsDiff(plain.Confidences()), 0.0);
+}
+
+TEST_F(PreparedOperatorsTest, ExplicitOperatorsOverloadChecksShape) {
+  const hin::Hin hin = MakeHin(31);
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+  const core::PreparedOperators ops =
+      core::PreparedOperators::Build(hin, hin::SimilarityKernel::kCosine);
+
+  core::TMarkClassifier direct;
+  direct.Fit(hin, ops, labeled);
+  core::TMarkClassifier plain;
+  plain.Fit(hin, labeled);
+  EXPECT_DOUBLE_EQ(direct.Confidences().MaxAbsDiff(plain.Confidences()), 0.0);
+
+  datasets::SyntheticHinConfig other_config;
+  other_config.num_nodes = 60;
+  other_config.class_names = {"A", "B"};
+  other_config.relations = {{"r0", 0.8, 0.0, 3.0, {}, false}};
+  other_config.seed = 5;
+  const hin::Hin other = datasets::GenerateSyntheticHin(other_config);
+  core::TMarkClassifier mismatched;
+  EXPECT_THROW(mismatched.Fit(other, ops, EveryThird(other)),
+               tmark::CheckError);
+}
+
+TEST(FingerprintOperatorsTest, SensitiveToContentAndKernel) {
+  const hin::Hin hin = MakeHin(41);
+  const hin::Hin same = MakeHin(41);
+  const hin::Hin other = MakeHin(42);
+  const std::uint64_t base =
+      core::FingerprintOperators(hin, hin::SimilarityKernel::kCosine);
+  EXPECT_EQ(base,
+            core::FingerprintOperators(same, hin::SimilarityKernel::kCosine));
+  EXPECT_NE(base,
+            core::FingerprintOperators(other, hin::SimilarityKernel::kCosine));
+  EXPECT_NE(
+      base,
+      core::FingerprintOperators(hin, hin::SimilarityKernel::kTfIdfCosine));
+}
+
+}  // namespace
+}  // namespace tmark

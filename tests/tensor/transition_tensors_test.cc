@@ -4,6 +4,7 @@
 
 #include "tmark/common/check.h"
 #include "tmark/common/random.h"
+#include "tmark/datasets/paper_example.h"
 #include "tmark/la/vector_ops.h"
 
 namespace tmark::tensor {
@@ -58,6 +59,22 @@ TEST(TransitionTensorsTest, RFibersAreStochastic) {
       double sum = 0.0;
       for (std::size_t k = 0; k < 4; ++k) sum += t.REntry(i, j, k);
       EXPECT_NEAR(sum, 1.0, 1e-12) << "fiber (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TransitionTensorsTest, PaperExampleRFibersAreStochastic) {
+  // Pins the merged-CSR-walk R-normalization on the paper's worked example:
+  // every (i, j) fiber of R must still sum to exactly one relation share.
+  const hin::Hin hin = datasets::MakePaperExample();
+  const TransitionTensors t = TransitionTensors::Build(hin.ToAdjacencyTensor());
+  const std::size_t n = hin.num_nodes();
+  const std::size_t m = hin.num_relations();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < m; ++k) sum += t.REntry(i, j, k);
+      ASSERT_NEAR(sum, 1.0, 1e-12) << "fiber (" << i << "," << j << ")";
     }
   }
 }

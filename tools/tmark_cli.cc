@@ -36,6 +36,7 @@
 #include "tmark/obs/logging.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
+#include "tmark/parallel/thread_pool.h"
 
 namespace {
 
@@ -116,7 +117,10 @@ int Usage() {
                "global flags (any command):\n"
                "  --log-level debug|info|warn|error|off\n"
                "  --metrics-json FILE   dump metrics snapshot on exit\n"
-               "  --trace-json FILE     dump trace spans on exit\n");
+               "  --trace-json FILE     dump trace spans on exit\n"
+               "  --threads N           worker threads for fit kernels\n"
+               "                        (default: TMARK_NUM_THREADS or all "
+               "cores)\n");
   return 2;
 }
 
@@ -144,6 +148,18 @@ struct ObsFlags {
       obs::Registry::Instance().set_enabled(true);
       obs::Tracer::Instance().set_enabled(true);
     }
+    if (args.flags.count("threads") != 0) {
+      const std::string& raw = args.flags.at("threads");
+      const std::size_t threads = parallel::ParseThreadCount(raw.c_str());
+      if (threads == 0) {
+        throw FlagError("invalid value '" + raw +
+                        "' for --threads (expected a positive integer)");
+      }
+      parallel::SetNumThreads(threads);
+    }
+    // Recorded after the registry toggles so JSON dumps carry it.
+    obs::SetGauge("parallel.threads",
+                  static_cast<double>(parallel::NumThreads()));
   }
 
   /// Writes the requested dumps; true unless a file could not be written.
