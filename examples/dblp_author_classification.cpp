@@ -23,11 +23,17 @@ int main() {
   options.num_authors = 400;
   const hin::Hin generated = datasets::MakeDblp(options);
   const std::string path = "/tmp/tmark_dblp_example.hin";
-  if (!hin::SaveHinToFile(generated, path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  const Status save_status = hin::SaveHinToFile(generated, path);
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "%s\n", save_status.ToString().c_str());
     return 1;
   }
-  const hin::Hin hin = hin::LoadHinFromFile(path);
+  const Result<hin::Hin> loaded = hin::LoadHinFromFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const hin::Hin& hin = *loaded;
   std::printf("loaded %zu authors, %zu conference link types, %zu areas "
               "from %s\n\n",
               hin.num_nodes(), hin.num_relations(), hin.num_classes(),

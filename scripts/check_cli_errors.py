@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Integration check for tmark_cli's error contract (docs/ERRORS.md).
+
+Drives the real binary against the checked-in malformed-input corpus and a
+freshly generated good file, asserting the contract every subcommand must
+honor:
+
+  * unreadable or malformed --hin / --model files  ->  exit code 2 and
+    exactly one `error: ...` line on stderr (no stack trace, no abort);
+  * --metrics-json written even on failure, with the io.errors counters;
+  * well-formed input -> exit code 0 and nothing on stderr.
+
+Usage: check_cli_errors.py --cli PATH --corpus DIR
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def fail(label, message):
+    FAILURES.append(f"{label}: {message}")
+
+
+def run(cli, argv, timeout=120):
+    proc = subprocess.run(
+        [cli] + argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=timeout,
+        text=True,
+    )
+    return proc
+
+
+def expect_error(cli, argv, label):
+    """The single-line `error:` contract: exit 2, one stderr line."""
+    proc = run(cli, argv)
+    if proc.returncode != 2:
+        fail(label, f"expected exit code 2, got {proc.returncode} "
+                    f"(stderr: {proc.stderr!r})")
+        return
+    lines = [l for l in proc.stderr.splitlines() if l]
+    if len(lines) != 1:
+        fail(label, f"expected exactly one stderr line, got {lines!r}")
+        return
+    if not lines[0].startswith("error: "):
+        fail(label, f"stderr line must start with 'error: ': {lines[0]!r}")
+
+
+def expect_usage_error(cli, argv, label):
+    """Flag errors additionally print usage; still exit 2, error: first."""
+    proc = run(cli, argv)
+    if proc.returncode != 2:
+        fail(label, f"expected exit code 2, got {proc.returncode}")
+        return
+    lines = [l for l in proc.stderr.splitlines() if l]
+    if not lines or not lines[0].startswith("error: "):
+        fail(label, f"first stderr line must start with 'error: ': {lines!r}")
+
+
+def expect_ok(cli, argv, label):
+    proc = run(cli, argv)
+    if proc.returncode != 0:
+        fail(label, f"expected exit code 0, got {proc.returncode} "
+                    f"(stderr: {proc.stderr!r})")
+    if proc.stderr.strip():
+        fail(label, f"expected empty stderr, got {proc.stderr!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", required=True, help="path to tmark_cli")
+    parser.add_argument("--corpus", required=True,
+                        help="tests/hin/corrupt directory")
+    args = parser.parse_args()
+
+    hin_corpus = sorted(
+        f for f in os.listdir(args.corpus) if f.endswith(".hin"))
+    model_corpus = sorted(
+        f for f in os.listdir(args.corpus) if f.endswith(".tmm"))
+    if not hin_corpus or not model_corpus:
+        print(f"FAIL: no corpus files under {args.corpus}", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="tmark_cli_errors.") as tmp:
+        good = os.path.join(tmp, "good.hin")
+
+        # Well-formed path: generate then read back, all exit 0.
+        expect_ok(args.cli,
+                  ["generate", "--preset", "example", "--out", good],
+                  "generate example")
+        expect_ok(args.cli, ["info", "--hin", good], "info good")
+        expect_ok(args.cli,
+                  ["classify", "--hin", good, "--train-fraction", "0.5"],
+                  "classify good")
+
+        # Every subcommand that reads --hin must honor the contract on every
+        # corpus file.
+        for name in hin_corpus:
+            path = os.path.join(args.corpus, name)
+            for command in ("info", "classify", "rank"):
+                expect_error(args.cli, [command, "--hin", path],
+                             f"{command} {name}")
+
+        # Corrupt and missing model files through `rank --model`.
+        for name in model_corpus:
+            expect_error(
+                args.cli,
+                ["rank", "--hin", good,
+                 "--model", os.path.join(args.corpus, name)],
+                f"rank model {name}")
+        expect_error(args.cli,
+                     ["info", "--hin", os.path.join(tmp, "missing.hin")],
+                     "info missing file")
+        expect_error(args.cli,
+                     ["rank", "--hin", good,
+                      "--model", os.path.join(tmp, "missing.tmm")],
+                     "rank missing model")
+
+        # Flag-level input errors.
+        expect_usage_error(args.cli,
+                           ["generate", "--preset", "atlantis",
+                            "--out", os.path.join(tmp, "x.hin")],
+                           "generate unknown preset")
+        expect_usage_error(args.cli,
+                           ["classify", "--hin", good,
+                            "--train-fraction", "nan"],
+                           "classify nan fraction")
+        expect_usage_error(args.cli, ["info"], "info without --hin")
+
+        # Telemetry on failure: the metrics dump must still be written and
+        # must carry the io.errors counters for the failed load.
+        metrics = os.path.join(tmp, "metrics.json")
+        corrupt = os.path.join(args.corpus, hin_corpus[0])
+        proc = run(args.cli,
+                   ["info", "--hin", corrupt, "--metrics-json", metrics])
+        if proc.returncode != 2:
+            fail("metrics on failure",
+                 f"expected exit code 2, got {proc.returncode}")
+        elif not os.path.exists(metrics):
+            fail("metrics on failure", "--metrics-json file was not written")
+        else:
+            with open(metrics, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            counters = {c["name"]: c["value"]
+                        for c in doc.get("counters", [])}
+            if counters.get("io.errors", 0) < 1:
+                fail("metrics on failure",
+                     f"io.errors counter missing or zero: {counters}")
+            if not any(name.startswith("io.errors.") for name in counters):
+                fail("metrics on failure",
+                     f"per-code io.errors.<code> counter missing: {counters}")
+
+    if FAILURES:
+        print(f"FAIL: {len(FAILURES)} CLI error-contract violations:",
+              file=sys.stderr)
+        for failure in FAILURES:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("ok: tmark_cli error contract holds "
+          f"({len(hin_corpus)} hin + {len(model_corpus)} model corpus files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,14 @@ namespace tmark::baselines {
 
 std::unique_ptr<hin::CollectiveClassifier> MakeClassifier(
     const std::string& name, double alpha, double gamma, double lambda) {
+  std::unique_ptr<hin::CollectiveClassifier> clf =
+      TryMakeClassifier(name, alpha, gamma, lambda);
+  TMARK_CHECK_MSG(clf != nullptr, "unknown classifier name: " << name);
+  return clf;
+}
+
+std::unique_ptr<hin::CollectiveClassifier> TryMakeClassifier(
+    const std::string& name, double alpha, double gamma, double lambda) {
   if (name == "T-Mark") {
     core::TMarkConfig config;
     config.alpha = alpha;
@@ -44,7 +52,7 @@ std::unique_ptr<hin::CollectiveClassifier> MakeClassifier(
   if (name == "ZooBP") return std::make_unique<ZooBpClassifier>();
   if (name == "RankClass") return std::make_unique<RankClassClassifier>();
   if (name == "GNetMine") return std::make_unique<GNetMineClassifier>();
-  TMARK_CHECK_MSG(false, "unknown classifier name: " << name);
+  return nullptr;
 }
 
 std::vector<std::string> PaperMethodNames() {

@@ -25,6 +25,12 @@ std::unique_ptr<hin::CollectiveClassifier> MakeClassifier(
     const std::string& name, double alpha = 0.8, double gamma = 0.6,
     double lambda = 0.7);
 
+/// Non-throwing variant for untrusted method names (CLI flags, request
+/// parameters): returns nullptr on an unknown name instead of throwing.
+std::unique_ptr<hin::CollectiveClassifier> TryMakeClassifier(
+    const std::string& name, double alpha = 0.8, double gamma = 0.6,
+    double lambda = 0.7);
+
 /// The paper's method column order (Tables 3, 4, 11).
 std::vector<std::string> PaperMethodNames();
 

@@ -5,6 +5,13 @@
 #include <stdexcept>
 #include <string>
 
+// POLICY (docs/ERRORS.md): TMARK_CHECK is strictly for *internal contract
+// violations* — a caller broke a documented precondition of an in-process
+// API, which is a bug in the calling code. Failures caused by untrusted
+// input (files, CLI flags, anything a user or the network controls) must
+// NOT use TMARK_CHECK; they return tmark::Status / tmark::Result<T>
+// (common/status.h) so callers can handle them without exceptions.
+
 namespace tmark {
 
 /// Error thrown when a TMARK_CHECK contract is violated. Deriving from

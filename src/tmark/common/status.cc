@@ -1,0 +1,87 @@
+#include "tmark/common/status.h"
+
+namespace tmark {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view StatusCodeMetricSuffix(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  message += ": ";
+  message += message_;
+  return Status(code_, std::move(message));
+}
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+
+Status ParseError(std::string_view message) {
+  return Status(StatusCode::kParseError, std::string(message));
+}
+
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, std::string(message));
+}
+
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, std::string(message));
+}
+
+Status DataLossError(std::string_view message) {
+  return Status(StatusCode::kDataLoss, std::string(message));
+}
+
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, std::string(message));
+}
+
+}  // namespace tmark

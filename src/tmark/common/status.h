@@ -1,0 +1,198 @@
+#ifndef TMARK_COMMON_STATUS_H_
+#define TMARK_COMMON_STATUS_H_
+
+// Typed error layer for untrusted-input boundaries.
+//
+// The library distinguishes two failure families (docs/ERRORS.md):
+//
+//   * Contract violations — a caller broke a documented precondition on an
+//     in-process API (index out of range, unfitted classifier, ...). These
+//     are programmer errors; TMARK_CHECK (common/check.h) throws CheckError.
+//   * Untrusted-input failures — a file, flag, or network payload the
+//     process does not control is malformed or unreadable. These are
+//     expected at production rates and must be *values*, not exceptions:
+//     every Load/Save boundary returns tmark::Status or tmark::Result<T>.
+//
+// Status carries a code from a small closed taxonomy plus a human-readable
+// message; WithContext prepends location context ("line 42: ...") as errors
+// propagate outward. Result<T> is the value-or-Status sum type used by
+// loaders; the TMARK_RETURN_IF_ERROR / TMARK_ASSIGN_OR_RETURN macros keep
+// propagation one line per call.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "tmark/common/check.h"
+
+namespace tmark {
+
+/// Closed error-code taxonomy. Codes are part of the public API surface:
+/// tests assert them, tmark_cli maps them to exit codes, and the obs layer
+/// exports per-code `io.errors.*` counters.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied value is out of the documented domain (bad flag
+  /// value, unknown preset, dimensions too large to allocate).
+  kInvalidArgument,
+  /// Untrusted byte stream does not conform to its format (bad directive,
+  /// non-numeric token, NaN weight, duplicate edge, short row).
+  kParseError,
+  /// A named resource (file path, preset, kernel name) does not exist or
+  /// cannot be opened.
+  kNotFound,
+  /// The operation requires state the system is not in (e.g. model data
+  /// before its `shape` line).
+  kFailedPrecondition,
+  /// An I/O write or read failed midway; bytes may be missing or torn.
+  kDataLoss,
+  /// A bug inside the library surfaced at an input boundary; file an issue.
+  kInternal,
+};
+
+/// Stable upper-snake name of `code` ("PARSE_ERROR", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lower-snake metric suffix of `code` ("parse_error", ...), used for the
+/// per-code `io.errors.<suffix>` counters.
+std::string_view StatusCodeMetricSuffix(StatusCode code);
+
+/// A status code plus a human-readable message. Cheap to move; an OK status
+/// carries no message.
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "PARSE_ERROR: line 3: bad edge" (or "OK").
+  std::string ToString() const;
+
+  /// Returns a copy with `context` prepended to the message, so errors read
+  /// outermost-context first: Status(kParseError, "bad weight")
+  /// .WithContext("line 7").WithContext("net.hin") yields
+  /// "net.hin: line 7: bad weight". No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Factory helpers, one per non-OK code.
+Status InvalidArgumentError(std::string_view message);
+Status ParseError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status DataLossError(std::string_view message);
+Status InternalError(std::string_view message);
+
+/// Exception form of a non-OK Status, thrown only by the *OrThrow
+/// compatibility shims (and never by the canonical Status-returning APIs).
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// [[noreturn]] helper behind the shims.
+[[noreturn]] inline void ThrowStatus(Status status) {
+  throw StatusError(std::move(status));
+}
+
+/// Value-or-Status: the return type of every canonical loader. Holds either
+/// a T (then status() is OK) or a non-OK Status. Accessing value() on an
+/// error Result is a contract violation (TMARK_CHECK).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Implicit from a non-OK status (failure). Passing an OK status here is
+  /// a contract violation: OK must carry a value.
+  Result(Status status) : status_(std::move(status)) {
+    TMARK_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TMARK_CHECK_MSG(ok(), "Result::value() on error: " << status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    TMARK_CHECK_MSG(ok(), "Result::value() on error: " << status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    TMARK_CHECK_MSG(ok(), "Result::value() on error: " << status_.ToString());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Shim helper: unwraps or throws StatusError. Consumes the Result.
+  T ValueOrThrow() && {
+    if (!ok()) ThrowStatus(std::move(status_));
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;  ///< OK iff value_ holds a T.
+  std::optional<T> value_;
+};
+
+}  // namespace tmark
+
+/// Propagates a non-OK Status from an expression evaluating to Status.
+#define TMARK_RETURN_IF_ERROR(expr)                        \
+  do {                                                     \
+    ::tmark::Status tmark_status_if_error_ = (expr);       \
+    if (!tmark_status_if_error_.ok()) {                    \
+      return tmark_status_if_error_;                       \
+    }                                                      \
+  } while (false)
+
+#define TMARK_STATUS_CONCAT_INNER_(a, b) a##b
+#define TMARK_STATUS_CONCAT_(a, b) TMARK_STATUS_CONCAT_INNER_(a, b)
+
+#define TMARK_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) {                                    \
+    return result.status();                              \
+  }                                                      \
+  lhs = *std::move(result)
+
+/// `TMARK_ASSIGN_OR_RETURN(auto v, ParseIndex(tok));` — evaluates `rexpr`
+/// (a Result<T>), returns its Status on error, otherwise assigns the value.
+#define TMARK_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  TMARK_ASSIGN_OR_RETURN_IMPL_(                                             \
+      TMARK_STATUS_CONCAT_(tmark_result_, __LINE__), lhs, rexpr)
+
+#endif  // TMARK_COMMON_STATUS_H_

@@ -1,17 +1,216 @@
 #include "tmark/core/model_io.h"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <optional>
 #include <ostream>
-#include <sstream>
+#include <set>
+#include <vector>
 
-#include "tmark/common/check.h"
+#include "tmark/common/strict_parse.h"
 #include "tmark/common/string_util.h"
+#include "tmark/obs/metrics.h"
 
 namespace tmark::core {
 namespace {
 
 constexpr char kHeader[] = "# tmark-model v1";
+
+/// Cap on the total stored elements (n*q + m*q) a model file may declare:
+/// bounds the allocation a hostile `shape` line can trigger to ~512 MB.
+constexpr std::size_t kMaxModelElements = std::size_t{1} << 26;
+
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string LineCtx(std::size_t line_no) {
+  return "line " + std::to_string(line_no);
+}
+
+Status AtLine(std::size_t line_no, const Status& status) {
+  return status.WithContext(LineCtx(line_no));
+}
+
+template <typename T>
+Result<T> AtLine(std::size_t line_no, Result<T> result) {
+  if (result.ok()) return result;
+  return result.status().WithContext(LineCtx(line_no));
+}
+
+Status CountIoError(Status status) {
+  if (!status.ok()) {
+    obs::IncrCounter("io.errors");
+    obs::IncrCounter(std::string("io.errors.") +
+                     std::string(StatusCodeMetricSuffix(status.code())));
+  }
+  return status;
+}
+
+/// Parses a scalar hyper-parameter in [0, 1].
+Result<double> ParseUnitInterval(const std::string& token,
+                                 const std::string& what) {
+  TMARK_ASSIGN_OR_RETURN(const double value, ParseFiniteDouble(token));
+  if (value < 0.0 || value > 1.0) {
+    return ParseError(what + " " + token + " outside [0, 1]");
+  }
+  return value;
+}
+
+/// The parsed-but-unassembled model; LoadTMarkModel (the class's friend)
+/// moves these into a TMarkClassifier.
+struct RawModel {
+  TMarkConfig config;
+  la::DenseMatrix conf;
+  la::DenseMatrix link;
+};
+
+Result<RawModel> LoadRawModel(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || Strip(line) != kHeader) {
+    return ParseError(std::string("line 1: missing '") + kHeader +
+                      "' header");
+  }
+  std::size_t line_no = 1;
+  TMarkConfig config;
+  std::size_t n = 0, m = 0, q = 0;
+  la::DenseMatrix conf, link;
+  bool have_shape = false;
+  std::vector<bool> conf_seen, link_seen;
+  std::set<std::string> seen_scalars;
+  const auto once = [&](const std::string& directive) -> Status {
+    if (!seen_scalars.insert(directive).second) {
+      return AtLine(line_no,
+                    ParseError("duplicate '" + directive + "' directive"));
+    }
+    return Status::Ok();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = Strip(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::vector<std::string> f = Fields(stripped);
+    const std::string& directive = f[0];
+    if (directive == "alpha" || directive == "gamma" ||
+        directive == "lambda") {
+      if (f.size() != 2) {
+        return AtLine(line_no,
+                      ParseError("expected '" + directive + " <value>'"));
+      }
+      TMARK_RETURN_IF_ERROR(once(directive));
+      TMARK_ASSIGN_OR_RETURN(
+          const double value,
+          AtLine(line_no, ParseUnitInterval(f[1], directive)));
+      (directive == "alpha" ? config.alpha
+                            : directive == "gamma" ? config.gamma
+                                                   : config.lambda) = value;
+    } else if (directive == "ica") {
+      if (f.size() != 2) {
+        return AtLine(line_no, ParseError("expected 'ica 0|1'"));
+      }
+      TMARK_RETURN_IF_ERROR(once(directive));
+      if (f[1] != "0" && f[1] != "1") {
+        return AtLine(line_no,
+                      ParseError("invalid ica flag '" + f[1] +
+                                 "' (expected 0 or 1)"));
+      }
+      config.ica_update = f[1] == "1";
+    } else if (directive == "kernel") {
+      if (f.size() != 2) {
+        return AtLine(line_no, ParseError("expected 'kernel <name>'"));
+      }
+      TMARK_RETURN_IF_ERROR(once(directive));
+      const std::optional<hin::SimilarityKernel> kernel =
+          hin::TryParseSimilarityKernel(f[1]);
+      if (!kernel.has_value()) {
+        return AtLine(line_no,
+                      ParseError("unknown similarity kernel '" + f[1] + "'"));
+      }
+      config.similarity = *kernel;
+    } else if (directive == "shape") {
+      if (f.size() != 4) {
+        return AtLine(line_no, ParseError("expected 'shape <n> <m> <q>'"));
+      }
+      TMARK_RETURN_IF_ERROR(once(directive));
+      TMARK_ASSIGN_OR_RETURN(n, AtLine(line_no, ParseIndex(f[1])));
+      TMARK_ASSIGN_OR_RETURN(m, AtLine(line_no, ParseIndex(f[2])));
+      TMARK_ASSIGN_OR_RETURN(q, AtLine(line_no, ParseIndex(f[3])));
+      if (n == 0 || m == 0 || q == 0) {
+        return AtLine(line_no,
+                      ParseError("shape dimensions must be positive"));
+      }
+      // Bound n and m first so `n + m` cannot wrap around zero below.
+      if (n > kMaxModelElements || m > kMaxModelElements ||
+          q > kMaxModelElements / (n + m)) {
+        return AtLine(line_no,
+                      ParseError("shape exceeds the supported maximum of " +
+                                 std::to_string(kMaxModelElements) +
+                                 " stored elements"));
+      }
+      conf = la::DenseMatrix(n, q);
+      link = la::DenseMatrix(m, q);
+      conf_seen.assign(n, false);
+      link_seen.assign(m, false);
+      have_shape = true;
+    } else if (directive == "conf" || directive == "link") {
+      const bool is_conf = directive == "conf";
+      if (!have_shape) {
+        return AtLine(line_no, FailedPreconditionError(
+                                   "'" + directive + "' before 'shape'"));
+      }
+      const std::size_t rows = is_conf ? n : m;
+      if (f.size() != 2 + q) {
+        return AtLine(line_no,
+                      ParseError("expected '" + directive + " <row> ' + " +
+                                 std::to_string(q) + " values, got " +
+                                 std::to_string(f.size() - 2)));
+      }
+      TMARK_ASSIGN_OR_RETURN(
+          const std::size_t row,
+          AtLine(line_no,
+                 ParseBoundedIndex(f[1], rows, directive + " row")));
+      std::vector<bool>& seen = is_conf ? conf_seen : link_seen;
+      if (seen[row]) {
+        return AtLine(line_no,
+                      ParseError("duplicate " + directive + " row " +
+                                 std::to_string(row)));
+      }
+      seen[row] = true;
+      la::DenseMatrix& target = is_conf ? conf : link;
+      for (std::size_t c = 0; c < q; ++c) {
+        TMARK_ASSIGN_OR_RETURN(target.At(row, c),
+                               AtLine(line_no, ParseFiniteDouble(f[2 + c])));
+      }
+    } else {
+      return AtLine(line_no,
+                    ParseError("unknown directive '" + directive + "'"));
+    }
+  }
+  if (in.bad()) {
+    return DataLossError("read failed at " + LineCtx(line_no));
+  }
+  if (!have_shape) {
+    return ParseError("model file missing shape line");
+  }
+  return RawModel{config, std::move(conf), std::move(link)};
+}
 
 }  // namespace
 
@@ -44,78 +243,51 @@ void SaveTMarkModel(const TMarkClassifier& classifier, std::ostream& out) {
   }
 }
 
-bool SaveTMarkModelToFile(const TMarkClassifier& classifier,
-                          const std::string& path) {
+Status SaveTMarkModelToFile(const TMarkClassifier& classifier,
+                            const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return CountIoError(
+        NotFoundError("cannot open " + path + " for writing"));
+  }
   SaveTMarkModel(classifier, out);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    return CountIoError(DataLossError("write to " + path + " failed"));
+  }
+  return Status::Ok();
 }
 
-TMarkClassifier LoadTMarkModel(std::istream& in) {
-  std::string line;
-  TMARK_CHECK_MSG(std::getline(in, line) && Strip(line) == kHeader,
-                  "missing tmark-model header");
-  TMarkConfig config;
-  std::size_t n = 0, m = 0, q = 0;
-  la::DenseMatrix conf, link;
-  bool have_shape = false;
-  while (std::getline(in, line)) {
-    line = Strip(line);
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string directive;
-    ls >> directive;
-    if (directive == "alpha") {
-      ls >> config.alpha;
-    } else if (directive == "gamma") {
-      ls >> config.gamma;
-    } else if (directive == "lambda") {
-      ls >> config.lambda;
-    } else if (directive == "ica") {
-      int v = 1;
-      ls >> v;
-      config.ica_update = v != 0;
-    } else if (directive == "kernel") {
-      std::string name;
-      ls >> name;
-      config.similarity = hin::SimilarityKernelFromString(name);
-    } else if (directive == "shape") {
-      ls >> n >> m >> q;
-      TMARK_CHECK_MSG(!ls.fail() && n > 0 && m > 0 && q > 0,
-                      "malformed shape line: " << line);
-      conf = la::DenseMatrix(n, q);
-      link = la::DenseMatrix(m, q);
-      have_shape = true;
-    } else if (directive == "conf") {
-      TMARK_CHECK_MSG(have_shape, "conf before shape");
-      std::size_t i;
-      ls >> i;
-      TMARK_CHECK_MSG(!ls.fail() && i < n, "conf row out of range: " << line);
-      for (std::size_t c = 0; c < q; ++c) ls >> conf.At(i, c);
-      TMARK_CHECK_MSG(!ls.fail(), "short conf row: " << line);
-    } else if (directive == "link") {
-      TMARK_CHECK_MSG(have_shape, "link before shape");
-      std::size_t k;
-      ls >> k;
-      TMARK_CHECK_MSG(!ls.fail() && k < m, "link row out of range: " << line);
-      for (std::size_t c = 0; c < q; ++c) ls >> link.At(k, c);
-      TMARK_CHECK_MSG(!ls.fail(), "short link row: " << line);
-    } else {
-      TMARK_CHECK_MSG(false, "unknown directive: " << directive);
-    }
+Result<TMarkClassifier> LoadTMarkModel(std::istream& in) {
+  Result<RawModel> raw = LoadRawModel(in);
+  if (!raw.ok()) {
+    return CountIoError(raw.status());
   }
-  TMARK_CHECK_MSG(have_shape, "model file missing shape line");
-  TMarkClassifier classifier(config);
-  classifier.confidences_ = std::move(conf);
-  classifier.link_importance_ = std::move(link);
+  TMarkClassifier classifier(raw->config);
+  classifier.confidences_ = std::move(raw->conf);
+  classifier.link_importance_ = std::move(raw->link);
   return classifier;
 }
 
-TMarkClassifier LoadTMarkModelFromFile(const std::string& path) {
+Result<TMarkClassifier> LoadTMarkModelFromFile(const std::string& path) {
   std::ifstream in(path);
-  TMARK_CHECK_MSG(static_cast<bool>(in), "cannot open " << path);
-  return LoadTMarkModel(in);
+  if (!in) {
+    return CountIoError(NotFoundError("cannot open " + path));
+  }
+  Result<TMarkClassifier> result = LoadTMarkModel(in);
+  if (!result.ok()) {
+    // Already counted by LoadTMarkModel; just attach the path context.
+    return result.status().WithContext(path);
+  }
+  return result;
+}
+
+TMarkClassifier LoadTMarkModelOrThrow(std::istream& in) {
+  return LoadTMarkModel(in).ValueOrThrow();
+}
+
+TMarkClassifier LoadTMarkModelFromFileOrThrow(const std::string& path) {
+  return LoadTMarkModelFromFile(path).ValueOrThrow();
 }
 
 }  // namespace tmark::core

@@ -4,34 +4,51 @@
 #include <iosfwd>
 #include <string>
 
+#include "tmark/common/status.h"
 #include "tmark/core/tmark.h"
 
 namespace tmark::core {
 
 /// Serializes a fitted classifier — its configuration plus the stationary
 /// confidence and link-importance matrices — in a line-oriented text format
-/// (`# tmark-model v1`). Requires the classifier to be fitted.
+/// (`# tmark-model v1`). Requires the classifier to be fitted (contract:
+/// TMARK_CHECK, since an unfitted save is a caller bug, not bad input).
 ///
 /// A saved model serves predictions and rankings without refitting, and
 /// because Refit warm-starts from the stored stationary point, it also
 /// resumes incremental workflows across processes:
 ///
-///   SaveTMarkModel(clf, out);             // process 1
-///   TMarkClassifier clf = LoadTMarkModel(in);  // process 2
-///   clf.Refit(hin, updated_labels);       // converges from the stored state
+///   SaveTMarkModel(clf, out);                        // process 1
+///   TMarkClassifier clf =
+///       LoadTMarkModel(in).ValueOrThrow();           // process 2
+///   clf.Refit(hin, updated_labels);   // converges from the stored state
 void SaveTMarkModel(const TMarkClassifier& classifier, std::ostream& out);
 
-/// Convenience wrapper writing to `path`; returns false on I/O failure.
-bool SaveTMarkModelToFile(const TMarkClassifier& classifier,
-                          const std::string& path);
+/// Writes the SaveTMarkModel format to `path`. Returns kNotFound when the
+/// file cannot be created and kDataLoss when the write fails midway.
+Status SaveTMarkModelToFile(const TMarkClassifier& classifier,
+                            const std::string& path);
 
-/// Parses the format written by SaveTMarkModel. Throws CheckError on
-/// malformed input.
-TMarkClassifier LoadTMarkModel(std::istream& in);
+/// Parses the format written by SaveTMarkModel. This is an untrusted-input
+/// boundary: malformed headers, non-numeric or non-finite values,
+/// hyper-parameters outside their documented domain, unknown kernels,
+/// oversized or inconsistent shapes, and short/duplicate rows all yield a
+/// typed Status (kParseError / kFailedPrecondition) with the offending line
+/// number. Never throws on bad input.
+Result<TMarkClassifier> LoadTMarkModel(std::istream& in);
 
-/// Convenience wrapper reading from `path`; throws CheckError if the file
-/// cannot be opened or parsed.
-TMarkClassifier LoadTMarkModelFromFile(const std::string& path);
+/// LoadTMarkModel from `path`; kNotFound when the file cannot be opened,
+/// and the path is prepended as context to any parse error.
+Result<TMarkClassifier> LoadTMarkModelFromFile(const std::string& path);
+
+// Transitional throwing shims (one release): unwrap errors into
+// StatusError. New code should consume the Status-based APIs directly.
+
+/// LoadTMarkModel(in).ValueOrThrow().
+TMarkClassifier LoadTMarkModelOrThrow(std::istream& in);
+
+/// LoadTMarkModelFromFile(path).ValueOrThrow().
+TMarkClassifier LoadTMarkModelFromFileOrThrow(const std::string& path);
 
 }  // namespace tmark::core
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "tmark/common/status.h"
 #include "tmark/core/prepared_operators.h"
 #include "tmark/hin/classifier.h"
 #include "tmark/hin/feature_similarity.h"
@@ -119,7 +120,7 @@ class TMarkClassifier : public hin::CollectiveClassifier {
 
  private:
   // Model deserialization restores the stationary matrices directly.
-  friend TMarkClassifier LoadTMarkModel(std::istream& in);
+  friend Result<TMarkClassifier> LoadTMarkModel(std::istream& in);
 
   /// Shared implementation of Fit/Refit; `warm_start` seeds each class's
   /// iteration from the previous stationary vectors when available.

@@ -1,0 +1,62 @@
+#include "tmark/datasets/presets.h"
+
+#include "tmark/datasets/acm.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/datasets/movies.h"
+#include "tmark/datasets/nus.h"
+#include "tmark/datasets/paper_example.h"
+
+namespace tmark::datasets {
+
+const std::vector<std::string>& PresetNames() {
+  static const std::vector<std::string> kNames = {
+      "dblp", "movies", "nus1", "nus2", "acm", "example"};
+  return kNames;
+}
+
+Result<hin::Hin> MakePreset(const std::string& name,
+                            const PresetOptions& options) {
+  if (options.num_nodes > kMaxPresetNodes) {
+    return InvalidArgumentError(
+        "preset size " + std::to_string(options.num_nodes) +
+        " exceeds the maximum of " + std::to_string(kMaxPresetNodes));
+  }
+  const std::size_t nodes = options.num_nodes;
+  if (name == "dblp") {
+    DblpOptions dblp;
+    if (nodes != 0) dblp.num_authors = nodes;
+    dblp.seed = options.seed;
+    return MakeDblp(dblp);
+  }
+  if (name == "movies") {
+    MoviesOptions movies;
+    if (nodes != 0) movies.num_movies = nodes;
+    movies.seed = options.seed;
+    return MakeMovies(movies);
+  }
+  if (name == "nus1" || name == "nus2") {
+    NusOptions nus;
+    nus.tagset = name == "nus1" ? NusTagset::kTagset1 : NusTagset::kTagset2;
+    if (nodes != 0) nus.num_images = nodes;
+    nus.seed = options.seed;
+    return MakeNus(nus);
+  }
+  if (name == "acm") {
+    AcmOptions acm;
+    if (nodes != 0) acm.num_publications = nodes;
+    acm.seed = options.seed;
+    return MakeAcm(acm);
+  }
+  if (name == "example") {
+    return MakePaperExample();
+  }
+  std::string known;
+  for (const std::string& preset : PresetNames()) {
+    if (!known.empty()) known += "|";
+    known += preset;
+  }
+  return NotFoundError("unknown preset '" + name + "' (expected " + known +
+                       ")");
+}
+
+}  // namespace tmark::datasets

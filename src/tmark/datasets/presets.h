@@ -1,0 +1,46 @@
+#ifndef TMARK_DATASETS_PRESETS_H_
+#define TMARK_DATASETS_PRESETS_H_
+
+// Status-typed boundary over the dataset generators.
+//
+// The Make* functions (MakeDblp, MakeMovies, ...) take trusted, typed
+// option structs. Anything that starts from *strings* — a CLI flag, a
+// config file, an HTTP parameter — goes through MakePreset here, which
+// validates the preset name and size and returns Result<Hin> instead of
+// throwing (docs/ERRORS.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmark/common/status.h"
+#include "tmark/hin/hin.h"
+
+namespace tmark::datasets {
+
+/// Untrusted knobs for MakePreset, already converted from text by the
+/// caller's flag layer.
+struct PresetOptions {
+  /// Target node count; 0 means the preset's own default. Bounded by
+  /// kMaxPresetNodes.
+  std::size_t num_nodes = 0;
+  std::uint64_t seed = 7;
+};
+
+/// Upper bound on PresetOptions::num_nodes — generators are quadratic-ish
+/// in places and a hostile size must not take the process down.
+inline constexpr std::size_t kMaxPresetNodes = 1'000'000;
+
+/// Names accepted by MakePreset, in display order:
+/// {"dblp", "movies", "nus1", "nus2", "acm", "example"}.
+const std::vector<std::string>& PresetNames();
+
+/// Builds the named synthetic HIN. kNotFound for an unknown preset name,
+/// kInvalidArgument for an out-of-range size. The "example" preset is the
+/// paper's fixed 4-node example and ignores num_nodes/seed.
+Result<hin::Hin> MakePreset(const std::string& name,
+                            const PresetOptions& options = {});
+
+}  // namespace tmark::datasets
+
+#endif  // TMARK_DATASETS_PRESETS_H_

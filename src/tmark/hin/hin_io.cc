@@ -1,18 +1,275 @@
 #include "tmark/hin/hin_io.h"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
-#include <sstream>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
 
-#include "tmark/common/check.h"
+#include "tmark/common/strict_parse.h"
 #include "tmark/common/string_util.h"
 #include "tmark/hin/hin_builder.h"
+#include "tmark/obs/metrics.h"
 
 namespace tmark::hin {
 namespace {
 
 constexpr char kHeader[] = "# tmark-hin v1";
+
+/// Upper bound on the declared node count / feature dimension: caps the
+/// memory a hostile header line can make the loader allocate before any
+/// real data is read (the edge/label/feat records are bounded by file
+/// size; these two directives are not).
+constexpr std::size_t kMaxDeclaredDim = std::size_t{1} << 26;  // 67M
+
+/// Splits a stripped line on runs of ASCII whitespace.
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string LineCtx(std::size_t line_no) {
+  return "line " + std::to_string(line_no);
+}
+
+Status AtLine(std::size_t line_no, const Status& status) {
+  return status.WithContext(LineCtx(line_no));
+}
+
+template <typename T>
+Result<T> AtLine(std::size_t line_no, Result<T> result) {
+  if (result.ok()) return result;
+  return result.status().WithContext(LineCtx(line_no));
+}
+
+/// Records the failure in the io.errors{code} counters (obs is a no-op
+/// branch while the metrics registry is disabled).
+Status CountIoError(Status status) {
+  if (!status.ok()) {
+    obs::IncrCounter("io.errors");
+    obs::IncrCounter(std::string("io.errors.") +
+                     std::string(StatusCodeMetricSuffix(status.code())));
+  }
+  return status;
+}
+
+Result<Hin> LoadHinImpl(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || Strip(line) != kHeader) {
+    return ParseError(std::string("line 1: missing '") + kHeader +
+                      "' header");
+  }
+  std::size_t line_no = 1;
+  std::size_t num_nodes = 0;
+  std::size_t feature_dim = 0;
+  bool have_nodes = false;
+  bool have_dim = false;
+  std::vector<std::string> relation_names;
+  std::vector<std::string> class_names;
+  struct EdgeRec {
+    std::size_t k, dst, src;
+    double w;
+    std::size_t line;
+  };
+  std::vector<EdgeRec> edge_recs;
+  struct LabelRec {
+    std::size_t node;
+    std::vector<std::size_t> classes;
+    std::size_t line;
+  };
+  std::vector<LabelRec> label_recs;
+  struct FeatRec {
+    std::size_t node;
+    std::vector<std::pair<std::size_t, double>> entries;
+    std::size_t line;
+  };
+  std::vector<FeatRec> feat_recs;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = Strip(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::vector<std::string> f = Fields(stripped);
+    const std::string& directive = f[0];
+    if (directive == "nodes" || directive == "feature_dim") {
+      const bool is_nodes = directive == "nodes";
+      if (f.size() != 2) {
+        return AtLine(line_no, ParseError("expected '" + directive + " <n>'"));
+      }
+      if (is_nodes ? have_nodes : have_dim) {
+        return AtLine(line_no,
+                      ParseError("duplicate '" + directive + "' directive"));
+      }
+      TMARK_ASSIGN_OR_RETURN(const std::size_t value,
+                             AtLine(line_no, ParseIndex(f[1])));
+      if (value > kMaxDeclaredDim) {
+        return AtLine(line_no, ParseError(directive + " " + f[1] +
+                                          " exceeds the supported maximum"));
+      }
+      (is_nodes ? num_nodes : feature_dim) = value;
+      (is_nodes ? have_nodes : have_dim) = true;
+    } else if (directive == "relation" || directive == "class") {
+      const std::string name = Strip(stripped.substr(directive.size()));
+      if (name.empty()) {
+        return AtLine(line_no, ParseError("empty " + directive + " name"));
+      }
+      (directive == "relation" ? relation_names : class_names)
+          .push_back(name);
+    } else if (directive == "edge") {
+      if (f.size() != 5) {
+        return AtLine(line_no,
+                      ParseError("expected 'edge <k> <dst> <src> <w>'"));
+      }
+      EdgeRec e{};
+      TMARK_ASSIGN_OR_RETURN(e.k, AtLine(line_no, ParseIndex(f[1])));
+      TMARK_ASSIGN_OR_RETURN(e.dst, AtLine(line_no, ParseIndex(f[2])));
+      TMARK_ASSIGN_OR_RETURN(e.src, AtLine(line_no, ParseIndex(f[3])));
+      TMARK_ASSIGN_OR_RETURN(e.w,
+                             AtLine(line_no, ParsePositiveFiniteDouble(f[4])));
+      e.line = line_no;
+      edge_recs.push_back(e);
+    } else if (directive == "label") {
+      if (f.size() < 2) {
+        return AtLine(line_no,
+                      ParseError("expected 'label <node> [<c> ...]'"));
+      }
+      LabelRec rec{};
+      TMARK_ASSIGN_OR_RETURN(rec.node, AtLine(line_no, ParseIndex(f[1])));
+      for (std::size_t t = 2; t < f.size(); ++t) {
+        TMARK_ASSIGN_OR_RETURN(const std::size_t c,
+                               AtLine(line_no, ParseIndex(f[t])));
+        rec.classes.push_back(c);
+      }
+      rec.line = line_no;
+      label_recs.push_back(std::move(rec));
+    } else if (directive == "feat") {
+      if (f.size() < 2) {
+        return AtLine(
+            line_no, ParseError("expected 'feat <node> <dim>:<value> ...'"));
+      }
+      FeatRec rec{};
+      TMARK_ASSIGN_OR_RETURN(rec.node, AtLine(line_no, ParseIndex(f[1])));
+      for (std::size_t t = 2; t < f.size(); ++t) {
+        const std::string& tok = f[t];
+        const std::size_t colon = tok.find(':');
+        if (colon == std::string::npos) {
+          return AtLine(line_no, ParseError("malformed feat token '" + tok +
+                                            "' (expected <dim>:<value>)"));
+        }
+        TMARK_ASSIGN_OR_RETURN(
+            const std::size_t dim,
+            AtLine(line_no, ParseIndex(tok.substr(0, colon))));
+        TMARK_ASSIGN_OR_RETURN(
+            const double value,
+            AtLine(line_no, ParseFiniteDouble(tok.substr(colon + 1))));
+        if (value < 0.0) {
+          return AtLine(line_no,
+                        ParseError("negative feature value in '" + tok +
+                                   "' (features are non-negative counts)"));
+        }
+        rec.entries.emplace_back(dim, value);
+      }
+      rec.line = line_no;
+      feat_recs.push_back(std::move(rec));
+    } else {
+      return AtLine(line_no, ParseError("unknown directive '" + directive +
+                                        "'"));
+    }
+  }
+  if (in.bad()) {
+    return DataLossError("read failed at " + LineCtx(line_no));
+  }
+  if (!have_nodes || !have_dim) {
+    return ParseError("file missing nodes/feature_dim directives");
+  }
+
+  // Cross-record validation: every index is checked against the declared
+  // shape here (directives may arrive in any order), so the builder calls
+  // below cannot violate a contract.
+  std::set<std::tuple<std::size_t, std::size_t, std::size_t>> seen_edges;
+  for (const EdgeRec& e : edge_recs) {
+    if (e.k >= relation_names.size()) {
+      return AtLine(e.line,
+                    ParseError("edge relation " + std::to_string(e.k) +
+                               " out of range [0, " +
+                               std::to_string(relation_names.size()) + ")"));
+    }
+    if (e.dst >= num_nodes || e.src >= num_nodes) {
+      return AtLine(e.line, ParseError("edge endpoint out of range [0, " +
+                                       std::to_string(num_nodes) + ")"));
+    }
+    if (!seen_edges.emplace(e.k, e.dst, e.src).second) {
+      return AtLine(e.line,
+                    ParseError("duplicate edge (" + std::to_string(e.k) +
+                               ", " + std::to_string(e.dst) + ", " +
+                               std::to_string(e.src) + ")"));
+    }
+  }
+  for (const LabelRec& rec : label_recs) {
+    if (rec.node >= num_nodes) {
+      return AtLine(rec.line,
+                    ParseError("label node " + std::to_string(rec.node) +
+                               " out of range [0, " +
+                               std::to_string(num_nodes) + ")"));
+    }
+    for (std::size_t c : rec.classes) {
+      if (c >= class_names.size()) {
+        return AtLine(rec.line,
+                      ParseError("label class " + std::to_string(c) +
+                                 " out of range [0, " +
+                                 std::to_string(class_names.size()) + ")"));
+      }
+    }
+  }
+  for (const FeatRec& rec : feat_recs) {
+    if (rec.node >= num_nodes) {
+      return AtLine(rec.line,
+                    ParseError("feat node " + std::to_string(rec.node) +
+                               " out of range [0, " +
+                               std::to_string(num_nodes) + ")"));
+    }
+    for (const auto& [dim, value] : rec.entries) {
+      (void)value;
+      if (dim >= feature_dim) {
+        return AtLine(rec.line,
+                      ParseError("feature dim " + std::to_string(dim) +
+                                 " out of range [0, " +
+                                 std::to_string(feature_dim) + ")"));
+      }
+    }
+  }
+
+  HinBuilder b(num_nodes, feature_dim);
+  for (const std::string& name : relation_names) b.AddRelation(name);
+  for (const std::string& name : class_names) b.AddClass(name);
+  for (const EdgeRec& e : edge_recs) b.AddDirectedEdge(e.k, e.src, e.dst, e.w);
+  for (const LabelRec& rec : label_recs) {
+    for (std::size_t c : rec.classes) b.SetLabel(rec.node, c);
+  }
+  for (const FeatRec& rec : feat_recs) {
+    for (const auto& [dim, value] : rec.entries) {
+      b.AddFeature(rec.node, dim, value);
+    }
+  }
+  return std::move(b).Build();
+}
 
 }  // namespace
 
@@ -54,111 +311,42 @@ void SaveHin(const Hin& hin, std::ostream& out) {
   }
 }
 
-bool SaveHinToFile(const Hin& hin, const std::string& path) {
+Status SaveHinToFile(const Hin& hin, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return CountIoError(
+        NotFoundError("cannot open " + path + " for writing"));
+  }
   SaveHin(hin, out);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    return CountIoError(DataLossError("write to " + path + " failed"));
+  }
+  return Status::Ok();
 }
 
-Hin LoadHin(std::istream& in) {
-  std::string line;
-  TMARK_CHECK_MSG(std::getline(in, line) && Strip(line) == kHeader,
-                  "missing tmark-hin header");
-  std::size_t num_nodes = 0;
-  std::size_t feature_dim = 0;
-  bool have_nodes = false;
-  bool have_dim = false;
-  std::vector<std::string> relation_names;
-  std::vector<std::string> class_names;
-  struct EdgeRec {
-    std::size_t k, dst, src;
-    double w;
-  };
-  std::vector<EdgeRec> edge_recs;
-  struct LabelRec {
-    std::size_t node;
-    std::vector<std::size_t> classes;
-  };
-  std::vector<LabelRec> label_recs;
-  struct FeatRec {
-    std::size_t node;
-    std::vector<std::pair<std::size_t, double>> entries;
-  };
-  std::vector<FeatRec> feat_recs;
-
-  while (std::getline(in, line)) {
-    line = Strip(line);
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string directive;
-    ls >> directive;
-    if (directive == "nodes") {
-      ls >> num_nodes;
-      have_nodes = true;
-    } else if (directive == "feature_dim") {
-      ls >> feature_dim;
-      have_dim = true;
-    } else if (directive == "relation") {
-      std::string name;
-      std::getline(ls, name);
-      relation_names.push_back(Strip(name));
-    } else if (directive == "class") {
-      std::string name;
-      std::getline(ls, name);
-      class_names.push_back(Strip(name));
-    } else if (directive == "edge") {
-      EdgeRec e{};
-      ls >> e.k >> e.dst >> e.src >> e.w;
-      TMARK_CHECK_MSG(!ls.fail(), "malformed edge line: " << line);
-      edge_recs.push_back(e);
-    } else if (directive == "label") {
-      LabelRec rec{};
-      ls >> rec.node;
-      std::size_t c;
-      while (ls >> c) rec.classes.push_back(c);
-      label_recs.push_back(std::move(rec));
-    } else if (directive == "feat") {
-      FeatRec rec{};
-      ls >> rec.node;
-      std::string tok;
-      while (ls >> tok) {
-        const std::size_t colon = tok.find(':');
-        TMARK_CHECK_MSG(colon != std::string::npos,
-                        "malformed feat token: " << tok);
-        rec.entries.emplace_back(std::stoul(tok.substr(0, colon)),
-                                 std::stod(tok.substr(colon + 1)));
-      }
-      feat_recs.push_back(std::move(rec));
-    } else {
-      TMARK_CHECK_MSG(false, "unknown directive: " << directive);
-    }
-  }
-  TMARK_CHECK_MSG(have_nodes && have_dim,
-                  "file missing nodes/feature_dim directives");
-
-  HinBuilder b(num_nodes, feature_dim);
-  for (const std::string& name : relation_names) b.AddRelation(name);
-  for (const std::string& name : class_names) b.AddClass(name);
-  for (const EdgeRec& e : edge_recs) {
-    TMARK_CHECK_MSG(e.k < relation_names.size(), "edge relation out of range");
-    b.AddDirectedEdge(e.k, e.src, e.dst, e.w);
-  }
-  for (const LabelRec& rec : label_recs) {
-    for (std::size_t c : rec.classes) b.SetLabel(rec.node, c);
-  }
-  for (const FeatRec& rec : feat_recs) {
-    for (const auto& [dim, value] : rec.entries) {
-      b.AddFeature(rec.node, dim, value);
-    }
-  }
-  return std::move(b).Build();
+Result<Hin> LoadHin(std::istream& in) {
+  Result<Hin> result = LoadHinImpl(in);
+  if (!result.ok()) CountIoError(result.status());
+  return result;
 }
 
-Hin LoadHinFromFile(const std::string& path) {
+Result<Hin> LoadHinFromFile(const std::string& path) {
   std::ifstream in(path);
-  TMARK_CHECK_MSG(static_cast<bool>(in), "cannot open " << path);
-  return LoadHin(in);
+  if (!in) {
+    return CountIoError(NotFoundError("cannot open " + path));
+  }
+  Result<Hin> result = LoadHinImpl(in);
+  if (!result.ok()) {
+    return CountIoError(result.status().WithContext(path));
+  }
+  return result;
+}
+
+Hin LoadHinOrThrow(std::istream& in) { return LoadHin(in).ValueOrThrow(); }
+
+Hin LoadHinFromFileOrThrow(const std::string& path) {
+  return LoadHinFromFile(path).ValueOrThrow();
 }
 
 }  // namespace tmark::hin

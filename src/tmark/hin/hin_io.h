@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "tmark/common/status.h"
 #include "tmark/hin/hin.h"
 
 namespace tmark::hin {
@@ -23,16 +24,31 @@ namespace tmark::hin {
 /// produced by the library's generators.
 void SaveHin(const Hin& hin, std::ostream& out);
 
-/// Convenience wrapper writing to `path`. Returns false on I/O failure.
-bool SaveHinToFile(const Hin& hin, const std::string& path);
+/// Writes the SaveHin format to `path`. Returns kNotFound when the file
+/// cannot be created and kDataLoss when the write fails midway.
+Status SaveHinToFile(const Hin& hin, const std::string& path);
 
-/// Parses the format written by SaveHin. Throws CheckError on malformed
-/// input (unknown directive, indices out of range, missing header).
-Hin LoadHin(std::istream& in);
+/// Parses the format written by SaveHin. This is an untrusted-input
+/// boundary: every malformed construct — missing header, unknown
+/// directive, non-numeric or overflowing index, NaN/inf/non-positive edge
+/// weight, duplicate (relation, dst, src) edge, out-of-range node/class/
+/// feature index — yields a kParseError whose message carries the
+/// offending line number. Never throws on bad input.
+Result<Hin> LoadHin(std::istream& in);
 
-/// Convenience wrapper reading from `path`. Throws CheckError if the file
-/// cannot be opened or parsed.
-Hin LoadHinFromFile(const std::string& path);
+/// LoadHin from `path`; kNotFound when the file cannot be opened, and the
+/// path is prepended as context to any parse error.
+Result<Hin> LoadHinFromFile(const std::string& path);
+
+// Transitional throwing shims (one release): identical behaviour to the
+// Result-returning APIs above, unwrapping errors into StatusError. New code
+// should consume the Status-based APIs directly.
+
+/// LoadHin(in).ValueOrThrow().
+Hin LoadHinOrThrow(std::istream& in);
+
+/// LoadHinFromFile(path).ValueOrThrow().
+Hin LoadHinFromFileOrThrow(const std::string& path);
 
 }  // namespace tmark::hin
 

@@ -19,11 +19,19 @@ std::string ToString(SimilarityKernel kernel) {
 }
 
 SimilarityKernel SimilarityKernelFromString(const std::string& name) {
+  const std::optional<SimilarityKernel> kernel =
+      TryParseSimilarityKernel(name);
+  TMARK_CHECK_MSG(kernel.has_value(), "unknown similarity kernel: " << name);
+  return *kernel;
+}
+
+std::optional<SimilarityKernel> TryParseSimilarityKernel(
+    const std::string& name) {
   if (name == "cosine") return SimilarityKernel::kCosine;
   if (name == "binary-cosine") return SimilarityKernel::kBinaryCosine;
   if (name == "tfidf-cosine") return SimilarityKernel::kTfIdfCosine;
   if (name == "dot-product") return SimilarityKernel::kDotProduct;
-  TMARK_CHECK_MSG(false, "unknown similarity kernel: " << name);
+  return std::nullopt;
 }
 
 }  // namespace tmark::hin

@@ -1,6 +1,7 @@
 #ifndef TMARK_HIN_SIMILARITY_KERNEL_H_
 #define TMARK_HIN_SIMILARITY_KERNEL_H_
 
+#include <optional>
 #include <string>
 
 namespace tmark::hin {
@@ -28,6 +29,11 @@ std::string ToString(SimilarityKernel kernel);
 
 /// Parses ToString's output back; throws CheckError on unknown names.
 SimilarityKernel SimilarityKernelFromString(const std::string& name);
+
+/// Non-throwing parse for untrusted input (model files, CLI flags):
+/// nullopt on unknown names.
+std::optional<SimilarityKernel> TryParseSimilarityKernel(
+    const std::string& name);
 
 }  // namespace tmark::hin
 

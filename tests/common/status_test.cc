@@ -1,0 +1,136 @@
+#include "tmark/common/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/check.h"
+
+namespace tmark {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(ParseError("bad").code(), StatusCode::kParseError);
+  EXPECT_EQ(InvalidArgumentError("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("bad").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("bad").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("bad").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(InternalError("bad").code(), StatusCode::kInternal);
+  EXPECT_EQ(ParseError("bad edge").message(), "bad edge");
+  EXPECT_FALSE(ParseError("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(ParseError("line 3: bad edge").ToString(),
+            "PARSE_ERROR: line 3: bad edge");
+  EXPECT_EQ(NotFoundError("no such file").ToString(),
+            "NOT_FOUND: no such file");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, MetricSuffixesAreStable) {
+  EXPECT_EQ(StatusCodeMetricSuffix(StatusCode::kParseError), "parse_error");
+  EXPECT_EQ(StatusCodeMetricSuffix(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeMetricSuffix(StatusCode::kInvalidArgument),
+            "invalid_argument");
+}
+
+TEST(StatusTest, WithContextPrependsOutermostFirst) {
+  const Status status =
+      ParseError("bad weight").WithContext("line 7").WithContext("net.hin");
+  EXPECT_EQ(status.message(), "net.hin: line 7: bad weight");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  // No-op on OK.
+  EXPECT_TRUE(Status::Ok().WithContext("ignored").ok());
+  EXPECT_TRUE(Status::Ok().WithContext("ignored").message().empty());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad(ParseError("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, ValueOnErrorIsContractViolation) {
+  Result<int> bad(ParseError("nope"));
+  EXPECT_THROW(bad.value(), CheckError);
+}
+
+TEST(ResultTest, OkStatusCannotBecomeResult) {
+  EXPECT_THROW(Result<int>(Status::Ok()), CheckError);
+}
+
+TEST(ResultTest, ValueOrThrowUnwrapsOrRaisesStatusError) {
+  EXPECT_EQ(Result<std::string>(std::string("hi")).ValueOrThrow(), "hi");
+  try {
+    Result<int>(NotFoundError("missing")).ValueOrThrow();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(ResultTest, MoveOnlyValuesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Status FailAt(int stage) {
+  TMARK_RETURN_IF_ERROR(stage == 1 ? ParseError("stage one") : Status::Ok());
+  TMARK_RETURN_IF_ERROR(stage == 2 ? DataLossError("stage two")
+                                   : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagatesFirstFailure) {
+  EXPECT_TRUE(FailAt(0).ok());
+  EXPECT_EQ(FailAt(1).code(), StatusCode::kParseError);
+  EXPECT_EQ(FailAt(2).code(), StatusCode::kDataLoss);
+}
+
+Result<int> Doubled(Result<int> input) {
+  TMARK_ASSIGN_OR_RETURN(const int v, std::move(input));
+  return 2 * v;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsOrPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  const Result<int> failed = Doubled(ParseError("no int"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace tmark

@@ -1,0 +1,79 @@
+#include "tmark/common/strict_parse.h"
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tmark {
+namespace {
+
+TEST(ParseIndexTest, AcceptsPlainDigits) {
+  EXPECT_EQ(ParseIndex("0").value(), 0u);
+  EXPECT_EQ(ParseIndex("42").value(), 42u);
+  EXPECT_EQ(ParseIndex("007").value(), 7u);
+}
+
+TEST(ParseIndexTest, RejectsEverythingElse) {
+  for (const char* token :
+       {"", "-1", "+1", " 1", "1 ", "1abc", "abc", "0x10", "1e3", "3.0",
+        "18446744073709551616",  // SIZE_MAX + 1
+        "99999999999999999999999999"}) {
+    const Result<std::size_t> r = ParseIndex(token);
+    EXPECT_FALSE(r.ok()) << "'" << token << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << token;
+  }
+}
+
+TEST(ParseIndexTest, ErrorNamesTheToken) {
+  const Result<std::size_t> r = ParseIndex("1abc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("1abc"), std::string::npos);
+}
+
+TEST(ParseBoundedIndexTest, EnforcesExclusiveBound) {
+  EXPECT_EQ(ParseBoundedIndex("4", 5, "node").value(), 4u);
+  const Result<std::size_t> r = ParseBoundedIndex("5", 5, "node");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("node"), std::string::npos);
+}
+
+TEST(ParseFiniteDoubleTest, AcceptsFixedAndScientific) {
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble("1e-3").value(), 1e-3);
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble("0").value(), 0.0);
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble(".5").value(), 0.5);
+}
+
+TEST(ParseFiniteDoubleTest, RejectsNonFiniteAndGarbage) {
+  for (const char* token : {"", "nan", "NaN", "-nan", "inf", "-inf",
+                            "infinity", "1e999", "-1e999", "1.5x", "x1.5",
+                            " 1.5", "1.5 ", "--1", "0x1p3"}) {
+    const Result<double> r = ParseFiniteDouble(token);
+    EXPECT_FALSE(r.ok()) << "'" << token << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << token;
+  }
+}
+
+TEST(ParsePositiveFiniteDoubleTest, RequiresStrictlyPositive) {
+  EXPECT_DOUBLE_EQ(ParsePositiveFiniteDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParsePositiveFiniteDouble("1e-300").value(), 1e-300);
+  for (const char* token : {"0", "0.0", "-0.5", "-1e-300", "nan", "inf"}) {
+    const Result<double> r = ParsePositiveFiniteDouble(token);
+    EXPECT_FALSE(r.ok()) << "'" << token << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << token;
+  }
+}
+
+TEST(StrictParseTest, LongHostileTokensAreClampedInMessages) {
+  const std::string huge(500, '9');
+  const Result<std::size_t> r = ParseIndex(huge);
+  ASSERT_FALSE(r.ok());
+  // The echoed token is clamped so hostile input can't balloon logs.
+  EXPECT_LT(r.status().message().size(), 200u);
+}
+
+}  // namespace
+}  // namespace tmark

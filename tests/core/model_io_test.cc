@@ -1,11 +1,13 @@
 #include "tmark/core/model_io.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "tmark/common/check.h"
+#include "tmark/common/status.h"
 #include "tmark/datasets/paper_example.h"
 #include "tmark/datasets/synthetic_hin.h"
 
@@ -32,6 +34,11 @@ std::vector<std::size_t> Labeled(const hin::Hin& hin) {
   return out;
 }
 
+StatusCode LoadCode(const std::string& content) {
+  std::stringstream ss(content);
+  return LoadTMarkModel(ss).status().code();
+}
+
 TEST(ModelIoTest, RoundTripPreservesEverything) {
   const hin::Hin hin = ModelHin(1);
   TMarkConfig config;
@@ -44,7 +51,9 @@ TEST(ModelIoTest, RoundTripPreservesEverything) {
 
   std::stringstream ss;
   SaveTMarkModel(clf, ss);
-  TMarkClassifier back = LoadTMarkModel(ss);
+  Result<TMarkClassifier> loaded = LoadTMarkModel(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TMarkClassifier& back = *loaded;
 
   EXPECT_DOUBLE_EQ(back.config().alpha, 0.85);
   EXPECT_DOUBLE_EQ(back.config().gamma, 0.4);
@@ -62,7 +71,7 @@ TEST(ModelIoTest, LoadedModelServesRankings) {
   clf.Fit(hin, datasets::PaperExampleLabeledNodes());
   std::stringstream ss;
   SaveTMarkModel(clf, ss);
-  const TMarkClassifier back = LoadTMarkModel(ss);
+  const TMarkClassifier back = LoadTMarkModel(ss).value();
   EXPECT_EQ(back.RankRelationsForClass(0), clf.RankRelationsForClass(0));
   EXPECT_EQ(back.RankRelationsForClass(1), clf.RankRelationsForClass(1));
 }
@@ -76,7 +85,7 @@ TEST(ModelIoTest, LoadedModelWarmStartsRefit) {
   std::stringstream ss;
   SaveTMarkModel(clf, ss);
 
-  TMarkClassifier resumed = LoadTMarkModel(ss);
+  TMarkClassifier resumed = LoadTMarkModel(ss).value();
   resumed.Refit(hin, Labeled(hin));
   // Warm start from the stored stationary point: immediate convergence and
   // identical solution.
@@ -94,42 +103,108 @@ TEST(ModelIoTest, FileRoundTrip) {
   TMarkClassifier clf;
   clf.Fit(hin, datasets::PaperExampleLabeledNodes());
   const std::string path = ::testing::TempDir() + "/tmark_model_test.tmm";
-  ASSERT_TRUE(SaveTMarkModelToFile(clf, path));
-  const TMarkClassifier back = LoadTMarkModelFromFile(path);
-  EXPECT_DOUBLE_EQ(back.Confidences().MaxAbsDiff(clf.Confidences()), 0.0);
+  ASSERT_TRUE(SaveTMarkModelToFile(clf, path).ok());
+  Result<TMarkClassifier> back = LoadTMarkModelFromFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_DOUBLE_EQ(back->Confidences().MaxAbsDiff(clf.Confidences()), 0.0);
   std::remove(path.c_str());
 }
 
 TEST(ModelIoTest, UnfittedModelCannotBeSaved) {
+  // Saving an unfitted model is a caller bug, not untrusted input, so the
+  // contract stays a TMARK_CHECK rather than a Status.
   TMarkClassifier clf;
   std::stringstream ss;
   EXPECT_THROW(SaveTMarkModel(clf, ss), CheckError);
 }
 
-TEST(ModelIoTest, MalformedInputsThrow) {
-  {
-    std::stringstream ss("not a model");
-    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+TEST(ModelIoTest, MalformedInputsAreParseErrors) {
+  EXPECT_EQ(LoadCode("not a model"), StatusCode::kParseError);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nalpha 0.8\n"),  // no shape
+            StatusCode::kParseError);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\nconf 5 0.1 0.2\n"),
+            StatusCode::kParseError);  // row out of range
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\nconf 0 0.1\n"),
+            StatusCode::kParseError);  // short row
+  EXPECT_EQ(LoadCode("# tmark-model v1\nbogus 1\n"), StatusCode::kParseError);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\nconf 0 0.1 nan\n"),
+            StatusCode::kParseError);  // non-finite value
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\nkernel warp\n"),
+            StatusCode::kParseError);  // unknown kernel
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\nica maybe\n"),
+            StatusCode::kParseError);
+}
+
+TEST(ModelIoTest, HyperParametersOutsideUnitIntervalAreRejected) {
+  for (const char* line : {"alpha 1.5", "alpha -0.1", "gamma 2", "gamma nan",
+                           "lambda 1e300", "lambda -1"}) {
+    EXPECT_EQ(LoadCode(std::string("# tmark-model v1\nshape 2 1 2\n") + line +
+                       "\n"),
+              StatusCode::kParseError)
+        << line;
   }
+}
+
+TEST(ModelIoTest, RowsBeforeShapeAreFailedPrecondition) {
+  EXPECT_EQ(LoadCode("# tmark-model v1\nconf 0 0.1 0.2\nshape 2 1 2\n"),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nlink 0 0.5 0.5\nshape 2 1 2\n"),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelIoTest, DuplicateRowsAndDirectivesAreRejected) {
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\n"
+                     "conf 0 0.1 0.2\nconf 0 0.3 0.4\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nalpha 0.5\nalpha 0.6\nshape 2 1 2\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 2 1 2\nshape 2 1 2\n"),
+            StatusCode::kParseError);
+}
+
+TEST(ModelIoTest, HostileShapeIsRejectedBeforeAllocation) {
+  // n*q and m*q are capped; a hostile shape line must fail fast instead of
+  // attempting a multi-terabyte allocation.
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 999999999 1 999999999\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(LoadCode("# tmark-model v1\nshape 18446744073709551615 1 2\n"),
+            StatusCode::kParseError);
+}
+
+TEST(ModelIoTest, MissingFileIsNotFound) {
+  const Result<TMarkClassifier> result =
+      LoadTMarkModelFromFile("/nonexistent/model.tmm");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, FileParseErrorsCarryPathContext) {
+  const std::string path = ::testing::TempDir() + "/tmark_model_corrupt.tmm";
   {
-    std::stringstream ss("# tmark-model v1\nalpha 0.8\n");  // no shape
-    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
+    std::ofstream out(path);
+    out << "# tmark-model v1\nbogus 1\n";
   }
-  {
-    std::stringstream ss(
-        "# tmark-model v1\nshape 2 1 2\nconf 5 0.1 0.2\n");  // row range
-    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
-  }
-  {
-    std::stringstream ss(
-        "# tmark-model v1\nshape 2 1 2\nconf 0 0.1\n");  // short row
-    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
-  }
-  {
-    std::stringstream ss("# tmark-model v1\nbogus 1\n");
-    EXPECT_THROW(LoadTMarkModel(ss), CheckError);
-  }
-  EXPECT_THROW(LoadTMarkModelFromFile("/nonexistent/model.tmm"), CheckError);
+  const Result<TMarkClassifier> result = LoadTMarkModelFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ThrowingShimsUnwrapOrThrowStatusError) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  TMarkClassifier clf;
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  std::stringstream ss;
+  SaveTMarkModel(clf, ss);
+  EXPECT_NO_THROW({
+    const TMarkClassifier back = LoadTMarkModelOrThrow(ss);
+    (void)back;
+  });
+  std::stringstream bad("junk");
+  EXPECT_THROW(LoadTMarkModelOrThrow(bad), StatusError);
+  EXPECT_THROW(LoadTMarkModelFromFileOrThrow("/nonexistent/model.tmm"),
+               StatusError);
 }
 
 }  // namespace

@@ -89,6 +89,41 @@ TEST_F(PreparedOperatorsTest, MutatedHinTriggersRebuild) {
   EXPECT_EQ(CounterValue("tmark.fit.operator_cache_hits"), 1);
 }
 
+TEST_F(PreparedOperatorsTest, FingerprintIsHonestUnderInPlaceMutation) {
+  // The cache keys on *content*, not object identity: silently editing a
+  // relation's stored weights through the same Hin object must change the
+  // fingerprint and force a rebuild on the next Fit — a stale cache here
+  // would serve operators for a graph that no longer exists.
+  hin::Hin hin = MakeHin(51);
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+  core::TMarkClassifier clf;
+  clf.Fit(hin, labeled);
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 1);
+
+  const std::uint64_t before =
+      core::FingerprintOperators(hin, clf.config().similarity);
+  // Tests are allowed backdoor access for the mutation; real callers go
+  // through HinBuilder and never hold a mutable Hin.
+  auto& relation = const_cast<la::SparseMatrix&>(hin.relation(0));
+  ASSERT_FALSE(relation.mutable_values().empty());
+  relation.mutable_values()[0] *= 2.0;
+  const std::uint64_t after =
+      core::FingerprintOperators(hin, clf.config().similarity);
+  EXPECT_NE(before, after);
+
+  clf.Fit(hin, labeled);
+  EXPECT_EQ(CounterValue("tensor.transition.builds"), 2);
+  EXPECT_EQ(CounterValue("tmark.fit.operator_cache_hits"), 0);
+
+  // Same story through an explicit OperatorCache.
+  core::OperatorCache cache;
+  const auto first = cache.GetOrBuild(hin, clf.config().similarity);
+  relation.mutable_values()[0] *= 2.0;
+  const auto second = cache.GetOrBuild(hin, clf.config().similarity);
+  EXPECT_NE(first->fingerprint(), second->fingerprint());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST_F(PreparedOperatorsTest, CacheSharesOneBuildAcrossClassifiers) {
   const hin::Hin hin = MakeHin(21);
   const std::vector<std::size_t> labeled = EveryThird(hin);

@@ -140,7 +140,7 @@ TEST(SyntheticHinTest, GeneratedHinSerializes) {
   const hin::Hin hin = GenerateSyntheticHin(config);
   std::stringstream ss;
   hin::SaveHin(hin, ss);
-  const hin::Hin back = hin::LoadHin(ss);
+  const hin::Hin back = hin::LoadHin(ss).value();
   EXPECT_EQ(back.num_nodes(), hin.num_nodes());
   EXPECT_EQ(back.NumLinks(), hin.NumLinks());
 }

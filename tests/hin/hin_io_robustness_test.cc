@@ -1,61 +1,69 @@
 // Failure-injection tests for the tmark-hin parser: malformed or hostile
-// input must always surface as CheckError (or parse cleanly) — never crash,
-// hang, or silently mangle data.
+// input must always surface as a typed non-OK Status (or parse cleanly) —
+// never crash, hang, throw, or silently mangle data.
 
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
-#include "tmark/common/check.h"
 #include "tmark/common/random.h"
+#include "tmark/common/status.h"
 #include "tmark/hin/hin_io.h"
 
 namespace tmark::hin {
 namespace {
 
-void ExpectThrowsOrParses(const std::string& content) {
+void ExpectErrorsOrParses(const std::string& content) {
   std::stringstream ss(content);
-  try {
-    const Hin hin = LoadHin(ss);
-    (void)hin;
-  } catch (const CheckError&) {
-    // Acceptable outcome.
-  } catch (const std::exception&) {
-    // std::sto* conversions may throw std::invalid_argument/out_of_range on
-    // garbage numerals; acceptable as long as it is a typed exception.
+  // The canonical loader never throws: hostile bytes yield a Status value.
+  const Result<Hin> result = LoadHin(ss);
+  if (!result.ok()) {
+    EXPECT_NE(result.status().code(), StatusCode::kOk);
+    EXPECT_FALSE(result.status().message().empty());
   }
 }
 
 TEST(HinIoRobustnessTest, TruncatedHeader) {
-  ExpectThrowsOrParses("# tmark-hin");
-  ExpectThrowsOrParses("");
-  ExpectThrowsOrParses("\n\n\n");
+  ExpectErrorsOrParses("# tmark-hin");
+  ExpectErrorsOrParses("");
+  ExpectErrorsOrParses("\n\n\n");
 }
 
 TEST(HinIoRobustnessTest, NegativeAndHugeIndices) {
   const std::string base = "# tmark-hin v1\nnodes 3\nfeature_dim 2\n"
                            "relation r\nclass A\n";
-  ExpectThrowsOrParses(base + "edge 0 -1 0 1.0\n");
-  ExpectThrowsOrParses(base + "edge 0 99999999999 0 1.0\n");
-  ExpectThrowsOrParses(base + "label 99999 0\n");
-  ExpectThrowsOrParses(base + "feat 0 99:1.0\n");
-  ExpectThrowsOrParses(base + "label 0 42\n");
+  ExpectErrorsOrParses(base + "edge 0 -1 0 1.0\n");
+  ExpectErrorsOrParses(base + "edge 0 99999999999 0 1.0\n");
+  ExpectErrorsOrParses(base + "label 99999 0\n");
+  ExpectErrorsOrParses(base + "feat 0 99:1.0\n");
+  ExpectErrorsOrParses(base + "label 0 42\n");
+  // Overflows std::size_t: must be a parse error, not a silent wrap.
+  std::stringstream overflow(base + "edge 0 99999999999999999999999 0 1.0\n");
+  const Result<Hin> result = LoadHin(overflow);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 TEST(HinIoRobustnessTest, NonNumericFields) {
   const std::string base = "# tmark-hin v1\nnodes 3\nfeature_dim 2\n"
                            "relation r\nclass A\n";
-  ExpectThrowsOrParses(base + "edge zero one two three\n");
-  ExpectThrowsOrParses(base + "feat 0 a:b\n");
-  ExpectThrowsOrParses(base + "nodes many\n");
+  ExpectErrorsOrParses(base + "edge zero one two three\n");
+  ExpectErrorsOrParses(base + "feat 0 a:b\n");
+  ExpectErrorsOrParses(base + "nodes many\n");
 }
 
 TEST(HinIoRobustnessTest, ZeroOrNegativeWeightEdge) {
   const std::string base = "# tmark-hin v1\nnodes 3\nfeature_dim 2\n"
                            "relation r\nclass A\n";
-  ExpectThrowsOrParses(base + "edge 0 0 1 0.0\n");
-  ExpectThrowsOrParses(base + "edge 0 0 1 -2.5\n");
+  ExpectErrorsOrParses(base + "edge 0 0 1 0.0\n");
+  ExpectErrorsOrParses(base + "edge 0 0 1 -2.5\n");
+}
+
+TEST(HinIoRobustnessTest, HostileDeclaredDimensions) {
+  // A hostile header must not make the loader allocate petabytes.
+  ExpectErrorsOrParses("# tmark-hin v1\nnodes 999999999999\nfeature_dim 1\n");
+  ExpectErrorsOrParses("# tmark-hin v1\nnodes 1\nfeature_dim 1e18\n");
 }
 
 TEST(HinIoRobustnessTest, RandomByteSoup) {
@@ -70,13 +78,13 @@ TEST(HinIoRobustnessTest, RandomByteSoup) {
       }
       content.push_back('\n');
     }
-    ExpectThrowsOrParses(content);
+    ExpectErrorsOrParses(content);
   }
 }
 
 TEST(HinIoRobustnessTest, RandomValidTokensShuffled) {
   // Lines drawn from the real grammar but in arbitrary order and with
-  // arbitrary indices: must parse or throw, never crash.
+  // arbitrary indices: must parse or fail with a Status, never crash.
   Rng rng(808);
   for (int round = 0; round < 50; ++round) {
     std::string content = "# tmark-hin v1\nnodes 5\nfeature_dim 3\n"
@@ -99,17 +107,19 @@ TEST(HinIoRobustnessTest, RandomValidTokensShuffled) {
           break;
       }
     }
-    ExpectThrowsOrParses(content);
+    ExpectErrorsOrParses(content);
   }
 }
 
-TEST(HinIoRobustnessTest, ValidFileStillParsesAfterTrailingGarbageLineThrows) {
+TEST(HinIoRobustnessTest, ValidFileStillParsesAfterTrailingGarbageLineFails) {
   const std::string good = "# tmark-hin v1\nnodes 2\nfeature_dim 1\n"
                            "relation r\nclass A\nedge 0 0 1 1.0\nlabel 0 0\n";
   std::stringstream ok(good);
-  EXPECT_NO_THROW(LoadHin(ok));
+  EXPECT_TRUE(LoadHin(ok).ok());
   std::stringstream bad(good + "garbage here\n");
-  EXPECT_THROW(LoadHin(bad), CheckError);
+  const Result<Hin> result = LoadHin(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 }  // namespace

@@ -1,11 +1,12 @@
 #include "tmark/hin/hin_io.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
-#include "tmark/common/check.h"
+#include "tmark/common/status.h"
 #include "tmark/datasets/paper_example.h"
 #include "tmark/hin/hin_builder.h"
 
@@ -32,12 +33,18 @@ void ExpectHinEqual(const Hin& a, const Hin& b) {
                    0.0);
 }
 
+StatusCode LoadCode(const std::string& content) {
+  std::stringstream ss(content);
+  return LoadHin(ss).status().code();
+}
+
 TEST(HinIoTest, RoundTripPaperExample) {
   const Hin hin = datasets::MakePaperExample();
   std::stringstream ss;
   SaveHin(hin, ss);
-  const Hin back = LoadHin(ss);
-  ExpectHinEqual(hin, back);
+  Result<Hin> back = LoadHin(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectHinEqual(hin, *back);
 }
 
 TEST(HinIoTest, RoundTripWithWeightsAndMultiLabels) {
@@ -52,55 +59,132 @@ TEST(HinIoTest, RoundTripWithWeightsAndMultiLabels) {
   const Hin hin = std::move(b).Build();
   std::stringstream ss;
   SaveHin(hin, ss);
-  const Hin back = LoadHin(ss);
-  ExpectHinEqual(hin, back);
-  EXPECT_EQ(back.class_name(1), "beta two");
-  EXPECT_EQ(back.relation_name(0), "same conference");
+  Result<Hin> back = LoadHin(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectHinEqual(hin, *back);
+  EXPECT_EQ(back->class_name(1), "beta two");
+  EXPECT_EQ(back->relation_name(0), "same conference");
 }
 
-TEST(HinIoTest, MissingHeaderThrows) {
-  std::stringstream ss("nodes 3\nfeature_dim 1\n");
-  EXPECT_THROW(LoadHin(ss), CheckError);
+TEST(HinIoTest, MissingHeaderIsParseError) {
+  EXPECT_EQ(LoadCode("nodes 3\nfeature_dim 1\n"), StatusCode::kParseError);
 }
 
-TEST(HinIoTest, UnknownDirectiveThrows) {
-  std::stringstream ss("# tmark-hin v1\nnodes 1\nfeature_dim 1\nbogus x\n");
-  EXPECT_THROW(LoadHin(ss), CheckError);
+TEST(HinIoTest, UnknownDirectiveIsParseError) {
+  EXPECT_EQ(LoadCode("# tmark-hin v1\nnodes 1\nfeature_dim 1\nbogus x\n"),
+            StatusCode::kParseError);
 }
 
-TEST(HinIoTest, OutOfRangeEdgeThrows) {
+TEST(HinIoTest, ParseErrorsCarryLineNumber) {
   std::stringstream ss(
       "# tmark-hin v1\nnodes 2\nfeature_dim 1\nrelation r\n"
-      "edge 3 0 1 1.0\n");
-  EXPECT_THROW(LoadHin(ss), CheckError);
+      "edge 0 0 1 nan\n");
+  const Result<Hin> result = LoadHin(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 5"), std::string::npos)
+      << result.status().ToString();
 }
 
-TEST(HinIoTest, MalformedFeatureThrows) {
-  std::stringstream ss(
-      "# tmark-hin v1\nnodes 1\nfeature_dim 1\nfeat 0 nocolon\n");
-  EXPECT_THROW(LoadHin(ss), CheckError);
+TEST(HinIoTest, OutOfRangeEdgeIsParseError) {
+  EXPECT_EQ(LoadCode("# tmark-hin v1\nnodes 2\nfeature_dim 1\nrelation r\n"
+                     "edge 3 0 1 1.0\n"),
+            StatusCode::kParseError);
+}
+
+TEST(HinIoTest, MalformedFeatureIsParseError) {
+  EXPECT_EQ(LoadCode("# tmark-hin v1\nnodes 1\nfeature_dim 1\nfeat 0 "
+                     "nocolon\n"),
+            StatusCode::kParseError);
+}
+
+TEST(HinIoTest, NonFiniteAndNonPositiveWeightsAreParseErrors) {
+  const std::string base =
+      "# tmark-hin v1\nnodes 3\nfeature_dim 1\nrelation r\n";
+  for (const char* weight : {"nan", "inf", "-inf", "0", "-2.5", "1e999"}) {
+    EXPECT_EQ(LoadCode(base + "edge 0 0 1 " + weight + "\n"),
+              StatusCode::kParseError)
+        << weight;
+  }
+}
+
+TEST(HinIoTest, DuplicateEdgeIsParseError) {
+  const std::string base =
+      "# tmark-hin v1\nnodes 3\nfeature_dim 1\nrelation r\n"
+      "edge 0 1 2 1.0\n";
+  EXPECT_EQ(LoadCode(base + "edge 0 1 2 0.5\n"), StatusCode::kParseError);
+  // Same endpoints in a different relation are legal.
+  EXPECT_EQ(LoadCode("# tmark-hin v1\nnodes 3\nfeature_dim 1\n"
+                     "relation r\nrelation s\n"
+                     "edge 0 1 2 1.0\nedge 1 1 2 1.0\n"),
+            StatusCode::kOk);
+}
+
+TEST(HinIoTest, GarbageNumeralSuffixIsParseError) {
+  // std::stoul would have accepted "1abc" as 1; the strict parser must not.
+  EXPECT_EQ(LoadCode("# tmark-hin v1\nnodes 2\nfeature_dim 1\nrelation r\n"
+                     "edge 0 1abc 0 1.0\n"),
+            StatusCode::kParseError);
 }
 
 TEST(HinIoTest, CommentsAndBlankLinesIgnored) {
   std::stringstream ss(
       "# tmark-hin v1\n\n# a comment\nnodes 1\nfeature_dim 1\nclass A\n"
       "label 0 0\n");
-  const Hin hin = LoadHin(ss);
-  EXPECT_EQ(hin.num_nodes(), 1u);
-  EXPECT_TRUE(hin.HasLabel(0, 0));
+  const Result<Hin> hin = LoadHin(ss);
+  ASSERT_TRUE(hin.ok()) << hin.status().ToString();
+  EXPECT_EQ(hin->num_nodes(), 1u);
+  EXPECT_TRUE(hin->HasLabel(0, 0));
 }
 
 TEST(HinIoTest, FileRoundTrip) {
   const Hin hin = datasets::MakePaperExample();
   const std::string path = ::testing::TempDir() + "/tmark_io_test.hin";
-  ASSERT_TRUE(SaveHinToFile(hin, path));
-  const Hin back = LoadHinFromFile(path);
-  ExpectHinEqual(hin, back);
+  ASSERT_TRUE(SaveHinToFile(hin, path).ok());
+  Result<Hin> back = LoadHinFromFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectHinEqual(hin, *back);
   std::remove(path.c_str());
 }
 
-TEST(HinIoTest, MissingFileThrows) {
-  EXPECT_THROW(LoadHinFromFile("/nonexistent/path/x.hin"), CheckError);
+TEST(HinIoTest, MissingFileIsNotFound) {
+  const Result<Hin> result = LoadHinFromFile("/nonexistent/path/x.hin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HinIoTest, UnwritablePathIsNotFound) {
+  const Hin hin = datasets::MakePaperExample();
+  const Status status = SaveHinToFile(hin, "/nonexistent/dir/out.hin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(HinIoTest, FileParseErrorsCarryPathContext) {
+  const std::string path = ::testing::TempDir() + "/tmark_io_corrupt.hin";
+  {
+    std::ofstream out(path);
+    out << "# tmark-hin v1\nnodes 1\nbogus\n";
+  }
+  const Result<Hin> result = LoadHinFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(HinIoTest, ThrowingShimsUnwrapOrThrowStatusError) {
+  const Hin hin = datasets::MakePaperExample();
+  std::stringstream ss;
+  SaveHin(hin, ss);
+  EXPECT_NO_THROW({
+    const Hin back = LoadHinOrThrow(ss);
+    (void)back;
+  });
+  std::stringstream bad("junk");
+  EXPECT_THROW(LoadHinOrThrow(bad), StatusError);
+  EXPECT_THROW(LoadHinFromFileOrThrow("/nonexistent/path/x.hin"),
+               StatusError);
 }
 
 }  // namespace

@@ -100,7 +100,7 @@ TEST(EndToEndTest, SerializedHinGivesIdenticalPredictions) {
   const hin::Hin hin = datasets::MakeDblp(options);
   std::stringstream ss;
   hin::SaveHin(hin, ss);
-  const hin::Hin back = hin::LoadHin(ss);
+  const hin::Hin back = hin::LoadHin(ss).value();
 
   Rng rng(11);
   const auto labeled = eval::StratifiedSplit(hin, 0.3, &rng);

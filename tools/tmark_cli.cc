@@ -9,6 +9,13 @@
 // commands load any file in that format, so real corpora can be converted
 // once and then driven entirely from here.
 //
+// Error contract (docs/ERRORS.md): every untrusted input — flags, HIN
+// files, model files — is validated through the tmark::Status layer. A bad
+// flag prints `error: ...` plus usage and exits 2; an unreadable or
+// malformed file prints a single `error: ...` line to stderr and exits 2.
+// No input can abort the process or leak a raw exception. Failed loads are
+// counted in the `io.errors{code}` metrics, visible via --metrics-json.
+//
 // Observability (any command): --log-level debug|info|warn|error|off,
 // --metrics-json FILE (dump the metrics-registry snapshot on exit),
 // --trace-json FILE (dump the trace-span tree on exit). See
@@ -17,19 +24,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "tmark/baselines/registry.h"
-#include "tmark/common/check.h"
+#include "tmark/common/status.h"
+#include "tmark/common/strict_parse.h"
 #include "tmark/core/model_io.h"
 #include "tmark/core/tmark.h"
-#include "tmark/datasets/acm.h"
-#include "tmark/datasets/dblp.h"
-#include "tmark/datasets/movies.h"
-#include "tmark/datasets/nus.h"
-#include "tmark/datasets/paper_example.h"
+#include "tmark/datasets/presets.h"
 #include "tmark/eval/experiment.h"
 #include "tmark/hin/hin_io.h"
 #include "tmark/obs/json_export.h"
@@ -60,30 +65,22 @@ struct Args {
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
     if (it == flags.end()) return fallback;
-    try {
-      std::size_t consumed = 0;
-      const double v = std::stod(it->second, &consumed);
-      if (consumed != it->second.size()) throw std::invalid_argument("");
-      return v;
-    } catch (const std::exception&) {
+    const Result<double> v = ParseFiniteDouble(it->second);
+    if (!v.ok()) {
       throw FlagError("invalid value '" + it->second + "' for --" + key +
-                      " (expected a number)");
+                      " (expected a finite number)");
     }
+    return *v;
   }
   std::size_t GetSize(const std::string& key, std::size_t fallback) const {
     const auto it = flags.find(key);
     if (it == flags.end()) return fallback;
-    try {
-      std::size_t consumed = 0;
-      const unsigned long v = std::stoul(it->second, &consumed);
-      if (consumed != it->second.size() || it->second[0] == '-') {
-        throw std::invalid_argument("");
-      }
-      return static_cast<std::size_t>(v);
-    } catch (const std::exception&) {
+    const Result<std::size_t> v = ParseIndex(it->second);
+    if (!v.ok()) {
       throw FlagError("invalid value '" + it->second + "' for --" + key +
                       " (expected a non-negative integer)");
     }
+    return *v;
   }
 };
 
@@ -122,6 +119,16 @@ int Usage() {
                "                        (default: TMARK_NUM_THREADS or all "
                "cores)\n");
   return 2;
+}
+
+/// Collapses control characters so the `error:` contract stays one line
+/// even if a hostile path or token sneaks one in.
+std::string OneLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return out;
 }
 
 /// Applies --log-level and switches the obs subsystem on when a JSON dump
@@ -186,52 +193,36 @@ struct ObsFlags {
   }
 };
 
-hin::Hin GeneratePreset(const Args& args) {
-  const std::string preset = args.Get("preset", "dblp");
-  const std::uint64_t seed = args.GetSize("seed", 7);
-  if (preset == "dblp") {
-    datasets::DblpOptions options;
-    options.num_authors = args.GetSize("nodes", 500);
-    options.seed = seed;
-    return datasets::MakeDblp(options);
+/// Loads --hin through the Status boundary; the flag is required.
+Result<hin::Hin> LoadHinFlag(const Args& args) {
+  const std::string path = args.Get("hin", "");
+  if (path.empty()) {
+    return InvalidArgumentError(args.command +
+                                " requires --hin FILE (tmark-hin format)");
   }
-  if (preset == "movies") {
-    datasets::MoviesOptions options;
-    options.num_movies = args.GetSize("nodes", 700);
-    options.seed = seed;
-    return datasets::MakeMovies(options);
-  }
-  if (preset == "nus1" || preset == "nus2") {
-    datasets::NusOptions options;
-    options.tagset = preset == "nus1" ? datasets::NusTagset::kTagset1
-                                      : datasets::NusTagset::kTagset2;
-    options.num_images = args.GetSize("nodes", 900);
-    options.seed = seed;
-    return datasets::MakeNus(options);
-  }
-  if (preset == "acm") {
-    datasets::AcmOptions options;
-    options.num_publications = args.GetSize("nodes", 550);
-    options.seed = seed;
-    return datasets::MakeAcm(options);
-  }
-  if (preset == "example") return datasets::MakePaperExample();
-  TMARK_CHECK_MSG(false, "unknown preset: " << preset);
+  return hin::LoadHinFromFile(path);
 }
 
-int Generate(const Args& args) {
+Status Generate(const Args& args) {
   const std::string out = args.Get("out", "");
-  TMARK_CHECK_MSG(!out.empty(), "generate requires --out FILE");
-  const hin::Hin hin = GeneratePreset(args);
-  TMARK_CHECK_MSG(hin::SaveHinToFile(hin, out), "cannot write " << out);
+  if (out.empty()) {
+    return InvalidArgumentError("generate requires --out FILE");
+  }
+  datasets::PresetOptions options;
+  options.num_nodes = args.GetSize("nodes", 0);  // 0 = preset default
+  options.seed = args.GetSize("seed", 7);
+  TMARK_ASSIGN_OR_RETURN(const hin::Hin hin,
+                         datasets::MakePreset(args.Get("preset", "dblp"),
+                                              options));
+  TMARK_RETURN_IF_ERROR(hin::SaveHinToFile(hin, out));
   std::printf("wrote %s: %zu nodes, %zu relations, %zu classes, %zu links\n",
               out.c_str(), hin.num_nodes(), hin.num_relations(),
               hin.num_classes(), hin.NumLinks());
-  return 0;
+  return Status::Ok();
 }
 
-int Info(const Args& args) {
-  const hin::Hin hin = hin::LoadHinFromFile(args.Get("hin", ""));
+Status Info(const Args& args) {
+  TMARK_ASSIGN_OR_RETURN(const hin::Hin hin, LoadHinFlag(args));
   std::printf("nodes:       %zu\n", hin.num_nodes());
   std::printf("relations:   %zu\n", hin.num_relations());
   std::printf("classes:     %zu\n", hin.num_classes());
@@ -246,45 +237,50 @@ int Info(const Args& args) {
     std::printf("  class %-28s %zu nodes\n",
                 (hin.class_name(c) + ":").c_str(), count);
   }
-  return 0;
+  return Status::Ok();
 }
 
-int Classify(const Args& args) {
-  const hin::Hin hin = hin::LoadHinFromFile(args.Get("hin", ""));
+Status Classify(const Args& args) {
+  TMARK_ASSIGN_OR_RETURN(const hin::Hin hin, LoadHinFlag(args));
   const std::string method = args.Get("method", "T-Mark");
   const double fraction = args.GetDouble("train-fraction", 0.3);
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return InvalidArgumentError("--train-fraction must be in (0, 1]");
+  }
+  auto clf = baselines::TryMakeClassifier(method,
+                                          args.GetDouble("alpha", 0.8),
+                                          args.GetDouble("gamma", 0.6));
+  if (clf == nullptr) {
+    return InvalidArgumentError("unknown method '" + method + "'");
+  }
   Rng rng(args.GetSize("seed", 13));
   const auto labeled = eval::StratifiedSplit(hin, fraction, &rng);
-  auto clf = baselines::MakeClassifier(method,
-                                       args.GetDouble("alpha", 0.8),
-                                       args.GetDouble("gamma", 0.6));
   const double acc =
       eval::EvaluateClassifier(hin, clf.get(), labeled, false, 0.5);
   std::printf("%s: held-out accuracy %.4f  (%zu labeled of %zu)\n",
               method.c_str(), acc, labeled.size(), hin.num_nodes());
-  return 0;
+  return Status::Ok();
 }
 
-int Rank(const Args& args) {
-  const hin::Hin hin = hin::LoadHinFromFile(args.Get("hin", ""));
+Status Rank(const Args& args) {
+  TMARK_ASSIGN_OR_RETURN(const hin::Hin hin, LoadHinFlag(args));
   const double fraction = args.GetDouble("train-fraction", 0.3);
   const std::size_t top = args.GetSize("top", 5);
   const std::string model_path = args.Get("model", "");
   core::TMarkConfig config;
   config.alpha = args.GetDouble("alpha", 0.8);
   config.gamma = args.GetDouble("gamma", 0.6);
-  core::TMarkClassifier clf =
-      model_path.empty() ? core::TMarkClassifier(config)
-                         : core::LoadTMarkModelFromFile(model_path);
-  if (model_path.empty()) {
+  core::TMarkClassifier clf(config);
+  if (!model_path.empty()) {
+    TMARK_ASSIGN_OR_RETURN(clf, core::LoadTMarkModelFromFile(model_path));
+  } else {
     Rng rng(args.GetSize("seed", 13));
     const auto labeled = eval::StratifiedSplit(hin, fraction, &rng);
     clf.Fit(hin, labeled);
   }
   const std::string save_path = args.Get("save-model", "");
   if (!save_path.empty()) {
-    TMARK_CHECK_MSG(core::SaveTMarkModelToFile(clf, save_path),
-                    "cannot write " << save_path);
+    TMARK_RETURN_IF_ERROR(core::SaveTMarkModelToFile(clf, save_path));
     std::printf("saved fitted model to %s\n", save_path.c_str());
   }
   for (std::size_t c = 0; c < hin.num_classes(); ++c) {
@@ -296,7 +292,7 @@ int Rank(const Args& args) {
                   clf.LinkImportance().At(ranking[r], c));
     }
   }
-  return 0;
+  return Status::Ok();
 }
 
 }  // namespace
@@ -305,25 +301,35 @@ int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
     const ObsFlags obs_flags(args);
-    int rc;
+    Status status;
     if (args.command == "generate") {
-      rc = Generate(args);
+      status = Generate(args);
     } else if (args.command == "info") {
-      rc = Info(args);
+      status = Info(args);
     } else if (args.command == "classify") {
-      rc = Classify(args);
+      status = Classify(args);
     } else if (args.command == "rank") {
-      rc = Rank(args);
+      status = Rank(args);
     } else {
       return Usage();
     }
+    int rc = 0;
+    if (!status.ok()) {
+      // The single-line error contract for untrusted input: exit 2.
+      std::fprintf(stderr, "error: %s\n",
+                   OneLine(status.ToString()).c_str());
+      rc = 2;
+    }
+    // Requested telemetry dumps are written even when the command failed —
+    // that is precisely when the io.errors counters matter.
     if (!obs_flags.Flush() && rc == 0) rc = 1;
     return rc;
   } catch (const FlagError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return Usage();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    // Internal bug (contract violation) — not an input error: exit 1.
+    std::fprintf(stderr, "error: %s\n", OneLine(e.what()).c_str());
     return 1;
   }
 }
