@@ -2,14 +2,29 @@
 // and the ablation of the design choices called out in DESIGN.md:
 //   * runtime scales linearly in nodes (D ~ n for fixed density),
 //   * linearly in the number of classes q,
-//   * the ICA update (T-Mark) costs little over TensorRrCc.
+//   * the ICA update (T-Mark) costs little over TensorRrCc,
+//   * the batched panel engine is at least as fast per iteration as the
+//     per-class engine (docs/PERFORMANCE.md; gated by
+//     scripts/check_fit_engine.py).
+//
+// Besides the google-benchmark timings, main() always runs the fit-engine
+// comparison on the DBLP synthetic preset and records it as the
+// "fit-engine comparison" table of the TMARK_BENCH_JSON dump — run with
+// --benchmark_filter=^$ to get just that section.
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "bench/common.h"
 
+#include "tmark/common/string_util.h"
+#include "tmark/core/prepared_operators.h"
 #include "tmark/core/tensor_rrcc.h"
 #include "tmark/core/tmark.h"
+#include "tmark/datasets/presets.h"
 #include "tmark/datasets/synthetic_hin.h"
 #include "tmark/eval/experiment.h"
 
@@ -93,6 +108,96 @@ void BM_StratifiedSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_StratifiedSplit);
 
+// Per-engine fit timing on the DBLP synthetic preset with prebuilt
+// operators, so the iteration loop (not the O/R/W build) is what is timed.
+void BM_TMarkFit_Engine(benchmark::State& state) {
+  const auto hin_result = datasets::MakePreset("dblp", {});
+  const hin::Hin& hin = *hin_result;
+  const auto labeled = ThirdLabeled(hin);
+  core::TMarkConfig config;
+  config.fit_mode = state.range(0) == 0 ? core::FitMode::kPerClass
+                                        : core::FitMode::kBatched;
+  const core::PreparedOperators ops =
+      core::PreparedOperators::Build(hin, config.similarity);
+  for (auto _ : state) {
+    core::TMarkClassifier clf(config);
+    clf.Fit(hin, ops, labeled);
+    benchmark::DoNotOptimize(clf.Confidences());
+  }
+  state.SetLabel(state.range(0) == 0 ? "per_class" : "batched");
+}
+BENCHMARK(BM_TMarkFit_Engine)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The batched-vs-per-class comparison section: one warm-up then
+/// TMARK_BENCH_REPEATS (>= 3) timed fits per engine on the DBLP synthetic
+/// preset, recorded as a table in the TMARK_BENCH_JSON dump. Both engines
+/// produce bit-identical traces, so the total column-iteration count is the
+/// same and ms_per_iter is directly comparable.
+void RunFitEngineComparison() {
+  datasets::PresetOptions options;
+  const hin::Hin hin = *datasets::MakePreset("dblp", options);
+  const auto labeled = ThirdLabeled(hin);
+  const core::PreparedOperators ops =
+      core::PreparedOperators::Build(hin, hin::SimilarityKernel::kCosine);
+
+  std::vector<std::string> headers = {"engine",    "threads",
+                                      "fit_ms_min", "fit_ms_median",
+                                      "iterations", "ms_per_iter"};
+  eval::TablePrinter table(headers);
+  std::vector<std::vector<std::string>> rows;
+  for (const core::FitMode mode :
+       {core::FitMode::kPerClass, core::FitMode::kBatched}) {
+    core::TMarkConfig config;
+    config.fit_mode = mode;
+    core::TMarkClassifier clf(config);
+    clf.Fit(hin, ops, labeled);  // warm-up, also yields the trace lengths
+    std::size_t iterations = 0;
+    for (const core::ConvergenceTrace& trace : clf.Traces()) {
+      iterations += trace.residuals.size();
+    }
+    const int repeats = std::max(3, bench::BenchTimer::Repeats());
+    std::vector<double> runs;
+    runs.reserve(static_cast<std::size_t>(repeats));
+    for (int r = 0; r < repeats; ++r) {
+      obs::Stopwatch watch;
+      core::TMarkClassifier timed(config);
+      timed.Fit(hin, ops, labeled);
+      runs.push_back(watch.ElapsedMs());
+      benchmark::DoNotOptimize(timed.Confidences());
+    }
+    std::sort(runs.begin(), runs.end());
+    const std::size_t mid = runs.size() / 2;
+    const double median = runs.size() % 2 == 1
+                              ? runs[mid]
+                              : 0.5 * (runs[mid - 1] + runs[mid]);
+    std::vector<std::string> row = {
+        core::ToString(mode),
+        std::to_string(parallel::NumThreads()),
+        FormatDouble(runs.front(), 3),
+        FormatDouble(median, 3),
+        std::to_string(iterations),
+        FormatDouble(runs.front() / static_cast<double>(iterations), 5)};
+    rows.push_back(row);
+    table.AddRow(std::move(row));
+  }
+  std::cout << "fit-engine comparison (dblp synthetic preset, " << hin.num_nodes()
+            << " nodes, prebuilt operators, min over "
+            << std::max(3, bench::BenchTimer::Repeats()) << " runs)\n";
+  table.Print(std::cout);
+  if (bench::BenchObsSession* session = bench::BenchObsSession::active()) {
+    session->RecordTable(
+        {"fit-engine comparison", std::move(headers), std::move(rows)});
+  }
+}
+
 }  // namespace
 
-TMARK_BENCH_MAIN();
+int main(int argc, char** argv) {
+  tmark::bench::BenchObsSession obs_session(argv[0]);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RunFitEngineComparison();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -10,7 +10,8 @@ Two rules, both cheap and both load-bearing:
 
 2. The public Load/Save APIs in the I/O headers must go through the typed
    Status layer: Load* returns tmark::Result<...>, *ToFile returns
-   tmark::Status. Only the transitional *OrThrow shims may bypass it.
+   tmark::Status. The transitional *OrThrow shims are gone; a declaration
+   with that suffix is itself a violation.
 
 Usage: check_error_policy.py --repo-root DIR
 """
@@ -73,7 +74,11 @@ def check_status_signatures(root, failures):
         for return_type, name in declarations:
             return_type = " ".join(return_type.split())
             if name.endswith("OrThrow"):
-                continue  # transitional shim, documented in the header
+                failures.append(
+                    f"{rel}: {name} reintroduces a throwing shim; the "
+                    "*OrThrow transition is over — return tmark::Result/"
+                    "Status (docs/ERRORS.md)")
+                continue
             if name.startswith("Load") and "Result<" not in return_type:
                 failures.append(
                     f"{rel}: {name} returns '{return_type}', must return "

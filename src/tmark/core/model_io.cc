@@ -282,12 +282,4 @@ Result<TMarkClassifier> LoadTMarkModelFromFile(const std::string& path) {
   return result;
 }
 
-TMarkClassifier LoadTMarkModelOrThrow(std::istream& in) {
-  return LoadTMarkModel(in).ValueOrThrow();
-}
-
-TMarkClassifier LoadTMarkModelFromFileOrThrow(const std::string& path) {
-  return LoadTMarkModelFromFile(path).ValueOrThrow();
-}
-
 }  // namespace tmark::core

@@ -41,15 +41,6 @@ Result<TMarkClassifier> LoadTMarkModel(std::istream& in);
 /// and the path is prepended as context to any parse error.
 Result<TMarkClassifier> LoadTMarkModelFromFile(const std::string& path);
 
-// Transitional throwing shims (one release): unwrap errors into
-// StatusError. New code should consume the Status-based APIs directly.
-
-/// LoadTMarkModel(in).ValueOrThrow().
-TMarkClassifier LoadTMarkModelOrThrow(std::istream& in);
-
-/// LoadTMarkModelFromFile(path).ValueOrThrow().
-TMarkClassifier LoadTMarkModelFromFileOrThrow(const std::string& path);
-
 }  // namespace tmark::core
 
 #endif  // TMARK_CORE_MODEL_IO_H_

@@ -2,14 +2,40 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "tmark/common/check.h"
 #include "tmark/hin/label_vector.h"
+#include "tmark/la/panel.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/parallel_for.h"
 
 namespace tmark::core {
+
+const char* ToString(FitMode mode) {
+  switch (mode) {
+    case FitMode::kPerClass:
+      return "per_class";
+    case FitMode::kBatched:
+      return "batched";
+  }
+  TMARK_CHECK_MSG(false, "unknown FitMode");
+  return "";
+}
+
+bool TryParseFitMode(std::string_view text, FitMode* mode) {
+  TMARK_CHECK(mode != nullptr);
+  if (text == "per_class") {
+    *mode = FitMode::kPerClass;
+    return true;
+  }
+  if (text == "batched") {
+    *mode = FitMode::kBatched;
+    return true;
+  }
+  return false;
+}
 
 TMarkClassifier::TMarkClassifier(TMarkConfig config) : config_(config) {
   TMARK_CHECK_MSG(config.alpha > 0.0 && config.alpha < 1.0,
@@ -60,6 +86,7 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   fit_span.AddField("relations", m);
   fit_span.AddField("classes", q);
   fit_span.AddField("warm_start", warm_start);
+  fit_span.AddField("fit_mode", ToString(config_.fit_mode));
   obs::ScopedTimer fit_timer("tmark.fit.total_ms");
   obs::IncrCounter("tmark.fit.calls");
 
@@ -81,18 +108,41 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
     }
     ops = prepared_.get();
   }
-  const tensor::TransitionTensors& tensors = ops->tensors();
-  const hin::FeatureSimilarity& similarity = ops->similarity();
+
+  const la::DenseMatrix prev_x = std::move(confidences_);
+  const la::DenseMatrix prev_z = std::move(link_importance_);
+  confidences_ = la::DenseMatrix(n, q);
+  link_importance_ = la::DenseMatrix(m, q);
+  traces_.assign(q, ConvergenceTrace{});
+  for (std::size_t c = 0; c < q; ++c) traces_[c].class_index = c;
+
+  if (config_.fit_mode == FitMode::kBatched) {
+    FitBatched(hin, labeled, warm_start, *ops, prev_x, prev_z);
+  } else {
+    FitPerClass(hin, labeled, warm_start, *ops, prev_x, prev_z, &fit_span);
+  }
+}
+
+void TMarkClassifier::FitPerClass(const hin::Hin& hin,
+                                  const std::vector<std::size_t>& labeled,
+                                  bool warm_start,
+                                  const PreparedOperators& ops,
+                                  const la::DenseMatrix& prev_x,
+                                  const la::DenseMatrix& prev_z,
+                                  obs::TraceSpan* fit_span) {
+  const std::size_t n = hin.num_nodes();
+  const std::size_t m = hin.num_relations();
+  const std::size_t q = hin.num_classes();
+  const tensor::TransitionTensors& tensors = ops.tensors();
+  const hin::FeatureSimilarity& similarity = ops.similarity();
 
   const double alpha = config_.alpha;
   const double beta = config_.beta();
   const double rel_weight = 1.0 - alpha - beta;
-
-  la::DenseMatrix prev_x = std::move(confidences_);
-  la::DenseMatrix prev_z = std::move(link_importance_);
-  confidences_ = la::DenseMatrix(n, q);
-  link_importance_ = la::DenseMatrix(m, q);
-  traces_.assign(q, ConvergenceTrace{});
+  // Hoisted out of the iteration loops: the per-phase timers below branch
+  // on this bool instead of re-reading the registry's atomic (metrics
+  // toggles mid-fit are unsupported anyway — see obs::Tracer).
+  const bool metrics = obs::MetricsEnabled();
 
   // The per-class chains are mutually independent (one (x_c, z_c) pair per
   // class) and write disjoint columns of confidences_/link_importance_ and
@@ -120,24 +170,24 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
     trace.class_index = c;
     for (int t = 1; t <= config_.max_iterations; ++t) {
       if (config_.ica_update && t > 2) {
-        obs::ScopedTimer phase("tmark.fit.phase.ica_update_ms");
+        obs::ScopedTimer phase("tmark.fit.phase.ica_update_ms", metrics);
         l = hin::UpdatedLabelVector(hin, labeled, c, x, config_.lambda);
       }
       la::Vector x_next;
       {
-        obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms");
+        obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms", metrics);
         x_next = tensors.ApplyO(x, z);
         la::Scale(rel_weight, &x_next);
       }
       {
-        obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms");
+        obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms", metrics);
         la::Vector wx = similarity.Apply(x);
         la::Axpy(beta, wx, &x_next);
         la::Axpy(alpha, l, &x_next);
       }
       la::Vector z_next;
       {
-        obs::ScopedTimer phase("tmark.fit.phase.z_update_ms");
+        obs::ScopedTimer phase("tmark.fit.phase.z_update_ms", metrics);
         z_next = tensors.ApplyR(x_next, x_next);
         // Simplex re-projection guards against the cubic amplification of
         // rounding error through the z = (sum x)^2 coupling (see MultiRank).
@@ -164,8 +214,150 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
     traces_[c] = std::move(trace);
   });
   for (obs::SpanNode& node : class_nodes) {
-    fit_span.AdoptChild(std::move(node));
+    fit_span->AdoptChild(std::move(node));
   }
+}
+
+void TMarkClassifier::FitBatched(const hin::Hin& hin,
+                                 const std::vector<std::size_t>& labeled,
+                                 bool warm_start,
+                                 const PreparedOperators& ops,
+                                 const la::DenseMatrix& prev_x,
+                                 const la::DenseMatrix& prev_z) {
+  const std::size_t n = hin.num_nodes();
+  const std::size_t m = hin.num_relations();
+  const std::size_t q = hin.num_classes();
+  const tensor::TransitionTensors& tensors = ops.tensors();
+  const hin::FeatureSimilarity& similarity = ops.similarity();
+
+  const double alpha = config_.alpha;
+  const double beta = config_.beta();
+  const double rel_weight = 1.0 - alpha - beta;
+  const bool metrics = obs::MetricsEnabled();
+
+  obs::TraceSpan span("tmark.fit.batched");
+
+  // All iteration state lives in panels sized once per fit: column slot s
+  // of X/Z/L carries the chain of class cls[s]. Columns are compacted as
+  // classes converge, so the kernels always work on the leading `width`
+  // columns (physical stride q).
+  la::PanelWorkspace ws;
+  la::DenseMatrix x_panel(n, q);
+  la::DenseMatrix z_panel(m, q);
+  la::DenseMatrix l_panel(n, q);
+  la::DenseMatrix x_next(n, q);
+  la::DenseMatrix z_next(m, q);
+  la::DenseMatrix wx_panel(n, q);
+  std::vector<std::size_t> cls(q);
+  std::vector<std::string> series_names(q);
+  std::vector<la::Vector> ica_cols(q);  // per-slot ICA extraction scratch
+  for (std::size_t c = 0; c < q; ++c) {
+    cls[c] = c;
+    series_names[c] = "tmark.fit.residual.c" + std::to_string(c);
+    const la::Vector l = hin::InitialLabelVector(hin, labeled, c);
+    la::SetColumn(l, c, &l_panel);
+    if (!warm_start) la::SetColumn(l, c, &x_panel);
+  }
+  if (warm_start) {
+    x_panel = prev_x;
+    z_panel = prev_z;
+  } else {
+    const double u = 1.0 / static_cast<double>(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      for (std::size_t c = 0; c < q; ++c) z_panel.At(k, c) = u;
+    }
+  }
+
+  std::size_t width = q;
+  std::size_t iterations = 0;
+  la::Vector rho_x;
+  la::Vector rho_z;
+  for (int t = 1; t <= config_.max_iterations && width > 0; ++t) {
+    if (config_.ica_update && t > 2) {
+      obs::ScopedTimer phase("tmark.fit.phase.ica_update_ms", metrics);
+      // The ICA refresh is inherently per-class; slots are independent and
+      // write disjoint columns of L.
+      parallel::ParallelFor(width, /*grain=*/1, [&](std::size_t s) {
+        la::ExtractColumn(x_panel, s, &ica_cols[s]);
+        const la::Vector l = hin::UpdatedLabelVector(
+            hin, labeled, cls[s], ica_cols[s], config_.lambda);
+        la::SetColumn(l, s, &l_panel);
+      });
+    }
+    {
+      obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms", metrics);
+      tensors.ApplyOPanel(x_panel, z_panel, width, &x_next, &ws);
+      la::ScaleLeadingColumns(rel_weight, width, &x_next);
+    }
+    {
+      obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms", metrics);
+      similarity.ApplyPanel(x_panel, width, &wx_panel, &ws);
+      la::AxpyLeadingColumns(beta, wx_panel, width, &x_next);
+      la::AxpyLeadingColumns(alpha, l_panel, width, &x_next);
+    }
+    {
+      obs::ScopedTimer phase("tmark.fit.phase.z_update_ms", metrics);
+      tensors.ApplyRPanel(x_next, x_next, width, &z_next, &ws);
+      // Simplex re-projection guards against the cubic amplification of
+      // rounding error through the z = (sum x)^2 coupling (see MultiRank).
+      la::NormalizeLeadingColumnsL1(width, &x_next);
+      la::NormalizeLeadingColumnsL1(width, &z_next);
+    }
+    la::LeadingColumnL1Distances(x_next, x_panel, width, &rho_x);
+    la::LeadingColumnL1Distances(z_next, z_panel, width, &rho_z);
+    std::swap(x_panel, x_next);
+    std::swap(z_panel, z_next);
+    ++iterations;
+    obs::IncrCounter("tmark.fit.iterations",
+                     static_cast<std::int64_t>(width));
+
+    // Record residuals and retire converged columns. When slot s retires,
+    // the last active column moves into it (with its residuals) and the
+    // slot is re-processed, so every active column is handled exactly once.
+    std::size_t s = 0;
+    while (s < width) {
+      const double rho = rho_x[s] + rho_z[s];
+      const std::size_t c = cls[s];
+      traces_[c].residuals.push_back(rho);
+      obs::AppendSeries(series_names[c], rho);
+      if (rho < config_.epsilon) {
+        traces_[c].converged = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          confidences_.At(i, c) = x_panel.At(i, s);
+        }
+        for (std::size_t k = 0; k < m; ++k) {
+          link_importance_.At(k, c) = z_panel.At(k, s);
+        }
+        const std::size_t last = width - 1;
+        if (s != last) {
+          la::MoveColumn(last, s, &x_panel);
+          la::MoveColumn(last, s, &z_panel);
+          la::MoveColumn(last, s, &l_panel);
+          cls[s] = cls[last];
+          rho_x[s] = rho_x[last];
+          rho_z[s] = rho_z[last];
+        }
+        --width;
+      } else {
+        ++s;
+      }
+    }
+  }
+
+  // Columns still active hit the iteration cap without converging.
+  for (std::size_t s = 0; s < width; ++s) {
+    const std::size_t c = cls[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      confidences_.At(i, c) = x_panel.At(i, s);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      link_importance_.At(k, c) = z_panel.At(k, s);
+    }
+  }
+  std::size_t converged = 0;
+  for (const ConvergenceTrace& trace : traces_) converged += trace.converged;
+  span.AddField("iterations", iterations);
+  span.AddField("converged_classes", converged);
 }
 
 const la::DenseMatrix& TMarkClassifier::Confidences() const {

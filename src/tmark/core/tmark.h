@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tmark/common/status.h"
@@ -17,7 +18,30 @@
 #include "tmark/la/vector_ops.h"
 #include "tmark/tensor/transition_tensors.h"
 
+namespace tmark::obs {
+class TraceSpan;
+}  // namespace tmark::obs
+
 namespace tmark::core {
+
+/// Fit-engine selection (docs/PERFORMANCE.md). Both engines compute
+/// bit-identical confidences, link importance, and residual traces; they
+/// differ only in how the per-class chains are scheduled.
+enum class FitMode {
+  /// One independent (x, z) chain per class, parallelized over classes —
+  /// the original engine; parallel speedup is capped at q.
+  kPerClass,
+  /// All q chains advance together on row-major n x q panels: each sparse
+  /// structure (O, R, linked mask, F_hat) is streamed once per iteration
+  /// for every class, and converged classes retire their columns early.
+  kBatched,
+};
+
+/// "per_class" or "batched".
+const char* ToString(FitMode mode);
+
+/// Parses "per_class" / "batched" into `mode`; returns false otherwise.
+bool TryParseFitMode(std::string_view text, FitMode* mode);
 
 /// Hyper-parameters of Algorithm 1.
 struct TMarkConfig {
@@ -42,6 +66,10 @@ struct TMarkConfig {
   /// the ICDM'17 predecessor method (TensorRrCc), used as a baseline in
   /// every table of the paper.
   bool ica_update = true;
+  /// Fit engine. Both produce bit-identical results; `kBatched` streams
+  /// each sparse operator once per iteration for all classes and is the
+  /// default. Engine choice, not model state — never serialized.
+  FitMode fit_mode = FitMode::kBatched;
 
   /// The feature-walk weight beta = gamma * (1 - alpha) (Sec. 4.4).
   double beta() const { return gamma * (1.0 - alpha); }
@@ -125,9 +153,24 @@ class TMarkClassifier : public hin::CollectiveClassifier {
   /// Shared implementation of Fit/Refit; `warm_start` seeds each class's
   /// iteration from the previous stationary vectors when available.
   /// `external_ops` (optional) bypasses the internal operator cache.
+  /// Resolves operators, then dispatches on config_.fit_mode.
   void FitInternal(const hin::Hin& hin,
                    const std::vector<std::size_t>& labeled, bool warm_start,
                    const PreparedOperators* external_ops);
+
+  /// Per-class engine: q independent chains, parallelized over classes.
+  /// Worker-side spans are stitched back under `fit_span` in class order.
+  void FitPerClass(const hin::Hin& hin,
+                   const std::vector<std::size_t>& labeled, bool warm_start,
+                   const PreparedOperators& ops, const la::DenseMatrix& prev_x,
+                   const la::DenseMatrix& prev_z, obs::TraceSpan* fit_span);
+
+  /// Batched engine: all chains advance on n x q panels with one structure
+  /// pass per iteration; bit-identical to FitPerClass column for column.
+  void FitBatched(const hin::Hin& hin,
+                  const std::vector<std::size_t>& labeled, bool warm_start,
+                  const PreparedOperators& ops, const la::DenseMatrix& prev_x,
+                  const la::DenseMatrix& prev_z);
 
   la::DenseMatrix confidences_;      ///< n x q.
   la::DenseMatrix link_importance_;  ///< m x q.

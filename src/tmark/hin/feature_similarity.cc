@@ -103,6 +103,50 @@ la::Vector FeatureSimilarity::Apply(const la::Vector& x) const {
   return y;
 }
 
+void FeatureSimilarity::ApplyPanel(const la::DenseMatrix& x,
+                                   std::size_t width, la::DenseMatrix* y,
+                                   la::PanelWorkspace* ws) const {
+  const std::size_t n = num_nodes();
+  TMARK_CHECK(y != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == n && y->rows() == n);
+  TMARK_CHECK(x.cols() == y->cols() && width <= x.cols());
+  const std::size_t stride = x.cols();
+  // Same three steps as Apply, on panels: u = x ./ colsums (0 on dangling
+  // columns), t = F_hat^T u, y = F_hat t, then the uniform dangling spread.
+  la::DenseMatrix& u = ws->Panel(0, n, stride);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* xrow = x.RowPtr(j);
+    double* urow = u.RowPtr(j);
+    if (col_sums_[j] > 0.0) {
+      const double cs = col_sums_[j];
+      for (std::size_t c = 0; c < width; ++c) urow[c] = xrow[c] / cs;
+    } else {
+      for (std::size_t c = 0; c < width; ++c) urow[c] = 0.0;
+    }
+  }
+  la::DenseMatrix& t = ws->Panel(1, fhat_.cols(), stride);
+  fhat_.TransposeMatMulPanel(u, width, &t, ws);
+  fhat_.MatMulPanel(t, width, y);
+  la::Vector& mass = ws->Buffer(0, width);
+  bool any = false;
+  for (std::uint32_t j : dangling_) {
+    const double* xrow = x.RowPtr(j);
+    for (std::size_t c = 0; c < width; ++c) {
+      mass[c] += xrow[c];
+      any |= mass[c] != 0.0;
+    }
+  }
+  if (!any) return;
+  // A zero-mass column receives + 0.0, matching Apply's skip.
+  for (std::size_t c = 0; c < width; ++c) {
+    mass[c] /= static_cast<double>(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double* yrow = y->RowPtr(i);
+    for (std::size_t c = 0; c < width; ++c) yrow[c] += mass[c];
+  }
+}
+
 la::DenseMatrix FeatureSimilarity::Dense() const {
   const std::size_t n = num_nodes();
   la::DenseMatrix w(n, n);

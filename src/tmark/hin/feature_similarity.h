@@ -40,6 +40,13 @@ class FeatureSimilarity {
   /// vectors.
   la::Vector Apply(const la::Vector& x) const;
 
+  /// Panel form (la/panel.h): y(:, c) = W x(:, c) for c in [0, width),
+  /// streaming F_hat's structure once for all columns; bit-identical per
+  /// column to Apply. `ws` supplies the n x q and d x q scratch panels and
+  /// the scatter partials.
+  void ApplyPanel(const la::DenseMatrix& x, std::size_t width,
+                  la::DenseMatrix* y, la::PanelWorkspace* ws) const;
+
   /// W[i][j] materialized densely — small inputs / tests only.
   la::DenseMatrix Dense() const;
 

@@ -343,10 +343,4 @@ Result<Hin> LoadHinFromFile(const std::string& path) {
   return result;
 }
 
-Hin LoadHinOrThrow(std::istream& in) { return LoadHin(in).ValueOrThrow(); }
-
-Hin LoadHinFromFileOrThrow(const std::string& path) {
-  return LoadHinFromFile(path).ValueOrThrow();
-}
-
 }  // namespace tmark::hin

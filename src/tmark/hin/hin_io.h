@@ -40,16 +40,6 @@ Result<Hin> LoadHin(std::istream& in);
 /// path is prepended as context to any parse error.
 Result<Hin> LoadHinFromFile(const std::string& path);
 
-// Transitional throwing shims (one release): identical behaviour to the
-// Result-returning APIs above, unwrapping errors into StatusError. New code
-// should consume the Status-based APIs directly.
-
-/// LoadHin(in).ValueOrThrow().
-Hin LoadHinOrThrow(std::istream& in);
-
-/// LoadHinFromFile(path).ValueOrThrow().
-Hin LoadHinFromFileOrThrow(const std::string& path);
-
 }  // namespace tmark::hin
 
 #endif  // TMARK_HIN_HIN_IO_H_

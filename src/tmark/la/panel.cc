@@ -1,0 +1,112 @@
+#include "tmark/la/panel.h"
+
+#include <cmath>
+
+#include "tmark/common/check.h"
+
+namespace tmark::la {
+
+void PanelWorkspace::PrepareChunks(std::size_t count, std::size_t size) {
+  if (chunks_.size() < count) chunks_.resize(count);
+  // assign() reuses each vector's capacity, so steady-state calls with a
+  // stable chunk shape allocate nothing.
+  for (std::size_t i = 0; i < count; ++i) chunks_[i].assign(size, 0.0);
+}
+
+Vector& PanelWorkspace::Buffer(std::size_t slot, std::size_t size) {
+  while (buffers_.size() <= slot) buffers_.emplace_back();
+  buffers_[slot].assign(size, 0.0);
+  return buffers_[slot];
+}
+
+DenseMatrix& PanelWorkspace::Panel(std::size_t slot, std::size_t rows,
+                                   std::size_t cols) {
+  while (panels_.size() <= slot) panels_.emplace_back();
+  DenseMatrix& panel = panels_[slot];
+  if (panel.rows() != rows || panel.cols() != cols) {
+    panel = DenseMatrix(rows, cols);
+  }
+  return panel;
+}
+
+void ScaleLeadingColumns(double alpha, std::size_t width, DenseMatrix* panel) {
+  TMARK_CHECK(panel != nullptr && width <= panel->cols());
+  for (std::size_t r = 0; r < panel->rows(); ++r) {
+    double* row = panel->RowPtr(r);
+    for (std::size_t c = 0; c < width; ++c) row[c] *= alpha;
+  }
+}
+
+void AxpyLeadingColumns(double alpha, const DenseMatrix& x, std::size_t width,
+                        DenseMatrix* y) {
+  TMARK_CHECK(y != nullptr && x.rows() == y->rows() && x.cols() == y->cols());
+  TMARK_CHECK(width <= y->cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xrow = x.RowPtr(r);
+    double* yrow = y->RowPtr(r);
+    for (std::size_t c = 0; c < width; ++c) yrow[c] += alpha * xrow[c];
+  }
+}
+
+void NormalizeLeadingColumnsL1(std::size_t width, DenseMatrix* panel) {
+  TMARK_CHECK(panel != nullptr && width <= panel->cols());
+  Vector sums;
+  LeadingColumnSums(*panel, width, &sums);
+  for (std::size_t c = 0; c < width; ++c) {
+    TMARK_CHECK_MSG(sums[c] > 0.0,
+                    "cannot L1-normalize a zero/negative-sum panel column");
+  }
+  for (std::size_t c = 0; c < width; ++c) sums[c] = 1.0 / sums[c];
+  for (std::size_t r = 0; r < panel->rows(); ++r) {
+    double* row = panel->RowPtr(r);
+    for (std::size_t c = 0; c < width; ++c) row[c] *= sums[c];
+  }
+}
+
+void LeadingColumnL1Distances(const DenseMatrix& a, const DenseMatrix& b,
+                              std::size_t width, Vector* out) {
+  TMARK_CHECK(out != nullptr && a.rows() == b.rows() && a.cols() == b.cols());
+  TMARK_CHECK(width <= a.cols());
+  out->assign(width, 0.0);
+  // Row-major sweep accumulates each column's |a - b| in ascending row
+  // order, exactly la::L1Distance's element order per column.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.RowPtr(r);
+    const double* brow = b.RowPtr(r);
+    for (std::size_t c = 0; c < width; ++c) {
+      (*out)[c] += std::abs(arow[c] - brow[c]);
+    }
+  }
+}
+
+void LeadingColumnSums(const DenseMatrix& panel, std::size_t width,
+                       Vector* out) {
+  TMARK_CHECK(out != nullptr && width <= panel.cols());
+  out->assign(width, 0.0);
+  for (std::size_t r = 0; r < panel.rows(); ++r) {
+    const double* row = panel.RowPtr(r);
+    for (std::size_t c = 0; c < width; ++c) (*out)[c] += row[c];
+  }
+}
+
+void SetColumn(const Vector& v, std::size_t col, DenseMatrix* panel) {
+  TMARK_CHECK(panel != nullptr && v.size() == panel->rows());
+  TMARK_CHECK(col < panel->cols());
+  for (std::size_t r = 0; r < v.size(); ++r) panel->At(r, col) = v[r];
+}
+
+void ExtractColumn(const DenseMatrix& panel, std::size_t col, Vector* out) {
+  TMARK_CHECK(out != nullptr && col < panel.cols());
+  out->resize(panel.rows());
+  for (std::size_t r = 0; r < panel.rows(); ++r) (*out)[r] = panel.At(r, col);
+}
+
+void MoveColumn(std::size_t from, std::size_t to, DenseMatrix* panel) {
+  TMARK_CHECK(panel != nullptr && from < panel->cols() && to < panel->cols());
+  if (from == to) return;
+  for (std::size_t r = 0; r < panel->rows(); ++r) {
+    panel->At(r, to) = panel->At(r, from);
+  }
+}
+
+}  // namespace tmark::la

@@ -1,0 +1,93 @@
+#ifndef TMARK_LA_PANEL_H_
+#define TMARK_LA_PANEL_H_
+
+// Multi-RHS "panel" support for the batched fit engine.
+//
+// A panel is a row-major DenseMatrix whose leading `width` columns are
+// active: column c holds the vector of one independent per-class chain, and
+// the batched kernels (SparseMatrix::MatMulPanel, SparseTensor3::
+// ContractMode1Panel, ...) stream the sparse structure once while updating
+// all active columns with a contiguous inner loop. Every panel kernel
+// performs, per column, exactly the floating-point operations of its
+// single-vector counterpart in the same order, so batched results are
+// bit-identical to the per-class ones (docs/PERFORMANCE.md).
+//
+// PanelWorkspace owns the reusable scratch buffers (per-chunk partials for
+// the scatter/reduction kernels, small per-call accumulators) so a fit
+// allocates them once, not once per iteration. A workspace serves one
+// kernel invocation at a time: kernels prepare it on the calling thread and
+// chunk workers touch disjoint buffers.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/vector_ops.h"
+
+namespace tmark::la {
+
+/// Reusable scratch storage for the panel kernels. Buffers grow on demand
+/// and keep their capacity across invocations, so steady-state iterations
+/// allocate nothing.
+class PanelWorkspace {
+ public:
+  /// Zeroes and returns `count` buffers of `size` doubles each, one per
+  /// chunk of a parallel kernel. Call on the coordinating thread before the
+  /// parallel region; workers then use Chunk(i) exclusively.
+  void PrepareChunks(std::size_t count, std::size_t size);
+
+  /// Chunk buffer `i` of the last PrepareChunks call.
+  Vector& Chunk(std::size_t i) { return chunks_[i]; }
+
+  /// Zeroed small per-call accumulator (column sums, dangling masses, ...).
+  /// Slots are scoped to a single kernel invocation; different slots may be
+  /// alive at the same time within one call (deque storage keeps earlier
+  /// references valid while later slots are fetched).
+  Vector& Buffer(std::size_t slot, std::size_t size);
+
+  /// Dense scratch panel `slot`, reallocated only when the shape changes.
+  /// Contents are unspecified; kernels overwrite their active region.
+  DenseMatrix& Panel(std::size_t slot, std::size_t rows, std::size_t cols);
+
+ private:
+  std::vector<Vector> chunks_;
+  std::deque<Vector> buffers_;
+  std::deque<DenseMatrix> panels_;
+};
+
+// Column-wise helpers on the leading `width` columns of a panel. Each one
+// matches the per-vector op in vector_ops.h per column (same element order).
+
+/// panel(:, c) *= alpha for c in [0, width).
+void ScaleLeadingColumns(double alpha, std::size_t width, DenseMatrix* panel);
+
+/// y(:, c) += alpha * x(:, c) for c in [0, width).
+void AxpyLeadingColumns(double alpha, const DenseMatrix& x, std::size_t width,
+                        DenseMatrix* y);
+
+/// L1-normalizes each leading column in place; requires a positive column
+/// sum (the probability-simplex projection of la::NormalizeL1).
+void NormalizeLeadingColumnsL1(std::size_t width, DenseMatrix* panel);
+
+/// out[c] = ||a(:, c) - b(:, c)||_1 for c in [0, width).
+void LeadingColumnL1Distances(const DenseMatrix& a, const DenseMatrix& b,
+                              std::size_t width, Vector* out);
+
+/// out[c] = sum_i panel(i, c) for c in [0, width); matches la::Sum's
+/// left-to-right accumulation per column.
+void LeadingColumnSums(const DenseMatrix& panel, std::size_t width,
+                       Vector* out);
+
+/// panel(:, col) = v.
+void SetColumn(const Vector& v, std::size_t col, DenseMatrix* panel);
+
+/// out = panel(:, col), reusing out's storage.
+void ExtractColumn(const DenseMatrix& panel, std::size_t col, Vector* out);
+
+/// panel(:, to) = panel(:, from) (the active-column compaction move).
+void MoveColumn(std::size_t from, std::size_t to, DenseMatrix* panel);
+
+}  // namespace tmark::la
+
+#endif  // TMARK_LA_PANEL_H_

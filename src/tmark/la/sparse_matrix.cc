@@ -293,6 +293,131 @@ double SparseMatrix::Bilinear(const Vector& x, const Vector& y) const {
       [](double a, double b) { return a + b; });
 }
 
+void SparseMatrix::MatMulPanel(const DenseMatrix& x, std::size_t width,
+                               DenseMatrix* y) const {
+  TMARK_CHECK(y != nullptr && x.rows() == cols_ && y->rows() == rows_);
+  TMARK_CHECK(x.cols() == y->cols() && width <= x.cols());
+  // Output rows are disjoint, so any row partition is bit-identical; the
+  // grain shrinks with the panel width to keep per-chunk work comparable to
+  // the single-vector kernel's.
+  const std::size_t grain =
+      width > 0 ? std::max<std::size_t>(64, kMatVecGrain / width)
+                : kMatVecGrain;
+  parallel::ParallelForRanges(
+      rows_, grain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          double* yrow = y->RowPtr(r);
+          for (std::size_t c = 0; c < width; ++c) yrow[c] = 0.0;
+          for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+            const double v = values_[p];
+            const double* xrow = x.RowPtr(col_idx_[p]);
+            // Per column: the same v * x products added in the same
+            // p-ascending order as MatVec's register accumulation.
+            for (std::size_t c = 0; c < width; ++c) yrow[c] += v * xrow[c];
+          }
+        }
+      });
+}
+
+void SparseMatrix::TransposeMatMulPanel(const DenseMatrix& x,
+                                        std::size_t width, DenseMatrix* y,
+                                        PanelWorkspace* ws) const {
+  TMARK_CHECK(y != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == rows_ && y->rows() == cols_);
+  TMARK_CHECK(x.cols() == y->cols() && width <= x.cols());
+  // `buf` addresses a cols_ x width target with column stride `stride`.
+  // TransposeMatVec skips rows with x[r] == 0; here a row is skipped only
+  // when every active column is zero, and a column whose entry is zero
+  // receives v * 0.0 adds — which leave its non-negative partials unchanged
+  // bit for bit, keeping each column identical to the single-vector kernel.
+  auto scatter = [&](std::size_t begin, std::size_t end, double* buf,
+                     std::size_t stride) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const double* xrow = x.RowPtr(r);
+      bool any = false;
+      for (std::size_t c = 0; c < width; ++c) any |= xrow[c] != 0.0;
+      if (!any) continue;
+      for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        const double v = values_[p];
+        double* target = buf + col_idx_[p] * stride;
+        for (std::size_t c = 0; c < width; ++c) target[c] += v * xrow[c];
+      }
+    }
+  };
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double* yrow = y->RowPtr(j);
+    for (std::size_t c = 0; c < width; ++c) yrow[c] = 0.0;
+  }
+  // Same fixed chunk layout as TransposeMatVec: boundaries depend only on
+  // the row count, partials merge in chunk order.
+  const std::size_t chunks =
+      parallel::NumFixedChunks(rows_, kScatterGrain, kScatterMaxChunks);
+  if (chunks <= 1) {
+    if (rows_ > 0 && cols_ > 0) scatter(0, rows_, y->RowPtr(0), y->cols());
+    return;
+  }
+  ws->PrepareChunks(chunks, cols_ * width);
+  parallel::ParallelChunks(
+      rows_, chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        scatter(begin, end, ws->Chunk(chunk).data(), width);
+      });
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const double* partial = ws->Chunk(chunk).data();
+    for (std::size_t j = 0; j < cols_; ++j) {
+      double* yrow = y->RowPtr(j);
+      const double* part = partial + j * width;
+      for (std::size_t c = 0; c < width; ++c) yrow[c] += part[c];
+    }
+  }
+}
+
+void SparseMatrix::BilinearPanel(const DenseMatrix& x, const DenseMatrix& y,
+                                 std::size_t width, double* out,
+                                 PanelWorkspace* ws) const {
+  TMARK_CHECK(out != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == rows_ && y.rows() == cols_);
+  TMARK_CHECK(x.cols() == y.cols() && width <= x.cols());
+  // Each chunk buffer holds [partial sums | inner scratch], width doubles
+  // each. Rows whose panel entries are all zero are skipped as in Bilinear;
+  // a zero entry in a live row contributes x * inner = 0.0, leaving that
+  // column's partial unchanged (same value the skip produces).
+  auto accumulate = [&](std::size_t begin, std::size_t end, double* acc) {
+    double* inner = acc + width;
+    for (std::size_t r = begin; r < end; ++r) {
+      const double* xrow = x.RowPtr(r);
+      bool any = false;
+      for (std::size_t c = 0; c < width; ++c) any |= xrow[c] != 0.0;
+      if (!any) continue;
+      for (std::size_t c = 0; c < width; ++c) inner[c] = 0.0;
+      for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        const double v = values_[p];
+        const double* yrow = y.RowPtr(col_idx_[p]);
+        for (std::size_t c = 0; c < width; ++c) inner[c] += v * yrow[c];
+      }
+      for (std::size_t c = 0; c < width; ++c) acc[c] += xrow[c] * inner[c];
+    }
+  };
+  // Same chunk layout and left-to-right fold as Bilinear's ParallelReduce.
+  const std::size_t chunks = parallel::NumFixedChunks(rows_, kReduceGrain);
+  const std::size_t buffers = chunks == 0 ? 1 : chunks;
+  ws->PrepareChunks(buffers, 2 * width);
+  if (chunks <= 1) {
+    if (rows_ > 0) accumulate(0, rows_, ws->Chunk(0).data());
+  } else {
+    parallel::ParallelChunks(
+        rows_, chunks,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          accumulate(begin, end, ws->Chunk(chunk).data());
+        });
+  }
+  for (std::size_t c = 0; c < width; ++c) out[c] = 0.0;
+  for (std::size_t chunk = 0; chunk < buffers; ++chunk) {
+    const double* partial = ws->Chunk(chunk).data();
+    for (std::size_t c = 0; c < width; ++c) out[c] += partial[c];
+  }
+}
+
 bool SparseMatrix::IsNonNegative() const {
   for (double v : values_) {
     if (v < 0.0) return false;

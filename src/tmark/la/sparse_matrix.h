@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tmark/la/dense_matrix.h"
+#include "tmark/la/panel.h"
 #include "tmark/la/vector_ops.h"
 
 namespace tmark::la {
@@ -94,6 +95,29 @@ class SparseMatrix {
 
   /// Sum_{(i,j) stored} value(i,j) * x[i] * y[j]; the bilinear form x^T A y.
   double Bilinear(const Vector& x, const Vector& y) const;
+
+  // Multi-RHS panel kernels (see la/panel.h). Each operates on the leading
+  // `width` columns of its row-major panels (physical column stride =
+  // panel.cols()) and streams the CSR structure once for all columns. Per
+  // column they run exactly the float ops of the single-vector kernel in
+  // the same order, so results are bit-identical to `width` separate calls.
+
+  /// y(:, c) = this * x(:, c) for c in [0, width). Requires
+  /// x.rows() == cols(), y->rows() == rows(), matching column strides.
+  void MatMulPanel(const DenseMatrix& x, std::size_t width,
+                   DenseMatrix* y) const;
+
+  /// y(:, c) = this^T * x(:, c) for c in [0, width). Requires
+  /// x.rows() == rows(), y->rows() == cols(). Uses `ws` for the ordered
+  /// per-chunk scatter partials (same chunk layout as TransposeMatVec).
+  void TransposeMatMulPanel(const DenseMatrix& x, std::size_t width,
+                            DenseMatrix* y, PanelWorkspace* ws) const;
+
+  /// out[c] = x(:, c)^T * this * y(:, c) for c in [0, width). `out` must
+  /// hold at least `width` doubles. Uses `ws` for the ordered per-chunk
+  /// reduction partials (same chunk layout as Bilinear).
+  void BilinearPanel(const DenseMatrix& x, const DenseMatrix& y,
+                     std::size_t width, double* out, PanelWorkspace* ws) const;
 
   /// True if every stored value is >= 0.
   bool IsNonNegative() const;

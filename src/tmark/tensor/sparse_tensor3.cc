@@ -160,4 +160,68 @@ la::Vector SparseTensor3::ContractMode3(const la::Vector& x,
   return w;
 }
 
+void SparseTensor3::ContractMode1Panel(const la::DenseMatrix& x,
+                                       const la::DenseMatrix& z,
+                                       std::size_t width,
+                                       la::DenseMatrix* y,
+                                       la::PanelWorkspace* ws) const {
+  TMARK_CHECK(y != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == n_ && z.rows() == m_ && y->rows() == n_);
+  TMARK_CHECK(x.cols() == y->cols() && z.cols() == x.cols());
+  TMARK_CHECK(width <= x.cols());
+  // Row-partitioned like ContractMode1, with the grain shrunk by the panel
+  // width; output rows are disjoint so any partition is bit-identical. Per
+  // element y(i, c) the per-slice terms z(k, c) * acc are added in
+  // ascending k — exactly the order of the single-vector k-outer loop. A
+  // slice is skipped only when every active z entry is zero; a column with
+  // z(k, c) == 0 in a live slice adds 0 * acc, leaving it unchanged.
+  const std::size_t grain =
+      width > 0 ? std::max<std::size_t>(64, kContractRowGrain / width)
+                : kContractRowGrain;
+  const std::size_t chunks = parallel::NumFixedChunks(n_, grain);
+  ws->PrepareChunks(chunks == 0 ? 1 : chunks, width);
+  parallel::ParallelChunks(
+      n_, chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        double* acc = ws->Chunk(chunk).data();
+        for (std::size_t i = begin; i < end; ++i) {
+          double* yrow = y->RowPtr(i);
+          for (std::size_t c = 0; c < width; ++c) yrow[c] = 0.0;
+          for (std::size_t k = 0; k < m_; ++k) {
+            const double* zrow = z.RowPtr(k);
+            bool any = false;
+            for (std::size_t c = 0; c < width; ++c) any |= zrow[c] != 0.0;
+            if (!any) continue;
+            const la::SparseMatrix& s = slices_[k];
+            for (std::size_t c = 0; c < width; ++c) acc[c] = 0.0;
+            for (std::size_t p = s.row_ptr()[i]; p < s.row_ptr()[i + 1];
+                 ++p) {
+              const double v = s.values()[p];
+              const double* xrow = x.RowPtr(s.col_idx()[p]);
+              for (std::size_t c = 0; c < width; ++c) acc[c] += v * xrow[c];
+            }
+            for (std::size_t c = 0; c < width; ++c) {
+              yrow[c] += zrow[c] * acc[c];
+            }
+          }
+        }
+      });
+}
+
+void SparseTensor3::ContractMode3Panel(const la::DenseMatrix& x,
+                                       const la::DenseMatrix& y,
+                                       std::size_t width, la::DenseMatrix* w,
+                                       la::PanelWorkspace* ws) const {
+  TMARK_CHECK(w != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == n_ && y.rows() == n_ && w->rows() == m_);
+  TMARK_CHECK(x.cols() == y.cols() && w->cols() == x.cols());
+  TMARK_CHECK(width <= x.cols());
+  // Serial over the m slices (m is small); each bilinear form is itself
+  // row-parallel and writes its own output row, matching ContractMode3's
+  // per-slice Bilinear results column for column.
+  for (std::size_t k = 0; k < m_; ++k) {
+    slices_[k].BilinearPanel(x, y, width, w->RowPtr(k), ws);
+  }
+}
+
 }  // namespace tmark::tensor

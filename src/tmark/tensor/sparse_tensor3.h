@@ -78,6 +78,24 @@ class SparseTensor3 {
   /// mode 2). Requires |x| = |y| = n.
   la::Vector ContractMode3(const la::Vector& x, const la::Vector& y) const;
 
+  // Multi-RHS panel kernels (la/panel.h): one structure pass over the
+  // stored slices updates the leading `width` columns of the output panel,
+  // bit-identical per column to the single-vector contractions.
+
+  /// y(i, c) = sum_{j,k} A[i,j,k] * x(j, c) * z(k, c) for c in [0, width).
+  /// Requires x: n rows, z: m rows, y: n rows, all with equal column
+  /// strides >= width. `ws` backs the per-chunk accumulator scratch.
+  void ContractMode1Panel(const la::DenseMatrix& x, const la::DenseMatrix& z,
+                          std::size_t width, la::DenseMatrix* y,
+                          la::PanelWorkspace* ws) const;
+
+  /// w(k, c) = sum_{i,j} A[i,j,k] * x(i, c) * y(j, c) for c in [0, width).
+  /// Requires x, y: n rows, w: m rows. `ws` backs the per-slice bilinear
+  /// reduction partials.
+  void ContractMode3Panel(const la::DenseMatrix& x, const la::DenseMatrix& y,
+                          std::size_t width, la::DenseMatrix* w,
+                          la::PanelWorkspace* ws) const;
+
  private:
   std::size_t n_;
   std::size_t m_;

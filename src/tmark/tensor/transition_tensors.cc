@@ -51,12 +51,17 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
       // every divisor in O(nnz) total (vs. a binary search per entry). The
       // fetched divisor is the same double as before, so R is unchanged.
       std::size_t t_pos = totals_row_ptr[i];
+      const std::size_t t_end = totals_row_ptr[i + 1];
       for (std::size_t p = slice.row_ptr()[i]; p < slice.row_ptr()[i + 1];
            ++p) {
         const std::uint32_t j = slice.col_idx()[p];
-        while (totals_cols[t_pos] < j) ++t_pos;
-        // totals_cols[t_pos] == j and the total is > 0 because this (i,j)
-        // pair has a stored entry in slice k.
+        while (t_pos < t_end && totals_cols[t_pos] < j) ++t_pos;
+        // The total is > 0 because this (i,j) pair has a stored entry in
+        // slice k; the cursor must land on it while still inside row i.
+        TMARK_CHECK_MSG(t_pos < t_end && totals_cols[t_pos] == j,
+                        "R-normalization: totals row " << i
+                            << " is missing column " << j
+                            << " (superset invariant violated)");
         vals[p] /= totals_vals[t_pos];
       }
     }
@@ -125,6 +130,71 @@ la::Vector TransitionTensors::ApplyR(const la::Vector& x,
   const double add = unlinked / static_cast<double>(m_);
   for (double& v : w) v += add;
   return w;
+}
+
+void TransitionTensors::ApplyOPanel(const la::DenseMatrix& x,
+                                    const la::DenseMatrix& z,
+                                    std::size_t width, la::DenseMatrix* y,
+                                    la::PanelWorkspace* ws) const {
+  TMARK_CHECK(y != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == n_ && z.rows() == m_ && y->rows() == n_);
+  TMARK_CHECK(width <= x.cols());
+  o_.ContractMode1Panel(x, z, width, y, ws);
+  // Dangling correction, column-wise: per column the per-relation terms
+  // z(k, c) * colsum accumulate in ascending k and each colsum in ascending
+  // dangling-node order — the exact ApplyO sequence. A column with
+  // z(k, c) == 0 picks up a 0 * colsum term, leaving its mass unchanged.
+  la::Vector& mass = ws->Buffer(0, width);
+  la::Vector& colsum = ws->Buffer(1, width);
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (dangling_cols_[k].empty()) continue;
+    const double* zrow = z.RowPtr(k);
+    bool any = false;
+    for (std::size_t c = 0; c < width; ++c) any |= zrow[c] != 0.0;
+    if (!any) continue;
+    for (std::size_t c = 0; c < width; ++c) colsum[c] = 0.0;
+    for (std::uint32_t j : dangling_cols_[k]) {
+      const double* xrow = x.RowPtr(j);
+      for (std::size_t c = 0; c < width; ++c) colsum[c] += xrow[c];
+    }
+    for (std::size_t c = 0; c < width; ++c) mass[c] += zrow[c] * colsum[c];
+  }
+  bool any_mass = false;
+  for (std::size_t c = 0; c < width; ++c) any_mass |= mass[c] != 0.0;
+  if (!any_mass) return;
+  // Columns with zero mass receive a + 0.0 — the value ApplyO's skip keeps.
+  for (std::size_t c = 0; c < width; ++c) {
+    mass[c] /= static_cast<double>(n_);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    double* yrow = y->RowPtr(i);
+    for (std::size_t c = 0; c < width; ++c) yrow[c] += mass[c];
+  }
+}
+
+void TransitionTensors::ApplyRPanel(const la::DenseMatrix& x,
+                                    const la::DenseMatrix& y,
+                                    std::size_t width, la::DenseMatrix* w,
+                                    la::PanelWorkspace* ws) const {
+  TMARK_CHECK(w != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == n_ && y.rows() == n_ && w->rows() == m_);
+  TMARK_CHECK(width <= x.cols());
+  r_.ContractMode3Panel(x, y, width, w, ws);
+  // Dangling-fiber correction per column, same formula as ApplyR:
+  // add = (Sum(x) * Sum(y) - linked) / m, applied to every w entry.
+  la::Vector& add = ws->Buffer(0, width);
+  linked_mask_.BilinearPanel(x, y, width, add.data(), ws);
+  la::Vector& sumx = ws->Buffer(1, width);
+  la::Vector& sumy = ws->Buffer(2, width);
+  la::LeadingColumnSums(x, width, &sumx);
+  la::LeadingColumnSums(y, width, &sumy);
+  for (std::size_t c = 0; c < width; ++c) {
+    add[c] = (sumx[c] * sumy[c] - add[c]) / static_cast<double>(m_);
+  }
+  for (std::size_t k = 0; k < m_; ++k) {
+    double* wrow = w->RowPtr(k);
+    for (std::size_t c = 0; c < width; ++c) wrow[c] += add[c];
+  }
 }
 
 double TransitionTensors::OEntry(std::size_t i, std::size_t j,

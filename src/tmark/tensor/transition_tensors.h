@@ -43,6 +43,20 @@ class TransitionTensors {
   /// y = x; the two-argument form also supports the general bilinear case.
   la::Vector ApplyR(const la::Vector& x, const la::Vector& y) const;
 
+  // Panel forms (la/panel.h): one structure pass for all leading `width`
+  // columns, including the implicit dangling corrections column-wise;
+  // bit-identical per column to ApplyO / ApplyR.
+
+  /// y(:, c) = O x1 x(:, c) x3 z(:, c) for c in [0, width).
+  void ApplyOPanel(const la::DenseMatrix& x, const la::DenseMatrix& z,
+                   std::size_t width, la::DenseMatrix* y,
+                   la::PanelWorkspace* ws) const;
+
+  /// w(:, c) = R x1 x(:, c) x2 y(:, c) for c in [0, width).
+  void ApplyRPanel(const la::DenseMatrix& x, const la::DenseMatrix& y,
+                   std::size_t width, la::DenseMatrix* w,
+                   la::PanelWorkspace* ws) const;
+
   /// Entry O[i,j,k] including the implicit dangling value (1/n when column
   /// (j,k) has no links). Intended for tests and the worked example.
   double OEntry(std::size_t i, std::size_t j, std::size_t k) const;

@@ -191,21 +191,5 @@ TEST(ModelIoTest, FileParseErrorsCarryPathContext) {
   std::remove(path.c_str());
 }
 
-TEST(ModelIoTest, ThrowingShimsUnwrapOrThrowStatusError) {
-  const hin::Hin hin = datasets::MakePaperExample();
-  TMarkClassifier clf;
-  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
-  std::stringstream ss;
-  SaveTMarkModel(clf, ss);
-  EXPECT_NO_THROW({
-    const TMarkClassifier back = LoadTMarkModelOrThrow(ss);
-    (void)back;
-  });
-  std::stringstream bad("junk");
-  EXPECT_THROW(LoadTMarkModelOrThrow(bad), StatusError);
-  EXPECT_THROW(LoadTMarkModelFromFileOrThrow("/nonexistent/model.tmm"),
-               StatusError);
-}
-
 }  // namespace
 }  // namespace tmark::core

@@ -173,19 +173,5 @@ TEST(HinIoTest, FileParseErrorsCarryPathContext) {
   std::remove(path.c_str());
 }
 
-TEST(HinIoTest, ThrowingShimsUnwrapOrThrowStatusError) {
-  const Hin hin = datasets::MakePaperExample();
-  std::stringstream ss;
-  SaveHin(hin, ss);
-  EXPECT_NO_THROW({
-    const Hin back = LoadHinOrThrow(ss);
-    (void)back;
-  });
-  std::stringstream bad("junk");
-  EXPECT_THROW(LoadHinOrThrow(bad), StatusError);
-  EXPECT_THROW(LoadHinFromFileOrThrow("/nonexistent/path/x.hin"),
-               StatusError);
-}
-
 }  // namespace
 }  // namespace tmark::hin

@@ -50,7 +50,9 @@ class ObsIntegrationTest : public ::testing::Test {
 
 TEST_F(ObsIntegrationTest, FitEmitsOneSpanPerClassWithMatchingResiduals) {
   const hin::Hin hin = datasets::MakePaperExample();
-  core::TMarkClassifier clf;
+  core::TMarkConfig config;
+  config.fit_mode = core::FitMode::kPerClass;
+  core::TMarkClassifier clf(config);
   clf.Fit(hin, datasets::PaperExampleLabeledNodes());
   const auto& traces = clf.Traces();
   ASSERT_EQ(traces.size(), hin.num_classes());
@@ -127,7 +129,9 @@ TEST_F(ObsIntegrationTest, ResidualSeriesMatchTracesExactly) {
 
 TEST_F(ObsIntegrationTest, PerPhaseTimingHistogramsArePopulated) {
   const hin::Hin hin = datasets::MakePaperExample();
-  core::TMarkClassifier clf;
+  core::TMarkConfig config;
+  config.fit_mode = core::FitMode::kPerClass;
+  core::TMarkClassifier clf(config);
   clf.Fit(hin, datasets::PaperExampleLabeledNodes());
   const auto& traces = clf.Traces();
 
@@ -162,6 +166,70 @@ TEST_F(ObsIntegrationTest, PerPhaseTimingHistogramsArePopulated) {
       FindHistogram(snap, "tmark.fit.class_ms");
   ASSERT_NE(per_class, nullptr);
   EXPECT_EQ(per_class->count, traces.size());
+}
+
+TEST_F(ObsIntegrationTest, BatchedFitEmitsPanelSpanAndSharedPhaseTimers) {
+  const hin::Hin hin = datasets::MakePaperExample();
+  core::TMarkClassifier clf;  // default engine is batched
+  clf.Fit(hin, datasets::PaperExampleLabeledNodes());
+  const auto& traces = clf.Traces();
+
+  const std::vector<obs::SpanNode> roots =
+      obs::Tracer::Instance().TakeFinished();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::SpanNode& fit = roots[0];
+  EXPECT_EQ(fit.name, "tmark.fit");
+  ASSERT_NE(FindField(fit, "fit_mode"), nullptr);
+  EXPECT_EQ(*FindField(fit, "fit_mode"), "batched");
+
+  // One panel span instead of the per-class spans; its iteration count is
+  // the longest class trace (columns retire early, the panel runs on).
+  const obs::SpanNode* batched = nullptr;
+  for (const obs::SpanNode& child : fit.children) {
+    if (child.name == "tmark.fit.batched") batched = &child;
+    EXPECT_NE(child.name, "tmark.fit.class");
+  }
+  ASSERT_NE(batched, nullptr);
+  std::size_t longest = 0;
+  std::size_t total_iterations = 0;
+  for (const core::ConvergenceTrace& trace : traces) {
+    longest = std::max(longest, trace.residuals.size());
+    total_iterations += trace.residuals.size();
+  }
+  ASSERT_NE(FindField(*batched, "iterations"), nullptr);
+  EXPECT_EQ(*FindField(*batched, "iterations"), std::to_string(longest));
+
+  // Residual series and the iteration counter match the traces exactly,
+  // and the phase histograms see one observation per panel iteration.
+  const obs::MetricsSnapshot snap = obs::Registry::Instance().Snapshot();
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    const std::string name = "tmark.fit.residual.c" + std::to_string(c);
+    const auto it =
+        std::find_if(snap.series.begin(), snap.series.end(),
+                     [&name](const obs::SeriesSnapshot& s) {
+                       return s.name == name;
+                     });
+    ASSERT_NE(it, snap.series.end()) << "missing series " << name;
+    ASSERT_EQ(it->values.size(), traces[c].residuals.size());
+    for (std::size_t t = 0; t < it->values.size(); ++t) {
+      EXPECT_DOUBLE_EQ(it->values[t], traces[c].residuals[t]);
+    }
+  }
+  const auto counter_it =
+      std::find_if(snap.counters.begin(), snap.counters.end(),
+                   [](const obs::CounterSnapshot& c) {
+                     return c.name == "tmark.fit.iterations";
+                   });
+  ASSERT_NE(counter_it, snap.counters.end());
+  EXPECT_EQ(counter_it->value,
+            static_cast<std::int64_t>(total_iterations));
+  for (const char* name :
+       {"tmark.fit.phase.tensor_product_ms", "tmark.fit.phase.feature_walk_ms",
+        "tmark.fit.phase.z_update_ms"}) {
+    const obs::HistogramSnapshot* h = FindHistogram(snap, name);
+    ASSERT_NE(h, nullptr) << "missing histogram " << name;
+    EXPECT_EQ(h->count, longest) << name;
+  }
 }
 
 TEST_F(ObsIntegrationTest, DisabledObsLeavesFitSilent) {

@@ -1,0 +1,171 @@
+// Golden bit-identity tests for the batched fit engine: a batched Fit must
+// equal the per-class Fit (which parallel_fit_test.cc already pins to the
+// seed serial results) bit for bit — exact ==, no tolerance — across every
+// similarity kernel, thread counts {1, 4}, warm starts, ICA on/off, and
+// iteration-capped (unconverged) runs.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/hin/similarity_kernel.h"
+#include "tmark/parallel/thread_pool.h"
+
+namespace tmark {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::SetNumThreads(0); }
+};
+
+hin::Hin MakeTestHin() {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 220;
+  config.class_names = {"A", "B", "C", "D"};
+  config.relations = {{"r0", 0.85, 0.0, 3.0, {}, false},
+                      {"r1", 0.6, 0.2, 2.0, {}, true}};
+  config.seed = 99;
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> EveryThird(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  return labeled;
+}
+
+struct FitOutputs {
+  la::DenseMatrix confidences;
+  la::DenseMatrix link_importance;
+  std::vector<core::ConvergenceTrace> traces;
+  std::vector<std::vector<std::size_t>> rankings;
+};
+
+FitOutputs RunFit(const hin::Hin& hin, const std::vector<std::size_t>& labeled,
+                  const core::TMarkConfig& config, int threads,
+                  bool warm_refit) {
+  parallel::SetNumThreads(threads);
+  core::TMarkClassifier clf(config);
+  clf.Fit(hin, labeled);
+  if (warm_refit) clf.Refit(hin, labeled);
+  FitOutputs out{clf.Confidences(), clf.LinkImportance(), clf.Traces(), {}};
+  for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+    out.rankings.push_back(clf.RankRelationsForClass(c));
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const FitOutputs& golden, const FitOutputs& other) {
+  EXPECT_DOUBLE_EQ(golden.confidences.MaxAbsDiff(other.confidences), 0.0);
+  EXPECT_DOUBLE_EQ(golden.link_importance.MaxAbsDiff(other.link_importance),
+                   0.0);
+  EXPECT_EQ(golden.rankings, other.rankings);
+  ASSERT_EQ(golden.traces.size(), other.traces.size());
+  for (std::size_t c = 0; c < golden.traces.size(); ++c) {
+    const core::ConvergenceTrace& g = golden.traces[c];
+    const core::ConvergenceTrace& o = other.traces[c];
+    EXPECT_EQ(g.class_index, o.class_index);
+    EXPECT_EQ(g.converged, o.converged);
+    ASSERT_EQ(g.residuals.size(), o.residuals.size()) << "class " << c;
+    for (std::size_t t = 0; t < g.residuals.size(); ++t) {
+      EXPECT_EQ(g.residuals[t], o.residuals[t])  // exact, not approximate
+          << "class " << c << " iteration " << t;
+    }
+  }
+}
+
+TEST(BatchedFitTest, MatchesPerClassAcrossKernelsAndThreadCounts) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  for (const hin::SimilarityKernel kernel :
+       {hin::SimilarityKernel::kCosine, hin::SimilarityKernel::kBinaryCosine,
+        hin::SimilarityKernel::kTfIdfCosine,
+        hin::SimilarityKernel::kDotProduct}) {
+    SCOPED_TRACE("kernel " + hin::ToString(kernel));
+    core::TMarkConfig per_class;
+    per_class.similarity = kernel;
+    per_class.fit_mode = core::FitMode::kPerClass;
+    core::TMarkConfig batched = per_class;
+    batched.fit_mode = core::FitMode::kBatched;
+
+    const FitOutputs golden = RunFit(hin, labeled, per_class, 1, false);
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads, false));
+    }
+    // The per-class engine at 4 threads must also still hit the golden
+    // serial results (regression guard alongside parallel_fit_test.cc).
+    ExpectBitIdentical(golden, RunFit(hin, labeled, per_class, 4, false));
+  }
+}
+
+TEST(BatchedFitTest, MatchesPerClassWithIcaDisabled) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig per_class;
+  per_class.ica_update = false;  // TensorRrCc mode: no restart refresh.
+  per_class.fit_mode = core::FitMode::kPerClass;
+  core::TMarkConfig batched = per_class;
+  batched.fit_mode = core::FitMode::kBatched;
+
+  const FitOutputs golden = RunFit(hin, labeled, per_class, 1, false);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads, false));
+  }
+}
+
+TEST(BatchedFitTest, WarmStartRefitIsBitIdentical) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig per_class;
+  per_class.fit_mode = core::FitMode::kPerClass;
+  core::TMarkConfig batched = per_class;
+  batched.fit_mode = core::FitMode::kBatched;
+
+  // Refit seeds every chain from the previous stationary panel; warm traces
+  // are short (a handful of iterations), which exercises the early-retire
+  // compaction path of the batched engine.
+  const FitOutputs golden = RunFit(hin, labeled, per_class, 1, true);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads, true));
+  }
+}
+
+TEST(BatchedFitTest, IterationCappedUnconvergedRunsMatch) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  // Cap the iterations so no class converges: every column survives to the
+  // end of the panel loop and is written out by the post-loop path.
+  core::TMarkConfig per_class;
+  per_class.max_iterations = 4;
+  per_class.epsilon = 1e-300;
+  per_class.fit_mode = core::FitMode::kPerClass;
+  core::TMarkConfig batched = per_class;
+  batched.fit_mode = core::FitMode::kBatched;
+
+  const FitOutputs golden = RunFit(hin, labeled, per_class, 1, false);
+  for (const core::ConvergenceTrace& trace : golden.traces) {
+    EXPECT_FALSE(trace.converged);
+    EXPECT_EQ(trace.residuals.size(), 4u);
+  }
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads, false));
+  }
+}
+
+}  // namespace
+}  // namespace tmark

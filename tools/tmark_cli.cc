@@ -108,8 +108,10 @@ int Usage() {
                "  info     --hin FILE\n"
                "  classify --hin FILE [--method NAME] [--train-fraction F]\n"
                "           [--alpha A] [--gamma G] [--seed S]\n"
+               "           [--fit-mode per_class|batched]\n"
                "  rank     --hin FILE [--train-fraction F] [--alpha A]\n"
                "           [--gamma G] [--top K] [--seed S]\n"
+               "           [--fit-mode per_class|batched]\n"
                "           [--save-model FILE | --model FILE]\n"
                "global flags (any command):\n"
                "  --log-level debug|info|warn|error|off\n"
@@ -193,6 +195,19 @@ struct ObsFlags {
   }
 };
 
+/// Parses --fit-mode (default: the batched engine — both engines are
+/// bit-identical, see docs/PERFORMANCE.md).
+core::FitMode GetFitMode(const Args& args) {
+  const std::string raw = args.Get("fit-mode", "");
+  if (raw.empty()) return core::FitMode::kBatched;
+  core::FitMode mode;
+  if (!core::TryParseFitMode(raw, &mode)) {
+    throw FlagError("invalid value '" + raw +
+                    "' for --fit-mode (expected per_class|batched)");
+  }
+  return mode;
+}
+
 /// Loads --hin through the Status boundary; the flag is required.
 Result<hin::Hin> LoadHinFlag(const Args& args) {
   const std::string path = args.Get("hin", "");
@@ -249,7 +264,8 @@ Status Classify(const Args& args) {
   }
   auto clf = baselines::TryMakeClassifier(method,
                                           args.GetDouble("alpha", 0.8),
-                                          args.GetDouble("gamma", 0.6));
+                                          args.GetDouble("gamma", 0.6),
+                                          0.7, GetFitMode(args));
   if (clf == nullptr) {
     return InvalidArgumentError("unknown method '" + method + "'");
   }
@@ -270,6 +286,7 @@ Status Rank(const Args& args) {
   core::TMarkConfig config;
   config.alpha = args.GetDouble("alpha", 0.8);
   config.gamma = args.GetDouble("gamma", 0.6);
+  config.fit_mode = GetFitMode(args);
   core::TMarkClassifier clf(config);
   if (!model_path.empty()) {
     TMARK_ASSIGN_OR_RETURN(clf, core::LoadTMarkModelFromFile(model_path));
