@@ -24,6 +24,7 @@
 
 #include "tmark/common/string_util.h"
 #include "tmark/eval/experiment.h"
+#include "tmark/la/microkernel.h"
 #include "tmark/eval/table_printer.h"
 #include "tmark/hin/hin.h"
 #include "tmark/obs/json_export.h"
@@ -80,6 +81,12 @@ class BenchObsSession {
     writer.BeginObject();
     writer.Key("schema").Value("tmark-bench-v1");
     writer.Key("binary").Value(binary_);
+    // Effective compile flags (from the build system) + the SIMD pragma
+    // flavor, so committed dumps say what build produced them.
+#ifdef TMARK_BUILD_FLAGS
+    writer.Key("build_flags").Value(TMARK_BUILD_FLAGS);
+#endif
+    writer.Key("simd").Value(la::mk::SimdAnnotation());
     writer.Key("tables").BeginArray();
     for (const RecordedTable& table : tables_) {
       writer.BeginObject();

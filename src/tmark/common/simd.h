@@ -1,0 +1,35 @@
+#ifndef TMARK_COMMON_SIMD_H_
+#define TMARK_COMMON_SIMD_H_
+
+// Portable vectorization annotation for the register-blocked micro-kernels
+// (la/microkernel.h).
+//
+// TMARK_SIMD marks the loop that follows as having independent iterations —
+// no loop-carried dependence, no aliasing between the streamed operands —
+// so the compiler may vectorize it without emitting a runtime dependence
+// check. It maps to the strongest hint each supported compiler honors
+// without extra build flags:
+//
+//   clang  ->  #pragma clang loop vectorize(enable) interleave(enable)
+//   GCC    ->  #pragma GCC ivdep
+//   other  ->  (nothing; the loop still compiles, just unannotated)
+//
+// The annotation never changes results: the micro-kernels block across
+// *columns* of a panel, and columns are independent per-class chains, so any
+// vector width executes each column's scalar operation sequence unchanged
+// (the bit-identity argument in docs/PERFORMANCE.md). Deliberately NOT
+// `#pragma omp simd`: that spelling warns under -Wall without -fopenmp-simd
+// and would tie the build to an OpenMP flag for no extra effect.
+
+#if defined(__clang__)
+#define TMARK_SIMD _Pragma("clang loop vectorize(enable) interleave(enable)")
+#define TMARK_SIMD_FLAVOR "clang-loop-vectorize"
+#elif defined(__GNUC__)
+#define TMARK_SIMD _Pragma("GCC ivdep")
+#define TMARK_SIMD_FLAVOR "gcc-ivdep"
+#else
+#define TMARK_SIMD
+#define TMARK_SIMD_FLAVOR "none"
+#endif
+
+#endif  // TMARK_COMMON_SIMD_H_

@@ -166,29 +166,37 @@ void TMarkClassifier::FitPerClass(const hin::Hin& hin,
       z = prev_z.Col(c);
     }
 
+    // Iteration-loop state, hoisted so steady-state iterations reuse warm
+    // buffers instead of allocating (swap replaces the old move-from-fresh).
+    la::PanelWorkspace ws;
+    la::Vector x_next;
+    la::Vector z_next;
+    la::Vector wx;
+    std::vector<bool> ica_known;
+
     ConvergenceTrace trace;
     trace.class_index = c;
+    trace.residuals.reserve(static_cast<std::size_t>(config_.max_iterations));
     for (int t = 1; t <= config_.max_iterations; ++t) {
       if (config_.ica_update && t > 2) {
         obs::ScopedTimer phase("tmark.fit.phase.ica_update_ms", metrics);
-        l = hin::UpdatedLabelVector(hin, labeled, c, x, config_.lambda);
+        hin::UpdatedLabelVectorInto(hin, labeled, c, x, config_.lambda, &l,
+                                    &ica_known);
       }
-      la::Vector x_next;
       {
         obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms", metrics);
-        x_next = tensors.ApplyO(x, z);
+        tensors.ApplyOInto(x, z, &x_next);
         la::Scale(rel_weight, &x_next);
       }
       {
         obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms", metrics);
-        la::Vector wx = similarity.Apply(x);
+        similarity.ApplyInto(x, &ws, &wx);
         la::Axpy(beta, wx, &x_next);
         la::Axpy(alpha, l, &x_next);
       }
-      la::Vector z_next;
       {
         obs::ScopedTimer phase("tmark.fit.phase.z_update_ms", metrics);
-        z_next = tensors.ApplyR(x_next, x_next);
+        tensors.ApplyRInto(x_next, x_next, &z_next);
         // Simplex re-projection guards against the cubic amplification of
         // rounding error through the z = (sum x)^2 coupling (see MultiRank).
         la::NormalizeL1(&x_next);
@@ -200,8 +208,8 @@ void TMarkClassifier::FitPerClass(const hin::Hin& hin,
       trace.residuals.push_back(rho);
       obs::IncrCounter("tmark.fit.iterations");
       obs::AppendSeries(residual_series, rho);
-      x = std::move(x_next);
-      z = std::move(z_next);
+      std::swap(x, x_next);
+      std::swap(z, z_next);
       if (rho < config_.epsilon) {
         trace.converged = true;
         break;
@@ -254,6 +262,8 @@ void TMarkClassifier::FitBatched(const hin::Hin& hin,
   for (std::size_t c = 0; c < q; ++c) {
     cls[c] = c;
     series_names[c] = "tmark.fit.residual.c" + std::to_string(c);
+    traces_[c].residuals.reserve(
+        static_cast<std::size_t>(config_.max_iterations));
     const la::Vector l = hin::InitialLabelVector(hin, labeled, c);
     la::SetColumn(l, c, &l_panel);
     if (!warm_start) la::SetColumn(l, c, &x_panel);
@@ -272,39 +282,53 @@ void TMarkClassifier::FitBatched(const hin::Hin& hin,
   std::size_t iterations = 0;
   la::Vector rho_x;
   la::Vector rho_z;
+  la::Vector x_sums;
+  la::Vector z_sums;
+  std::vector<bool> ica_known;
+  la::Vector ica_l;
   for (int t = 1; t <= config_.max_iterations && width > 0; ++t) {
     if (config_.ica_update && t > 2) {
       obs::ScopedTimer phase("tmark.fit.phase.ica_update_ms", metrics);
       // The ICA refresh is inherently per-class; slots are independent and
-      // write disjoint columns of L.
-      parallel::ParallelFor(width, /*grain=*/1, [&](std::size_t s) {
+      // write disjoint columns of L. Serial over slots so the l/known
+      // scratch can be reused (the refresh is a tiny fraction of an
+      // iteration; per-slot cost is O(n)).
+      for (std::size_t s = 0; s < width; ++s) {
         la::ExtractColumn(x_panel, s, &ica_cols[s]);
-        const la::Vector l = hin::UpdatedLabelVector(
-            hin, labeled, cls[s], ica_cols[s], config_.lambda);
-        la::SetColumn(l, s, &l_panel);
-      });
+        hin::UpdatedLabelVectorInto(hin, labeled, cls[s], ica_cols[s],
+                                    config_.lambda, &ica_l, &ica_known);
+        la::SetColumn(ica_l, s, &l_panel);
+      }
     }
     {
       obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms", metrics);
       tensors.ApplyOPanel(x_panel, z_panel, width, &x_next, &ws);
-      la::ScaleLeadingColumns(rel_weight, width, &x_next);
     }
     {
       obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms", metrics);
       similarity.ApplyPanel(x_panel, width, &wx_panel, &ws);
-      la::AxpyLeadingColumns(beta, wx_panel, width, &x_next);
-      la::AxpyLeadingColumns(alpha, l_panel, width, &x_next);
+      // Fused combine: x_next = rel*Ox + beta*Wx + alpha*L plus its column
+      // sums in one panel sweep (replaces one scale, two axpys, and the
+      // sum pass of the x normalization; the rel scale now lands in this
+      // phase's timer instead of tensor_product's).
+      la::FusedCombineColumns(rel_weight, beta, wx_panel, alpha, l_panel,
+                              width, &x_next, &x_sums);
     }
     {
       obs::ScopedTimer phase("tmark.fit.phase.z_update_ms", metrics);
-      tensors.ApplyRPanel(x_next, x_next, width, &z_next, &ws);
+      // ApplyRPanel consumes the unnormalized x_next (per-class order);
+      // its column sums are handed in, and z_next's come back from the
+      // final correction sweep — no extra panel passes.
+      tensors.ApplyRPanel(x_next, x_next, width, &z_next, &ws, &x_sums,
+                          &x_sums, &z_sums);
       // Simplex re-projection guards against the cubic amplification of
       // rounding error through the z = (sum x)^2 coupling (see MultiRank).
-      la::NormalizeLeadingColumnsL1(width, &x_next);
-      la::NormalizeLeadingColumnsL1(width, &z_next);
+      // Fused normalize + residual: one sweep each for x and z.
+      la::FusedNormalizeDistanceColumns(&x_sums, x_panel, width, &x_next,
+                                        &rho_x);
+      la::FusedNormalizeDistanceColumns(&z_sums, z_panel, width, &z_next,
+                                        &rho_z);
     }
-    la::LeadingColumnL1Distances(x_next, x_panel, width, &rho_x);
-    la::LeadingColumnL1Distances(z_next, z_panel, width, &rho_z);
     std::swap(x_panel, x_next);
     std::swap(z_panel, z_next);
     ++iterations;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tmark/common/check.h"
+#include "tmark/la/microkernel.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/parallel_for.h"
@@ -19,10 +20,15 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
   FeatureSimilarity fs;
   fs.kernel_ = kernel;
 
-  // Kernel-specific transform G such that C = G G^T.
-  la::SparseMatrix transformed = features;
+  // Kernel-specific transform G such that C = G G^T. Only the transforming
+  // kernels materialize a copy of the feature matrix; kCosine/kDotProduct
+  // read `features` directly (the row-scale below makes the one copy).
+  la::SparseMatrix transformed;
+  const la::SparseMatrix* source = &features;
   if (kernel == SimilarityKernel::kBinaryCosine) {
+    transformed = features;
     for (double& v : transformed.mutable_values()) v = v > 0.0 ? 1.0 : 0.0;
+    source = &transformed;
   } else if (kernel == SimilarityKernel::kTfIdfCosine) {
     // idf_j = log(1 + n / df_j) where df_j counts rows containing word j.
     la::Vector df(features.cols(), 0.0);
@@ -35,7 +41,8 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
         idf[j] = std::log(1.0 + static_cast<double>(n) / df[j]);
       }
     }
-    transformed = transformed.ScaleColumns(idf);
+    transformed = features.ScaleColumns(idf);
+    source = &transformed;
   }
 
   // Row-L2 normalization (skipped for the raw dot-product kernel).
@@ -46,9 +53,9 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
     parallel::ParallelForRanges(
         n, /*grain=*/2048, [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            for (std::size_t p = transformed.row_ptr()[i];
-                 p < transformed.row_ptr()[i + 1]; ++p) {
-              sq[i] += transformed.values()[p] * transformed.values()[p];
+            for (std::size_t p = source->row_ptr()[i];
+                 p < source->row_ptr()[i + 1]; ++p) {
+              sq[i] += source->values()[p] * source->values()[p];
             }
           }
         });
@@ -62,11 +69,12 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
       }
     }
   }
-  fs.fhat_ = transformed.ScaleRows(inv_norm);
+  fs.fhat_ = source->ScaleRows(inv_norm);
 
-  // Column sums of C = F_hat F_hat^T: c = F_hat (F_hat^T 1).
-  la::Vector ones(n, 1.0);
-  la::Vector t = fs.fhat_.TransposeMatVec(ones);
+  // Column sums of C = F_hat F_hat^T: c = F_hat (F_hat^T 1). F_hat^T 1 is
+  // just the column sums of F_hat, computed serially in stored order — no
+  // temporary ones-vector and thread-count independent.
+  la::Vector t = fs.fhat_.ColumnSums();
   fs.col_sums_ = fs.fhat_.MatVec(t);
   // Numerical floor: nodes with features have c_ii = 1, so col sum >= 1.
   for (std::uint32_t j : fs.dangling_) fs.col_sums_[j] = 0.0;
@@ -85,22 +93,30 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
 }
 
 la::Vector FeatureSimilarity::Apply(const la::Vector& x) const {
+  la::PanelWorkspace ws;
+  la::Vector y;
+  ApplyInto(x, &ws, &y);
+  return y;
+}
+
+void FeatureSimilarity::ApplyInto(const la::Vector& x, la::PanelWorkspace* ws,
+                                  la::Vector* y) const {
   const std::size_t n = num_nodes();
-  TMARK_CHECK(x.size() == n);
-  la::Vector u(n, 0.0);
+  TMARK_CHECK(ws != nullptr && y != nullptr && x.size() == n);
+  la::Vector& u = ws->Buffer(0, n);
   for (std::size_t j = 0; j < n; ++j) {
     if (col_sums_[j] > 0.0) u[j] = x[j] / col_sums_[j];
   }
-  la::Vector t = fhat_.TransposeMatVec(u);
-  la::Vector y = fhat_.MatVec(t);
+  la::Vector& t = ws->Buffer(1, fhat_.cols());
+  fhat_.TransposeMatVecInto(u, &t, ws);
+  fhat_.MatVecInto(t, y);
   // Dangling nodes spread their mass uniformly.
   double dangling_mass = 0.0;
   for (std::uint32_t j : dangling_) dangling_mass += x[j];
   if (dangling_mass != 0.0) {
     const double add = dangling_mass / static_cast<double>(n);
-    for (double& v : y) v += add;
+    for (double& v : *y) v += add;
   }
-  return y;
 }
 
 void FeatureSimilarity::ApplyPanel(const la::DenseMatrix& x,
@@ -118,32 +134,27 @@ void FeatureSimilarity::ApplyPanel(const la::DenseMatrix& x,
     const double* xrow = x.RowPtr(j);
     double* urow = u.RowPtr(j);
     if (col_sums_[j] > 0.0) {
-      const double cs = col_sums_[j];
-      for (std::size_t c = 0; c < width; ++c) urow[c] = xrow[c] / cs;
+      la::mk::DivScalar(urow, xrow, col_sums_[j], width);
     } else {
-      for (std::size_t c = 0; c < width; ++c) urow[c] = 0.0;
+      la::mk::Zero(urow, width);
     }
   }
   la::DenseMatrix& t = ws->Panel(1, fhat_.cols(), stride);
   fhat_.TransposeMatMulPanel(u, width, &t, ws);
   fhat_.MatMulPanel(t, width, y);
   la::Vector& mass = ws->Buffer(0, width);
-  bool any = false;
   for (std::uint32_t j : dangling_) {
-    const double* xrow = x.RowPtr(j);
-    for (std::size_t c = 0; c < width; ++c) {
-      mass[c] += xrow[c];
-      any |= mass[c] != 0.0;
-    }
+    la::mk::Add(mass.data(), x.RowPtr(j), width);
   }
-  if (!any) return;
-  // A zero-mass column receives + 0.0, matching Apply's skip.
+  // Apply tests the fully accumulated dangling mass; the same end-of-sum
+  // check here keeps each column's control flow identical to the
+  // single-vector path. A zero-mass column receives + 0.0 either way.
+  if (!la::mk::AnyNonZero(mass.data(), width)) return;
   for (std::size_t c = 0; c < width; ++c) {
     mass[c] /= static_cast<double>(n);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    double* yrow = y->RowPtr(i);
-    for (std::size_t c = 0; c < width; ++c) yrow[c] += mass[c];
+    la::mk::Add(y->RowPtr(i), mass.data(), width);
   }
 }
 

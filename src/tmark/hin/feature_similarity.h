@@ -40,6 +40,11 @@ class FeatureSimilarity {
   /// vectors.
   la::Vector Apply(const la::Vector& x) const;
 
+  /// Apply into a caller-owned vector, drawing the u/t intermediates and
+  /// scatter partials from `ws` (warm calls allocate nothing).
+  void ApplyInto(const la::Vector& x, la::PanelWorkspace* ws,
+                 la::Vector* y) const;
+
   /// Panel form (la/panel.h): y(:, c) = W x(:, c) for c in [0, width),
   /// streaming F_hat's structure once for all columns; bit-identical per
   /// column to Apply. `ws` supplies the n x q and d x q scratch panels and

@@ -31,12 +31,25 @@ la::Vector UpdatedLabelVector(const Hin& hin,
                               const std::vector<std::size_t>& labeled,
                               std::size_t c, const la::Vector& x,
                               double lambda) {
+  la::Vector l;
+  std::vector<bool> known;
+  UpdatedLabelVectorInto(hin, labeled, c, x, lambda, &l, &known);
+  return l;
+}
+
+void UpdatedLabelVectorInto(const Hin& hin,
+                            const std::vector<std::size_t>& labeled,
+                            std::size_t c, const la::Vector& x, double lambda,
+                            la::Vector* l_out, std::vector<bool>* known_out) {
+  TMARK_CHECK(l_out != nullptr && known_out != nullptr);
   TMARK_CHECK(c < hin.num_classes());
   TMARK_CHECK(x.size() == hin.num_nodes());
   TMARK_CHECK_MSG(lambda >= 0.0 && lambda <= 1.0,
                   "lambda must lie in [0, 1]");
-  la::Vector l(hin.num_nodes(), 0.0);
-  std::vector<bool> known(hin.num_nodes(), false);
+  la::Vector& l = *l_out;
+  std::vector<bool>& known = *known_out;
+  l.assign(hin.num_nodes(), 0.0);
+  known.assign(hin.num_nodes(), false);
   for (std::size_t node : labeled) known[node] = true;
   std::size_t count = 0;
   for (std::size_t node : labeled) {
@@ -68,7 +81,6 @@ la::Vector UpdatedLabelVector(const Hin& hin,
   for (double& v : l) {
     if (v > 0.0) v = u;
   }
-  return l;
 }
 
 }  // namespace tmark::hin

@@ -28,6 +28,15 @@ la::Vector UpdatedLabelVector(const Hin& hin,
                               std::size_t c, const la::Vector& x,
                               double lambda);
 
+/// UpdatedLabelVector into a caller-owned vector. `known` is caller-owned
+/// scratch for the labeled-node mask; both are resized as needed and fully
+/// overwritten, so warm calls (the ICA refresh inside the fit loop)
+/// allocate nothing.
+void UpdatedLabelVectorInto(const Hin& hin,
+                            const std::vector<std::size_t>& labeled,
+                            std::size_t c, const la::Vector& x, double lambda,
+                            la::Vector* l, std::vector<bool>* known);
+
 }  // namespace tmark::hin
 
 #endif  // TMARK_HIN_LABEL_VECTOR_H_

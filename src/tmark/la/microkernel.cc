@@ -1,0 +1,7 @@
+#include "tmark/la/microkernel.h"
+
+namespace tmark::la::mk {
+
+const char* SimdAnnotation() { return TMARK_SIMD_FLAVOR; }
+
+}  // namespace tmark::la::mk

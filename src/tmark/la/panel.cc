@@ -1,8 +1,7 @@
 #include "tmark/la/panel.h"
 
-#include <cmath>
-
 #include "tmark/common/check.h"
+#include "tmark/la/microkernel.h"
 
 namespace tmark::la {
 
@@ -32,8 +31,7 @@ DenseMatrix& PanelWorkspace::Panel(std::size_t slot, std::size_t rows,
 void ScaleLeadingColumns(double alpha, std::size_t width, DenseMatrix* panel) {
   TMARK_CHECK(panel != nullptr && width <= panel->cols());
   for (std::size_t r = 0; r < panel->rows(); ++r) {
-    double* row = panel->RowPtr(r);
-    for (std::size_t c = 0; c < width; ++c) row[c] *= alpha;
+    mk::Scale(panel->RowPtr(r), alpha, width);
   }
 }
 
@@ -42,9 +40,7 @@ void AxpyLeadingColumns(double alpha, const DenseMatrix& x, std::size_t width,
   TMARK_CHECK(y != nullptr && x.rows() == y->rows() && x.cols() == y->cols());
   TMARK_CHECK(width <= y->cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double* xrow = x.RowPtr(r);
-    double* yrow = y->RowPtr(r);
-    for (std::size_t c = 0; c < width; ++c) yrow[c] += alpha * xrow[c];
+    mk::Axpy(y->RowPtr(r), alpha, x.RowPtr(r), width);
   }
 }
 
@@ -58,8 +54,7 @@ void NormalizeLeadingColumnsL1(std::size_t width, DenseMatrix* panel) {
   }
   for (std::size_t c = 0; c < width; ++c) sums[c] = 1.0 / sums[c];
   for (std::size_t r = 0; r < panel->rows(); ++r) {
-    double* row = panel->RowPtr(r);
-    for (std::size_t c = 0; c < width; ++c) row[c] *= sums[c];
+    mk::Mul(panel->RowPtr(r), sums.data(), width);
   }
 }
 
@@ -71,11 +66,7 @@ void LeadingColumnL1Distances(const DenseMatrix& a, const DenseMatrix& b,
   // Row-major sweep accumulates each column's |a - b| in ascending row
   // order, exactly la::L1Distance's element order per column.
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* arow = a.RowPtr(r);
-    const double* brow = b.RowPtr(r);
-    for (std::size_t c = 0; c < width; ++c) {
-      (*out)[c] += std::abs(arow[c] - brow[c]);
-    }
+    mk::AccumAbsDiff(out->data(), a.RowPtr(r), b.RowPtr(r), width);
   }
 }
 
@@ -84,8 +75,7 @@ void LeadingColumnSums(const DenseMatrix& panel, std::size_t width,
   TMARK_CHECK(out != nullptr && width <= panel.cols());
   out->assign(width, 0.0);
   for (std::size_t r = 0; r < panel.rows(); ++r) {
-    const double* row = panel.RowPtr(r);
-    for (std::size_t c = 0; c < width; ++c) (*out)[c] += row[c];
+    mk::Add(out->data(), panel.RowPtr(r), width);
   }
 }
 
@@ -106,6 +96,40 @@ void MoveColumn(std::size_t from, std::size_t to, DenseMatrix* panel) {
   if (from == to) return;
   for (std::size_t r = 0; r < panel->rows(); ++r) {
     panel->At(r, to) = panel->At(r, from);
+  }
+}
+
+void FusedCombineColumns(double rel, double beta, const DenseMatrix& wx,
+                         double alpha, const DenseMatrix& l, std::size_t width,
+                         DenseMatrix* x, Vector* sums) {
+  TMARK_CHECK(x != nullptr && sums != nullptr);
+  TMARK_CHECK(wx.rows() == x->rows() && wx.cols() == x->cols());
+  TMARK_CHECK(l.rows() == x->rows() && l.cols() == x->cols());
+  TMARK_CHECK(width <= x->cols());
+  sums->assign(width, 0.0);
+  for (std::size_t r = 0; r < x->rows(); ++r) {
+    mk::FusedCombine(x->RowPtr(r), rel, beta, wx.RowPtr(r), alpha, l.RowPtr(r),
+                     sums->data(), width);
+  }
+}
+
+void FusedNormalizeDistanceColumns(Vector* sums, const DenseMatrix& prev,
+                                   std::size_t width, DenseMatrix* panel,
+                                   Vector* out) {
+  TMARK_CHECK(sums != nullptr && panel != nullptr && out != nullptr);
+  TMARK_CHECK(sums->size() >= width && width <= panel->cols());
+  TMARK_CHECK(prev.rows() == panel->rows() && prev.cols() == panel->cols());
+  for (std::size_t c = 0; c < width; ++c) {
+    TMARK_CHECK_MSG((*sums)[c] > 0.0,
+                    "cannot L1-normalize a zero/negative-sum panel column");
+  }
+  // Consume sums: overwrite with reciprocals (exactly the multiply-by-
+  // reciprocal normalization of NormalizeLeadingColumnsL1 / la::NormalizeL1).
+  for (std::size_t c = 0; c < width; ++c) (*sums)[c] = 1.0 / (*sums)[c];
+  out->assign(width, 0.0);
+  for (std::size_t r = 0; r < panel->rows(); ++r) {
+    mk::FusedScaleAbsDiff(panel->RowPtr(r), sums->data(), prev.RowPtr(r),
+                          out->data(), width);
   }
 }
 

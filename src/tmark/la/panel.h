@@ -10,7 +10,10 @@
 // all active columns with a contiguous inner loop. Every panel kernel
 // performs, per column, exactly the floating-point operations of its
 // single-vector counterpart in the same order, so batched results are
-// bit-identical to the per-class ones (docs/PERFORMANCE.md).
+// bit-identical to the per-class ones (docs/PERFORMANCE.md). The inner
+// column runs are executed by the register-blocked SIMD micro-kernels of
+// la/microkernel.h; blocking across columns never mixes columns, so the
+// guarantee survives vectorization.
 //
 // PanelWorkspace owns the reusable scratch buffers (per-chunk partials for
 // the scatter/reduction kernels, small per-call accumulators) so a fit
@@ -87,6 +90,40 @@ void ExtractColumn(const DenseMatrix& panel, std::size_t col, Vector* out);
 
 /// panel(:, to) = panel(:, from) (the active-column compaction move).
 void MoveColumn(std::size_t from, std::size_t to, DenseMatrix* panel);
+
+// Fused per-iteration passes of the batched fit engine. Each replaces a
+// sequence of the single-purpose sweeps above with one traversal of the
+// panels, performing per column exactly the same floating-point operations
+// in the same order — so fused results are bit-identical to the unfused
+// sequence (and hence to the per-class engine).
+
+/// The fused x-combine pass:
+///
+///   x(i, c) = rel * x(i, c) + beta * wx(i, c) + alpha * l(i, c)
+///   sums[c] = sum_i x(i, c)   (accumulated in ascending row order)
+///
+/// for c in [0, width), in ONE traversal — replacing ScaleLeadingColumns +
+/// two AxpyLeadingColumns + the LeadingColumnSums pass of the subsequent L1
+/// normalization (four sweeps -> one). Per element the operation sequence
+/// is scale, +beta*wx, +alpha*l, then the sum accumulation: exactly the
+/// unfused order. `sums` is assigned (size width).
+void FusedCombineColumns(double rel, double beta, const DenseMatrix& wx,
+                         double alpha, const DenseMatrix& l, std::size_t width,
+                         DenseMatrix* x, Vector* sums);
+
+/// The fused normalize + residual pass:
+///
+///   panel(i, c) /= sums[c]        (as multiplication by the reciprocal,
+///                                  exactly NormalizeLeadingColumnsL1)
+///   out[c] = ||panel(:, c) - prev(:, c)||_1   (over normalized values)
+///
+/// in ONE traversal — replacing the NormalizeLeadingColumnsL1 apply sweep +
+/// LeadingColumnL1Distances (two sweeps -> one). Requires sums[c] > 0 for
+/// every leading column. `sums` is consumed: it is overwritten with the
+/// reciprocals. `out` is assigned (size width).
+void FusedNormalizeDistanceColumns(Vector* sums, const DenseMatrix& prev,
+                                   std::size_t width, DenseMatrix* panel,
+                                   Vector* out);
 
 }  // namespace tmark::la
 

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "tmark/common/check.h"
+#include "tmark/common/simd.h"
+#include "tmark/la/microkernel.h"
 #include "tmark/parallel/parallel_for.h"
 
 namespace tmark::la {
@@ -18,7 +20,7 @@ namespace {
 constexpr std::size_t kMatVecGrain = 1024;
 constexpr std::size_t kScatterGrain = 8192;
 constexpr std::size_t kScatterMaxChunks = 16;
-constexpr std::size_t kReduceGrain = 8192;
+constexpr std::size_t kReduceGrain = SparseMatrix::kBilinearReduceGrain;
 
 }  // namespace
 
@@ -83,8 +85,14 @@ double SparseMatrix::At(std::size_t r, std::size_t c) const {
 }
 
 Vector SparseMatrix::MatVec(const Vector& x) const {
-  TMARK_CHECK(x.size() == cols_);
-  Vector y(rows_, 0.0);
+  Vector y;
+  MatVecInto(x, &y);
+  return y;
+}
+
+void SparseMatrix::MatVecInto(const Vector& x, Vector* y) const {
+  TMARK_CHECK(y != nullptr && x.size() == cols_);
+  y->resize(rows_);
   // Disjoint output rows: row-partitioning is bit-identical to serial.
   parallel::ParallelForRanges(
       rows_, kMatVecGrain, [&](std::size_t begin, std::size_t end) {
@@ -93,43 +101,49 @@ Vector SparseMatrix::MatVec(const Vector& x) const {
           for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
             s += values_[p] * x[col_idx_[p]];
           }
-          y[r] = s;
+          (*y)[r] = s;
         }
       });
-  return y;
 }
 
 Vector SparseMatrix::TransposeMatVec(const Vector& x) const {
-  TMARK_CHECK(x.size() == rows_);
-  auto scatter = [this, &x](std::size_t begin, std::size_t end, Vector* y) {
+  PanelWorkspace ws;
+  Vector y;
+  TransposeMatVecInto(x, &y, &ws);
+  return y;
+}
+
+void SparseMatrix::TransposeMatVecInto(const Vector& x, Vector* y,
+                                       PanelWorkspace* ws) const {
+  TMARK_CHECK(y != nullptr && ws != nullptr && x.size() == rows_);
+  auto scatter = [this, &x](std::size_t begin, std::size_t end, Vector* out) {
     for (std::size_t r = begin; r < end; ++r) {
       const double xr = x[r];
       if (xr == 0.0) continue;
       for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-        (*y)[col_idx_[p]] += values_[p] * xr;
+        (*out)[col_idx_[p]] += values_[p] * xr;
       }
     }
   };
-  Vector y(cols_, 0.0);
+  y->assign(cols_, 0.0);
   const std::size_t chunks =
       parallel::NumFixedChunks(rows_, kScatterGrain, kScatterMaxChunks);
   if (chunks <= 1) {
-    scatter(0, rows_, &y);
-    return y;
+    scatter(0, rows_, y);
+    return;
   }
   // Colliding scatter targets: accumulate into ordered per-chunk partials
   // and merge them in chunk order. Chunk boundaries depend only on the row
   // count, so every thread count (serial included) sums in the same order.
-  std::vector<Vector> partials(chunks);
+  ws->PrepareChunks(chunks, cols_);
   parallel::ParallelChunks(
       rows_, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        partials[chunk].assign(cols_, 0.0);
-        scatter(begin, end, &partials[chunk]);
+        scatter(begin, end, &ws->Chunk(chunk));
       });
-  for (const Vector& partial : partials) {
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += partial[c];
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const Vector& partial = ws->Chunk(chunk);
+    for (std::size_t c = 0; c < cols_; ++c) (*y)[c] += partial[c];
   }
-  return y;
 }
 
 Vector SparseMatrix::RowSums() const {
@@ -307,13 +321,11 @@ void SparseMatrix::MatMulPanel(const DenseMatrix& x, std::size_t width,
       rows_, grain, [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
           double* yrow = y->RowPtr(r);
-          for (std::size_t c = 0; c < width; ++c) yrow[c] = 0.0;
+          mk::Zero(yrow, width);
           for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-            const double v = values_[p];
-            const double* xrow = x.RowPtr(col_idx_[p]);
             // Per column: the same v * x products added in the same
             // p-ascending order as MatVec's register accumulation.
-            for (std::size_t c = 0; c < width; ++c) yrow[c] += v * xrow[c];
+            mk::Axpy(yrow, values_[p], x.RowPtr(col_idx_[p]), width);
           }
         }
       });
@@ -330,23 +342,28 @@ void SparseMatrix::TransposeMatMulPanel(const DenseMatrix& x,
   // when every active column is zero, and a column whose entry is zero
   // receives v * 0.0 adds — which leave its non-negative partials unchanged
   // bit for bit, keeping each column identical to the single-vector kernel.
+  // Unlike the gather kernels, the scatter has no register accumulator to
+  // reuse across the inner loop — each nnz load-modify-stores a different
+  // output row — so the fixed-width block dispatch of mk::Axpy is pure
+  // per-nnz overhead here (bench_perf_kernels shows the plain annotated
+  // runtime-width loop at parity or ahead at every width). The loop performs
+  // the same adds in the same ascending-column order, so each column stays
+  // bit-identical to the single-vector kernel.
   auto scatter = [&](std::size_t begin, std::size_t end, double* buf,
                      std::size_t stride) {
     for (std::size_t r = begin; r < end; ++r) {
       const double* xrow = x.RowPtr(r);
-      bool any = false;
-      for (std::size_t c = 0; c < width; ++c) any |= xrow[c] != 0.0;
-      if (!any) continue;
+      if (!mk::AnyNonZero(xrow, width)) continue;
       for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        double* out = buf + col_idx_[p] * stride;
         const double v = values_[p];
-        double* target = buf + col_idx_[p] * stride;
-        for (std::size_t c = 0; c < width; ++c) target[c] += v * xrow[c];
+        TMARK_SIMD
+        for (std::size_t c = 0; c < width; ++c) out[c] += v * xrow[c];
       }
     }
   };
   for (std::size_t j = 0; j < cols_; ++j) {
-    double* yrow = y->RowPtr(j);
-    for (std::size_t c = 0; c < width; ++c) yrow[c] = 0.0;
+    mk::Zero(y->RowPtr(j), width);
   }
   // Same fixed chunk layout as TransposeMatVec: boundaries depend only on
   // the row count, partials merge in chunk order.
@@ -365,9 +382,7 @@ void SparseMatrix::TransposeMatMulPanel(const DenseMatrix& x,
   for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
     const double* partial = ws->Chunk(chunk).data();
     for (std::size_t j = 0; j < cols_; ++j) {
-      double* yrow = y->RowPtr(j);
-      const double* part = partial + j * width;
-      for (std::size_t c = 0; c < width; ++c) yrow[c] += part[c];
+      mk::Add(y->RowPtr(j), partial + j * width, width);
     }
   }
 }
@@ -386,16 +401,12 @@ void SparseMatrix::BilinearPanel(const DenseMatrix& x, const DenseMatrix& y,
     double* inner = acc + width;
     for (std::size_t r = begin; r < end; ++r) {
       const double* xrow = x.RowPtr(r);
-      bool any = false;
-      for (std::size_t c = 0; c < width; ++c) any |= xrow[c] != 0.0;
-      if (!any) continue;
-      for (std::size_t c = 0; c < width; ++c) inner[c] = 0.0;
+      if (!mk::AnyNonZero(xrow, width)) continue;
+      mk::Zero(inner, width);
       for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-        const double v = values_[p];
-        const double* yrow = y.RowPtr(col_idx_[p]);
-        for (std::size_t c = 0; c < width; ++c) inner[c] += v * yrow[c];
+        mk::Axpy(inner, values_[p], y.RowPtr(col_idx_[p]), width);
       }
-      for (std::size_t c = 0; c < width; ++c) acc[c] += xrow[c] * inner[c];
+      mk::MulAdd(acc, xrow, inner, width);
     }
   };
   // Same chunk layout and left-to-right fold as Bilinear's ParallelReduce.
@@ -411,10 +422,9 @@ void SparseMatrix::BilinearPanel(const DenseMatrix& x, const DenseMatrix& y,
           accumulate(begin, end, ws->Chunk(chunk).data());
         });
   }
-  for (std::size_t c = 0; c < width; ++c) out[c] = 0.0;
+  mk::Zero(out, width);
   for (std::size_t chunk = 0; chunk < buffers; ++chunk) {
-    const double* partial = ws->Chunk(chunk).data();
-    for (std::size_t c = 0; c < width; ++c) out[c] += partial[c];
+    mk::Add(out, ws->Chunk(chunk).data(), width);
   }
 }
 

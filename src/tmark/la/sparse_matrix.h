@@ -25,6 +25,12 @@ struct Triplet {
 /// sorted by column index.
 class SparseMatrix {
  public:
+  /// Row grain of the Bilinear / BilinearPanel reductions. Public so fused
+  /// multi-slice kernels (SparseTensor3::ContractMode3Panel) can reproduce
+  /// the exact per-chunk partial-sum boundaries — the fold order is part of
+  /// the bit-identity contract, not just the grouping of work.
+  static constexpr std::size_t kBilinearReduceGrain = 8192;
+
   /// Empty 0x0 matrix.
   SparseMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
 
@@ -54,8 +60,18 @@ class SparseMatrix {
   /// y = this * x. Requires x.size() == cols().
   Vector MatVec(const Vector& x) const;
 
+  /// MatVec into a caller-owned vector: y is resized to rows() and every
+  /// entry overwritten. Steady-state calls with a warm y allocate nothing.
+  void MatVecInto(const Vector& x, Vector* y) const;
+
   /// y = this^T * x. Requires x.size() == rows().
   Vector TransposeMatVec(const Vector& x) const;
+
+  /// TransposeMatVec into a caller-owned vector, with the ordered per-chunk
+  /// scatter partials drawn from `ws` instead of a fresh allocation. Same
+  /// chunk layout and merge order as TransposeMatVec — bit-identical.
+  void TransposeMatVecInto(const Vector& x, Vector* y,
+                           PanelWorkspace* ws) const;
 
   /// Sum over each row -> vector of length rows().
   Vector RowSums() const;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -38,31 +39,39 @@ inline std::size_t NumFixedChunks(std::size_t count, std::size_t grain,
 
 /// Runs body(chunk, begin, end) for `num_chunks` contiguous, near-equal
 /// slices of [0, count). With 0 or 1 chunks the body runs inline on the
-/// calling thread (the guaranteed serial path).
-inline void ParallelChunks(
-    std::size_t count, std::size_t num_chunks,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+/// calling thread (the guaranteed serial path). Templated on the body so
+/// the common single-chunk case is a direct call — no std::function
+/// allocation on the steady-state hot path; only the genuinely parallel
+/// branch type-erases for ThreadPool::Run.
+template <typename Body>
+void ParallelChunks(std::size_t count, std::size_t num_chunks, Body&& body) {
   if (count == 0 || num_chunks == 0) return;
   if (num_chunks == 1) {
-    body(0, 0, count);
+    body(std::size_t{0}, std::size_t{0}, count);
     return;
   }
   if (num_chunks > count) num_chunks = count;
-  const std::size_t base = count / num_chunks;
-  const std::size_t extra = count % num_chunks;
-  GlobalPool().Run(num_chunks, [&](std::size_t chunk) {
-    // Chunks [0, extra) carry one extra element.
+  // The pool takes a std::function; keep the callable a single trivially
+  // copyable pointer so it fits the small-buffer store and the multi-chunk
+  // dispatch allocates nothing (steady-state kernel calls stay heap-free).
+  struct Ctx {
+    std::size_t base;
+    std::size_t extra;
+    std::remove_reference_t<Body>* body;
+  } ctx{count / num_chunks, count % num_chunks, &body};
+  Ctx* const p = &ctx;
+  GlobalPool().Run(num_chunks, [p](std::size_t chunk) {
+    // Chunks [0, p->extra) carry one extra element.
     const std::size_t begin =
-        chunk * base + (chunk < extra ? chunk : extra);
-    const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
-    body(chunk, begin, end);
+        chunk * p->base + (chunk < p->extra ? chunk : p->extra);
+    const std::size_t end = begin + p->base + (chunk < p->extra ? 1 : 0);
+    (*p->body)(chunk, begin, end);
   });
 }
 
 /// Runs body(begin, end) over grain-sized ranges of [0, count).
-inline void ParallelForRanges(
-    std::size_t count, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+template <typename Body>
+void ParallelForRanges(std::size_t count, std::size_t grain, Body&& body) {
   ParallelChunks(count, NumFixedChunks(count, grain),
                  [&](std::size_t, std::size_t begin, std::size_t end) {
                    body(begin, end);
@@ -70,8 +79,8 @@ inline void ParallelForRanges(
 }
 
 /// Runs body(i) for every i in [0, count), chunked by `grain`.
-inline void ParallelFor(std::size_t count, std::size_t grain,
-                        const std::function<void(std::size_t)>& body) {
+template <typename Body>
+void ParallelFor(std::size_t count, std::size_t grain, Body&& body) {
   ParallelForRanges(count, grain,
                     [&](std::size_t begin, std::size_t end) {
                       for (std::size_t i = begin; i < end; ++i) body(i);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tmark/common/check.h"
+#include "tmark/la/microkernel.h"
 #include "tmark/parallel/parallel_for.h"
 
 namespace tmark::tensor {
@@ -63,7 +64,41 @@ const la::SparseMatrix& SparseTensor3::Slice(std::size_t k) const {
 
 la::SparseMatrix& SparseTensor3::MutableSlice(std::size_t k) {
   TMARK_CHECK(k < m_);
+  merged_.built = false;  // Slice edits invalidate the merged view.
   return slices_[k];
+}
+
+void SparseTensor3::PrepareMergedView() const {
+  if (merged_.built) return;
+  merged_.row_ptr.assign(n_ + 1, 0);
+  merged_.seg_k.clear();
+  merged_.seg_end.clear();
+  merged_.col.clear();
+  merged_.val.clear();
+  const std::size_t nnz = NumNonZeros();
+  merged_.col.reserve(nnz);
+  merged_.val.reserve(nnz);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = 0; k < m_; ++k) {
+      const la::SparseMatrix& s = slices_[k];
+      const std::size_t begin = s.row_ptr()[i];
+      const std::size_t end = s.row_ptr()[i + 1];
+      if (begin == end) continue;
+      merged_.seg_k.push_back(static_cast<std::uint32_t>(k));
+      merged_.col.insert(merged_.col.end(), s.col_idx().begin() + begin,
+                         s.col_idx().begin() + end);
+      merged_.val.insert(merged_.val.end(), s.values().begin() + begin,
+                         s.values().begin() + end);
+      merged_.seg_end.push_back(merged_.col.size());
+    }
+    merged_.row_ptr[i + 1] = merged_.seg_k.size();
+  }
+  merged_.built = true;
+}
+
+const SparseTensor3::MergedView& SparseTensor3::MergedSlices() const {
+  PrepareMergedView();
+  return merged_;
 }
 
 double SparseTensor3::At(std::size_t i, std::size_t j, std::size_t k) const {
@@ -126,8 +161,15 @@ bool SparseTensor3::IsConnectedAggregate() const {
 
 la::Vector SparseTensor3::ContractMode1(const la::Vector& x,
                                         const la::Vector& z) const {
-  TMARK_CHECK(x.size() == n_ && z.size() == m_);
-  la::Vector y(n_, 0.0);
+  la::Vector y;
+  ContractMode1Into(x, z, &y);
+  return y;
+}
+
+void SparseTensor3::ContractMode1Into(const la::Vector& x, const la::Vector& z,
+                                      la::Vector* y) const {
+  TMARK_CHECK(y != nullptr && x.size() == n_ && z.size() == m_);
+  y->assign(n_, 0.0);
   // Row-partitioned: each row accumulates its per-slice contributions in
   // ascending k, exactly the per-element order of the serial k-outer loop,
   // and rows are disjoint — bit-identical at any thread count.
@@ -142,22 +184,27 @@ la::Vector SparseTensor3::ContractMode1(const la::Vector& x,
             for (std::size_t p = s.row_ptr()[i]; p < s.row_ptr()[i + 1]; ++p) {
               acc += s.values()[p] * x[s.col_idx()[p]];
             }
-            y[i] += zk * acc;
+            (*y)[i] += zk * acc;
           }
         }
       });
-  return y;
 }
 
 la::Vector SparseTensor3::ContractMode3(const la::Vector& x,
                                         const la::Vector& y) const {
-  TMARK_CHECK(x.size() == n_ && y.size() == n_);
-  la::Vector w(m_, 0.0);
+  la::Vector w;
+  ContractMode3Into(x, y, &w);
+  return w;
+}
+
+void SparseTensor3::ContractMode3Into(const la::Vector& x, const la::Vector& y,
+                                      la::Vector* w) const {
+  TMARK_CHECK(w != nullptr && x.size() == n_ && y.size() == n_);
+  w->resize(m_);
   // One independent bilinear form per slice; w entries are disjoint.
   parallel::ParallelFor(m_, /*grain=*/1, [&](std::size_t k) {
-    w[k] = slices_[k].Bilinear(x, y);
+    (*w)[k] = slices_[k].Bilinear(x, y);
   });
-  return w;
 }
 
 void SparseTensor3::ContractMode1Panel(const la::DenseMatrix& x,
@@ -169,12 +216,25 @@ void SparseTensor3::ContractMode1Panel(const la::DenseMatrix& x,
   TMARK_CHECK(x.rows() == n_ && z.rows() == m_ && y->rows() == n_);
   TMARK_CHECK(x.cols() == y->cols() && z.cols() == x.cols());
   TMARK_CHECK(width <= x.cols());
-  // Row-partitioned like ContractMode1, with the grain shrunk by the panel
-  // width; output rows are disjoint so any partition is bit-identical. Per
-  // element y(i, c) the per-slice terms z(k, c) * acc are added in
-  // ascending k — exactly the order of the single-vector k-outer loop. A
-  // slice is skipped only when every active z entry is zero; a column with
-  // z(k, c) == 0 in a live slice adds 0 * acc, leaving it unchanged.
+  // Walks the merged row-major view: per row i, segments ascending in k —
+  // exactly the per-element order of the single-vector k-outer loop
+  // (regrouping the traversal changes which entries stream together, never
+  // the order the per-slice terms z(k, c) * acc are added to y(i, c)). A
+  // segment is skipped when every active z(k, :) entry is zero — the same
+  // predicate the hoisted per-slice check applies, precomputed once per
+  // call into a liveness table — and rows/slices without stored entries
+  // have no segments at all: the skipped contribution is z(k, c) * 0.0, and
+  // a Zero-initialized accumulator can never hold -0.0 (IEEE:
+  // +0.0 + -0.0 == +0.0 and a + (-a) == +0.0), so adding the +-0.0 term is
+  // a bit-level no-op. The merged view turns the m interleaved CSR row
+  // probes per row — what the m ~= 20-relation presets are bound by — into
+  // one contiguous stream. Output rows are disjoint so any row partition is
+  // bit-identical.
+  const MergedView& mv = MergedSlices();
+  la::Vector& z_live = ws->Buffer(0, m_);
+  for (std::size_t k = 0; k < m_; ++k) {
+    z_live[k] = la::mk::AnyNonZero(z.RowPtr(k), width) ? 1.0 : 0.0;
+  }
   const std::size_t grain =
       width > 0 ? std::max<std::size_t>(64, kContractRowGrain / width)
                 : kContractRowGrain;
@@ -186,23 +246,21 @@ void SparseTensor3::ContractMode1Panel(const la::DenseMatrix& x,
         double* acc = ws->Chunk(chunk).data();
         for (std::size_t i = begin; i < end; ++i) {
           double* yrow = y->RowPtr(i);
-          for (std::size_t c = 0; c < width; ++c) yrow[c] = 0.0;
-          for (std::size_t k = 0; k < m_; ++k) {
-            const double* zrow = z.RowPtr(k);
-            bool any = false;
-            for (std::size_t c = 0; c < width; ++c) any |= zrow[c] != 0.0;
-            if (!any) continue;
-            const la::SparseMatrix& s = slices_[k];
-            for (std::size_t c = 0; c < width; ++c) acc[c] = 0.0;
-            for (std::size_t p = s.row_ptr()[i]; p < s.row_ptr()[i + 1];
-                 ++p) {
-              const double v = s.values()[p];
-              const double* xrow = x.RowPtr(s.col_idx()[p]);
-              for (std::size_t c = 0; c < width; ++c) acc[c] += v * xrow[c];
+          la::mk::Zero(yrow, width);
+          std::size_t entry = mv.row_ptr[i] == 0 ? 0
+                                                 : mv.seg_end[mv.row_ptr[i] - 1];
+          for (std::size_t s = mv.row_ptr[i]; s < mv.row_ptr[i + 1]; ++s) {
+            const std::size_t seg_end = mv.seg_end[s];
+            const std::uint32_t k = mv.seg_k[s];
+            if (z_live[k] == 0.0) {
+              entry = seg_end;
+              continue;
             }
-            for (std::size_t c = 0; c < width; ++c) {
-              yrow[c] += zrow[c] * acc[c];
+            la::mk::Zero(acc, width);
+            for (; entry < seg_end; ++entry) {
+              la::mk::Axpy(acc, mv.val[entry], x.RowPtr(mv.col[entry]), width);
             }
+            la::mk::MulAdd(yrow, z.RowPtr(k), acc, width);
           }
         }
       });
@@ -216,11 +274,59 @@ void SparseTensor3::ContractMode3Panel(const la::DenseMatrix& x,
   TMARK_CHECK(x.rows() == n_ && y.rows() == n_ && w->rows() == m_);
   TMARK_CHECK(x.cols() == y.cols() && w->cols() == x.cols());
   TMARK_CHECK(width <= x.cols());
-  // Serial over the m slices (m is small); each bilinear form is itself
-  // row-parallel and writes its own output row, matching ContractMode3's
-  // per-slice Bilinear results column for column.
+  // All m bilinear forms in one traversal of the merged row-major view
+  // instead of m independent BilinearPanel sweeps: the x-row liveness check
+  // hoists out of the slice loop (once per row, not once per (slice, row))
+  // and the per-row segment walk replaces m interleaved CSR row probes with
+  // one contiguous stream — what the m ~= 20-relation presets are bound by.
+  // Bit-identity with the per-slice BilinearPanel results holds element for
+  // element: per slice k the partial w(k, c) accumulates over rows in the
+  // same ascending order, the chunk boundaries reuse BilinearPanel's exact
+  // reduce grain so the per-chunk partial-sum folds group identically, and
+  // rows without stored entries in a slice have no segment: the skipped
+  // xrow[c] * 0.0 term cannot change a Zero-initialized accumulator (which
+  // can never hold -0.0; IEEE +0.0 + -0.0 == +0.0 and a + (-a) == +0.0).
+  //
+  // Each chunk buffer holds [m x width partial sums | width inner scratch].
+  const MergedView& mv = MergedSlices();
+  auto accumulate = [&](std::size_t begin, std::size_t end, double* buf) {
+    double* inner = buf + m_ * width;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* xrow = x.RowPtr(i);
+      if (!la::mk::AnyNonZero(xrow, width)) continue;
+      std::size_t entry = mv.row_ptr[i] == 0 ? 0
+                                             : mv.seg_end[mv.row_ptr[i] - 1];
+      for (std::size_t s = mv.row_ptr[i]; s < mv.row_ptr[i + 1]; ++s) {
+        const std::size_t seg_end = mv.seg_end[s];
+        la::mk::Zero(inner, width);
+        for (; entry < seg_end; ++entry) {
+          la::mk::Axpy(inner, mv.val[entry], y.RowPtr(mv.col[entry]), width);
+        }
+        la::mk::MulAdd(buf + mv.seg_k[s] * width, xrow, inner, width);
+      }
+    }
+  };
+  const std::size_t chunks =
+      parallel::NumFixedChunks(n_, la::SparseMatrix::kBilinearReduceGrain);
+  const std::size_t buffers = chunks == 0 ? 1 : chunks;
+  ws->PrepareChunks(buffers, m_ * width + width);
+  if (chunks <= 1) {
+    if (n_ > 0) accumulate(0, n_, ws->Chunk(0).data());
+  } else {
+    parallel::ParallelChunks(
+        n_, chunks,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          accumulate(begin, end, ws->Chunk(chunk).data());
+        });
+  }
   for (std::size_t k = 0; k < m_; ++k) {
-    slices_[k].BilinearPanel(x, y, width, w->RowPtr(k), ws);
+    la::mk::Zero(w->RowPtr(k), width);
+  }
+  for (std::size_t chunk = 0; chunk < buffers; ++chunk) {
+    const double* partial = ws->Chunk(chunk).data();
+    for (std::size_t k = 0; k < m_; ++k) {
+      la::mk::Add(w->RowPtr(k), partial + k * width, width);
+    }
   }
 }
 

@@ -73,10 +73,18 @@ class SparseTensor3 {
   /// (the paper's A x1_bar x x3_bar z). Requires |x| = n and |z| = m.
   la::Vector ContractMode1(const la::Vector& x, const la::Vector& z) const;
 
+  /// ContractMode1 into a caller-owned vector (warm calls allocate nothing).
+  void ContractMode1Into(const la::Vector& x, const la::Vector& z,
+                         la::Vector* y) const;
+
   /// mode-3 contraction: w_k = sum_{i,j} A[i,j,k] * x[i] * y[j]
   /// (the paper's A x1_bar x x2_bar y with x applied on mode 1 and y on
   /// mode 2). Requires |x| = |y| = n.
   la::Vector ContractMode3(const la::Vector& x, const la::Vector& y) const;
+
+  /// ContractMode3 into a caller-owned vector (warm calls allocate nothing).
+  void ContractMode3Into(const la::Vector& x, const la::Vector& y,
+                         la::Vector* w) const;
 
   // Multi-RHS panel kernels (la/panel.h): one structure pass over the
   // stored slices updates the leading `width` columns of the output panel,
@@ -96,10 +104,40 @@ class SparseTensor3 {
                           std::size_t width, la::DenseMatrix* w,
                           la::PanelWorkspace* ws) const;
 
+  /// Builds the merged row-major view the panel contractions traverse (see
+  /// MergedView below). Idempotent; invalidated by MutableSlice. The panel
+  /// kernels build it lazily on first use from the calling thread, so only
+  /// callers that may invoke panel kernels on the same tensor from several
+  /// threads concurrently need to prepare it up front
+  /// (tensor::TransitionTensors::Build does).
+  void PrepareMergedView() const;
+
  private:
+  // Row-major merge of all slices: for each row i, one segment per relation
+  // k that stores entries in that row (segments ascending in k, entries
+  // within a segment in the slice's column order). Both panel contractions
+  // iterate (row, relation, column) — mode-1 as y_i += z_k * (sum_j v*x_j),
+  // mode-3 as w_k += x_i * (sum_j v*y_j) — so one contiguous stream serves
+  // both, replacing m interleaved CSR row probes per row with a single
+  // sequential walk (the m ~= 20-relation presets are bound by exactly that
+  // probing). The entry values duplicate the slices' storage; the slices
+  // stay authoritative for the single-vector kernels and Slice() readers.
+  struct MergedView {
+    std::vector<std::size_t> row_ptr;  ///< n + 1 offsets into seg_k/seg_end.
+    std::vector<std::uint32_t> seg_k;  ///< Relation index per segment.
+    std::vector<std::size_t> seg_end;  ///< Exclusive entry end per segment
+                                       ///< (begin = previous segment's end).
+    std::vector<std::uint32_t> col;    ///< Column index j per entry.
+    std::vector<double> val;           ///< Stored value per entry.
+    bool built = false;
+  };
+
+  const MergedView& MergedSlices() const;
+
   std::size_t n_;
   std::size_t m_;
   std::vector<la::SparseMatrix> slices_;
+  mutable MergedView merged_;
 };
 
 }  // namespace tmark::tensor

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tmark/common/check.h"
+#include "tmark/la/microkernel.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
 
@@ -84,6 +85,11 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
     }
     t.linked_mask_ = la::SparseMatrix::FromTriplets(n, n, std::move(trips));
   }
+  // Build the merged panel-contraction views up front: the operators are
+  // immutable from here on, and preparing them now keeps the panel kernels
+  // safe to call from several fits concurrently (lazy build mutates).
+  t.o_.PrepareMergedView();
+  t.r_.PrepareMergedView();
   if (obs::MetricsEnabled()) {
     obs::IncrCounter("tensor.transition.builds");
     obs::SetGauge("tensor.transition.nnz_o",
@@ -101,8 +107,15 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
 
 la::Vector TransitionTensors::ApplyO(const la::Vector& x,
                                      const la::Vector& z) const {
-  TMARK_CHECK(x.size() == n_ && z.size() == m_);
-  la::Vector y = o_.ContractMode1(x, z);
+  la::Vector y;
+  ApplyOInto(x, z, &y);
+  return y;
+}
+
+void TransitionTensors::ApplyOInto(const la::Vector& x, const la::Vector& z,
+                                   la::Vector* y) const {
+  TMARK_CHECK(y != nullptr && x.size() == n_ && z.size() == m_);
+  o_.ContractMode1Into(x, z, y);
   // Dangling correction: every empty column (j,k) contributes
   // x_j * z_k * (1/n) to every output coordinate.
   double dangling_mass = 0.0;
@@ -114,22 +127,27 @@ la::Vector TransitionTensors::ApplyO(const la::Vector& x,
   }
   if (dangling_mass != 0.0) {
     const double add = dangling_mass / static_cast<double>(n_);
-    for (double& v : y) v += add;
+    for (double& v : *y) v += add;
   }
-  return y;
 }
 
 la::Vector TransitionTensors::ApplyR(const la::Vector& x,
                                      const la::Vector& y) const {
-  TMARK_CHECK(x.size() == n_ && y.size() == n_);
-  la::Vector w = r_.ContractMode3(x, y);
+  la::Vector w;
+  ApplyRInto(x, y, &w);
+  return w;
+}
+
+void TransitionTensors::ApplyRInto(const la::Vector& x, const la::Vector& y,
+                                   la::Vector* w) const {
+  TMARK_CHECK(w != nullptr && x.size() == n_ && y.size() == n_);
+  r_.ContractMode3Into(x, y, w);
   // Dangling correction: unlinked (i,j) pairs carry the uniform fiber 1/m.
   // sum_{unlinked} x_i y_j = Sum(x) * Sum(y) - sum_{linked} x_i y_j.
   const double linked = linked_mask_.Bilinear(x, y);
   const double unlinked = la::Sum(x) * la::Sum(y) - linked;
   const double add = unlinked / static_cast<double>(m_);
-  for (double& v : w) v += add;
-  return w;
+  for (double& v : *w) v += add;
 }
 
 void TransitionTensors::ApplyOPanel(const la::DenseMatrix& x,
@@ -149,51 +167,69 @@ void TransitionTensors::ApplyOPanel(const la::DenseMatrix& x,
   for (std::size_t k = 0; k < m_; ++k) {
     if (dangling_cols_[k].empty()) continue;
     const double* zrow = z.RowPtr(k);
-    bool any = false;
-    for (std::size_t c = 0; c < width; ++c) any |= zrow[c] != 0.0;
-    if (!any) continue;
-    for (std::size_t c = 0; c < width; ++c) colsum[c] = 0.0;
+    if (!la::mk::AnyNonZero(zrow, width)) continue;
+    la::mk::Zero(colsum.data(), width);
     for (std::uint32_t j : dangling_cols_[k]) {
-      const double* xrow = x.RowPtr(j);
-      for (std::size_t c = 0; c < width; ++c) colsum[c] += xrow[c];
+      la::mk::Add(colsum.data(), x.RowPtr(j), width);
     }
-    for (std::size_t c = 0; c < width; ++c) mass[c] += zrow[c] * colsum[c];
+    la::mk::MulAdd(mass.data(), zrow, colsum.data(), width);
   }
-  bool any_mass = false;
-  for (std::size_t c = 0; c < width; ++c) any_mass |= mass[c] != 0.0;
-  if (!any_mass) return;
+  if (!la::mk::AnyNonZero(mass.data(), width)) return;
   // Columns with zero mass receive a + 0.0 — the value ApplyO's skip keeps.
   for (std::size_t c = 0; c < width; ++c) {
     mass[c] /= static_cast<double>(n_);
   }
   for (std::size_t i = 0; i < n_; ++i) {
-    double* yrow = y->RowPtr(i);
-    for (std::size_t c = 0; c < width; ++c) yrow[c] += mass[c];
+    la::mk::Add(y->RowPtr(i), mass.data(), width);
   }
 }
 
 void TransitionTensors::ApplyRPanel(const la::DenseMatrix& x,
                                     const la::DenseMatrix& y,
                                     std::size_t width, la::DenseMatrix* w,
-                                    la::PanelWorkspace* ws) const {
+                                    la::PanelWorkspace* ws,
+                                    const la::Vector* x_sums,
+                                    const la::Vector* y_sums,
+                                    la::Vector* w_sums) const {
   TMARK_CHECK(w != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == n_ && y.rows() == n_ && w->rows() == m_);
   TMARK_CHECK(width <= x.cols());
+  TMARK_CHECK(x_sums == nullptr || x_sums->size() >= width);
+  TMARK_CHECK(y_sums == nullptr || y_sums->size() >= width);
   r_.ContractMode3Panel(x, y, width, w, ws);
   // Dangling-fiber correction per column, same formula as ApplyR:
-  // add = (Sum(x) * Sum(y) - linked) / m, applied to every w entry.
+  // add = (Sum(x) * Sum(y) - linked) / m, applied to every w entry. The
+  // column sums come from the caller when it already has them (the fused
+  // combine pass accumulates them in the same ascending row order).
   la::Vector& add = ws->Buffer(0, width);
   linked_mask_.BilinearPanel(x, y, width, add.data(), ws);
-  la::Vector& sumx = ws->Buffer(1, width);
-  la::Vector& sumy = ws->Buffer(2, width);
-  la::LeadingColumnSums(x, width, &sumx);
-  la::LeadingColumnSums(y, width, &sumy);
+  const double* sumx;
+  const double* sumy;
+  if (x_sums != nullptr) {
+    sumx = x_sums->data();
+  } else {
+    la::Vector& sx = ws->Buffer(1, width);
+    la::LeadingColumnSums(x, width, &sx);
+    sumx = sx.data();
+  }
+  if (y_sums != nullptr) {
+    sumy = y_sums->data();
+  } else if (&y == &x && x_sums != nullptr) {
+    sumy = x_sums->data();
+  } else {
+    la::Vector& sy = ws->Buffer(2, width);
+    la::LeadingColumnSums(y, width, &sy);
+    sumy = sy.data();
+  }
   for (std::size_t c = 0; c < width; ++c) {
     add[c] = (sumx[c] * sumy[c] - add[c]) / static_cast<double>(m_);
   }
+  if (w_sums != nullptr) w_sums->assign(width, 0.0);
   for (std::size_t k = 0; k < m_; ++k) {
     double* wrow = w->RowPtr(k);
-    for (std::size_t c = 0; c < width; ++c) wrow[c] += add[c];
+    la::mk::Add(wrow, add.data(), width);
+    // Ascending-k accumulation = the row order LeadingColumnSums would use.
+    if (w_sums != nullptr) la::mk::Add(w_sums->data(), wrow, width);
   }
 }
 

@@ -38,10 +38,18 @@ class TransitionTensors {
   /// vectors the result is again a probability vector (Theorem 1).
   la::Vector ApplyO(const la::Vector& x, const la::Vector& z) const;
 
+  /// ApplyO into a caller-owned vector (warm calls allocate nothing).
+  void ApplyOInto(const la::Vector& x, const la::Vector& z,
+                  la::Vector* y) const;
+
   /// The contraction (R x1_bar x x2_bar y)_k = sum_{i,j} R[i,j,k] x_i y_j,
   /// including the dangling-fiber correction. The paper's Eq. (8) uses
   /// y = x; the two-argument form also supports the general bilinear case.
   la::Vector ApplyR(const la::Vector& x, const la::Vector& y) const;
+
+  /// ApplyR into a caller-owned vector (warm calls allocate nothing).
+  void ApplyRInto(const la::Vector& x, const la::Vector& y,
+                  la::Vector* w) const;
 
   // Panel forms (la/panel.h): one structure pass for all leading `width`
   // columns, including the implicit dangling corrections column-wise;
@@ -53,9 +61,21 @@ class TransitionTensors {
                    la::PanelWorkspace* ws) const;
 
   /// w(:, c) = R x1 x(:, c) x2 y(:, c) for c in [0, width).
+  ///
+  /// The optional sum arguments let the fused fit engine avoid extra panel
+  /// sweeps: `x_sums` / `y_sums`, when non-null, supply the leading column
+  /// sums of x / y (they MUST equal la::LeadingColumnSums of the panel —
+  /// i.e. be accumulated in ascending row order — for bit-identity; the
+  /// fused combine pass produces exactly that). `w_sums`, when non-null,
+  /// receives the leading column sums of the finished w, accumulated in
+  /// ascending k order during the final correction sweep — the same order
+  /// la::LeadingColumnSums / la::Sum would read them.
   void ApplyRPanel(const la::DenseMatrix& x, const la::DenseMatrix& y,
                    std::size_t width, la::DenseMatrix* w,
-                   la::PanelWorkspace* ws) const;
+                   la::PanelWorkspace* ws,
+                   const la::Vector* x_sums = nullptr,
+                   const la::Vector* y_sums = nullptr,
+                   la::Vector* w_sums = nullptr) const;
 
   /// Entry O[i,j,k] including the implicit dangling value (1/n when column
   /// (j,k) has no links). Intended for tests and the worked example.

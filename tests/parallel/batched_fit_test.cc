@@ -11,6 +11,7 @@
 
 #include "tmark/core/tmark.h"
 #include "tmark/datasets/synthetic_hin.h"
+#include "tmark/hin/hin_builder.h"
 #include "tmark/hin/similarity_kernel.h"
 #include "tmark/parallel/thread_pool.h"
 
@@ -29,6 +30,37 @@ hin::Hin MakeTestHin() {
                       {"r1", 0.6, 0.2, 2.0, {}, true}};
   config.seed = 99;
   return datasets::GenerateSyntheticHin(config);
+}
+
+// A HIN with exactly q classes. The synthetic generator requires q >= 2, so
+// the single-class case (pure scalar-tail panel width) is built by hand:
+// a ring + chords over two relations with simple planted features.
+hin::Hin MakeHinWithClasses(std::size_t q) {
+  if (q >= 2) {
+    datasets::SyntheticHinConfig gen;
+    gen.num_nodes = 150;
+    for (std::size_t c = 0; c < q; ++c) {
+      gen.class_names.push_back("class" + std::to_string(c));
+    }
+    gen.relations = {{"r0", 0.85, 0.0, 3.0, {}, false},
+                     {"r1", 0.6, 0.2, 2.0, {}, true}};
+    gen.seed = 400 + q;
+    return datasets::GenerateSyntheticHin(gen);
+  }
+  constexpr std::size_t n = 60;
+  constexpr std::size_t d = 12;
+  hin::HinBuilder builder(n, d);
+  builder.AddClass("only");
+  const std::size_t r0 = builder.AddRelation("ring");
+  const std::size_t r1 = builder.AddRelation("chords");
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.AddUndirectedEdge(r0, i, (i + 1) % n);
+    builder.AddDirectedEdge(r1, i, (i * 7 + 3) % n, 1.0 + (i % 3) * 0.5);
+    builder.AddFeature(i, i % d, 2.0);
+    builder.AddFeature(i, (i * 5 + 1) % d, 1.0);
+    builder.SetLabel(i, 0);
+  }
+  return std::move(builder).Build();
 }
 
 std::vector<std::size_t> EveryThird(const hin::Hin& hin) {
@@ -139,6 +171,30 @@ TEST(BatchedFitTest, WarmStartRefitIsBitIdentical) {
   for (const int threads : {1, 4}) {
     SCOPED_TRACE("threads " + std::to_string(threads));
     ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads, true));
+  }
+}
+
+// Class counts chosen to hit every micro-kernel tail shape: q=1 (pure scalar
+// tail), 2, 3 (2+1), 5 (4+1), 7 (4+2+1), and 9 (one 8-block + scalar tail).
+// The blocked SIMD panel kernels must stay bit-identical to the per-class
+// engine at every width, including the odd ones.
+TEST(BatchedFitTest, OddAndTailClassWidthsMatchPerClass) {
+  ThreadCountGuard guard;
+  for (const std::size_t q : {1u, 2u, 3u, 5u, 7u, 9u}) {
+    SCOPED_TRACE("classes " + std::to_string(q));
+    const hin::Hin hin = MakeHinWithClasses(q);
+    const std::vector<std::size_t> labeled = EveryThird(hin);
+
+    core::TMarkConfig per_class;
+    per_class.fit_mode = core::FitMode::kPerClass;
+    core::TMarkConfig batched = per_class;
+    batched.fit_mode = core::FitMode::kBatched;
+
+    const FitOutputs golden = RunFit(hin, labeled, per_class, 1, false);
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads, false));
+    }
   }
 }
 
