@@ -27,9 +27,11 @@
 #include "tmark/la/microkernel.h"
 #include "tmark/eval/table_printer.h"
 #include "tmark/hin/hin.h"
+#include "tmark/obs/chrome_trace.h"
 #include "tmark/obs/json_export.h"
 #include "tmark/obs/logging.h"
 #include "tmark/obs/metrics.h"
+#include "tmark/obs/prof.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/thread_pool.h"
 
@@ -46,23 +48,47 @@ struct RecordedTable {
 /// the constructor turns the metrics registry and tracer on and the
 /// destructor writes the bench JSON document there; otherwise the session
 /// is a no-op. Construct exactly one, first thing in main().
+///
+/// Two sibling env vars ride on the same session: TMARK_TRACE_CHROME=<path>
+/// writes the span tree as a Perfetto-loadable Chrome trace, and
+/// TMARK_PROFILE_JSON=<path> enables the kernel profiler and writes a
+/// tmark-profile-v1 document (regions, attribution, overhead estimate).
+/// All three sinks compose.
 class BenchObsSession {
  public:
   explicit BenchObsSession(const char* binary = "") : binary_(binary) {
     const char* path = std::getenv("TMARK_BENCH_JSON");
-    if (path == nullptr || *path == '\0') return;
-    path_ = path;
+    if (path != nullptr && *path != '\0') path_ = path;
+    const char* chrome = std::getenv("TMARK_TRACE_CHROME");
+    if (chrome != nullptr && *chrome != '\0') chrome_path_ = chrome;
+    const char* profile = std::getenv("TMARK_PROFILE_JSON");
+    if (profile != nullptr && *profile != '\0') profile_path_ = profile;
+    if (path_.empty() && chrome_path_.empty() && profile_path_.empty()) {
+      return;
+    }
     obs::Registry::Instance().set_enabled(true);
     obs::Tracer::Instance().set_enabled(true);
+    if (!profile_path_.empty()) {
+      obs::prof::Profiler::Instance().set_enabled(true);
+    }
     obs::SetGauge("parallel.threads",
                   static_cast<double>(parallel::NumThreads()));
     active_instance_ = this;
   }
 
   ~BenchObsSession() {
-    if (path_.empty()) return;
+    if (active_instance_ != this) return;
     active_instance_ = nullptr;
-    WriteJson();
+    if (!profile_path_.empty()) WriteProfileJson();
+    if (!chrome_path_.empty()) {
+      const std::string doc =
+          obs::SpansToChromeTrace(obs::Tracer::Instance().FinishedCopy());
+      if (!obs::WriteTextFile(chrome_path_, doc)) {
+        obs::LogError("bench.chrome_trace_write_failed",
+                      {{"path", chrome_path_}});
+      }
+    }
+    if (!path_.empty()) WriteJson();
   }
 
   BenchObsSession(const BenchObsSession&) = delete;
@@ -106,8 +132,17 @@ class BenchObsSession {
     writer.EndArray();
     writer.Key("metrics");
     obs::WriteMetrics(writer, obs::Registry::Instance().Snapshot());
+    const std::vector<obs::SpanNode> spans =
+        obs::Tracer::Instance().FinishedCopy();
+    // Per-kernel exclusive-time table derived from the span tree: in a
+    // single-threaded trace the self_ms of all rows sums to the total
+    // root-span time, so fit costs can be attributed without
+    // post-processing (concurrent sibling spans overlap, so at higher
+    // thread counts the sum can exceed it).
+    writer.Key("attribution");
+    obs::WriteAttribution(writer, obs::prof::ComputeAttribution(spans));
     writer.Key("spans");
-    obs::WriteSpans(writer, obs::Tracer::Instance().FinishedCopy());
+    obs::WriteSpans(writer, spans);
     writer.EndObject();
     if (!obs::WriteTextFile(path_, writer.TakeString())) {
       obs::LogError("bench.json_write_failed", {{"path", path_}});
@@ -116,9 +151,38 @@ class BenchObsSession {
     }
   }
 
+  void WriteProfileJson() {
+    const obs::prof::ProfileSnapshot profile =
+        obs::prof::Profiler::Instance().Snapshot();
+    obs::ProfileOverhead overhead;
+    for (const obs::prof::RegionTotals& region : profile.regions) {
+      overhead.region_calls += region.calls;
+    }
+    for (const obs::HistogramSnapshot& h :
+         obs::Registry::Instance().Snapshot().histograms) {
+      if (h.name == "tmark.fit.total_ms") overhead.workload_ms = h.sum;
+    }
+    // Per-call cost of a *disabled* region (profiling is forced off inside
+    // the measurement), scaled by this run's region calls over its fit
+    // time: the estimated always-on overhead the <2% gate checks.
+    overhead.disabled_ns_per_region =
+        obs::prof::MeasureDisabledRegionCostNs(2'000'000);
+    const std::string doc = obs::ProfileToJson(
+        binary_, static_cast<std::uint64_t>(parallel::NumThreads()), profile,
+        obs::prof::ComputeAttribution(obs::Tracer::Instance().FinishedCopy()),
+        overhead);
+    if (!obs::WriteTextFile(profile_path_, doc)) {
+      obs::LogError("bench.profile_write_failed", {{"path", profile_path_}});
+    } else {
+      obs::LogInfo("bench.profile_written", {{"path", profile_path_}});
+    }
+  }
+
   inline static BenchObsSession* active_instance_ = nullptr;
   std::string binary_;
   std::string path_;
+  std::string chrome_path_;
+  std::string profile_path_;
   std::vector<RecordedTable> tables_;
 };
 

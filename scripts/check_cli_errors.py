@@ -133,6 +133,50 @@ def main():
                             "--train-fraction", "nan"],
                            "classify nan fraction")
         expect_usage_error(args.cli, ["info"], "info without --hin")
+        # Unknown profiling flags must hit the flag-error contract, not be
+        # silently swallowed by a prefix match on --profile-json.
+        expect_usage_error(args.cli,
+                           ["classify", "--hin", good,
+                            "--profile-mode", "fast"],
+                           "classify unknown --profile-mode")
+        expect_usage_error(args.cli,
+                           ["info", "--hin", good, "--profile-counters", "1"],
+                           "info unknown --profile-counters")
+
+        # Observability sinks compose: one run may write the span tree as
+        # both tmark JSON and a Chrome trace, plus the profile document.
+        trace_json = os.path.join(tmp, "trace.json")
+        trace_chrome = os.path.join(tmp, "trace_chrome.json")
+        profile_json = os.path.join(tmp, "profile.json")
+        expect_ok(args.cli,
+                  ["classify", "--hin", good, "--train-fraction", "0.5",
+                   "--trace-json", trace_json,
+                   "--trace-chrome", trace_chrome,
+                   "--profile-json", profile_json],
+                  "classify with composed sinks")
+        for path, label in ((trace_json, "trace json"),
+                            (trace_chrome, "chrome trace"),
+                            (profile_json, "profile json")):
+            if not os.path.exists(path):
+                fail("composed sinks", f"{label} file was not written")
+                continue
+            with open(path, encoding="utf-8") as fh:
+                try:
+                    doc = json.load(fh)
+                except json.JSONDecodeError as e:
+                    fail("composed sinks", f"{label} is not valid JSON: {e}")
+                    continue
+            if path == trace_chrome:
+                events = doc.get("traceEvents")
+                if not isinstance(events, list) or not events:
+                    fail("composed sinks", "chrome trace has no events")
+                elif any(e.get("ph") != "X" for e in events):
+                    fail("composed sinks",
+                         "chrome trace events must all be complete ('X')")
+            if path == profile_json:
+                if doc.get("schema") != "tmark-profile-v1":
+                    fail("composed sinks",
+                         f"profile schema is {doc.get('schema')!r}")
 
         # Telemetry on failure: the metrics dump must still be written and
         # must carry the io.errors counters for the failed load.

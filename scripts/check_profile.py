@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validates a TMARK_PROFILE_JSON dump against the tmark-profile-v1 schema.
+
+Usage: check_profile.py FILE [--max-overhead-pct PCT]
+                             [--require-region PREFIX]
+
+The schema is documented in docs/OBSERVABILITY.md ("Profiling"). Exits 0
+when FILE is a well-formed document, 1 (with a message on stderr)
+otherwise. --max-overhead-pct additionally enforces the disabled-path
+overhead gate: the document's estimated_disabled_overhead_pct (per-call
+cost of a disabled region, scaled by the run's region calls over its fit
+time) must be a number below PCT — the CI wiring runs it at 2%.
+--require-region asserts that at least one region whose name starts with
+PREFIX accumulated calls, pinning the kernel instrumentation end-to-end.
+"""
+
+import argparse
+import json
+import sys
+
+COUNTER_KEYS = ("cycles", "instructions", "llc_misses", "branch_misses")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_counter_object(value, path):
+    expect(isinstance(value, dict), path, "expected an object")
+    expect(set(value) == set(COUNTER_KEYS), path,
+           f"expected exactly keys {COUNTER_KEYS}, got {sorted(value)}")
+    for key, v in value.items():
+        expect(isinstance(v, int) and v >= 0, f"{path}.{key}",
+               "expected a non-negative integer")
+
+
+def check_region(region, path):
+    expect(isinstance(region, dict), path, "expected an object")
+    expect(isinstance(region.get("name"), str) and region["name"],
+           f"{path}.name", "expected a non-empty string")
+    expect(isinstance(region.get("calls"), int) and region["calls"] > 0,
+           f"{path}.calls", "expected a positive integer")
+    expect(isinstance(region.get("time_ms"), (int, float))
+           and region["time_ms"] >= 0,
+           f"{path}.time_ms", "expected a non-negative number")
+    for key in COUNTER_KEYS:
+        expect(isinstance(region.get(key), int) and region[key] >= 0,
+               f"{path}.{key}", "expected a non-negative integer")
+
+
+def check_attribution_row(row, path):
+    expect(isinstance(row, dict), path, "expected an object")
+    expect(isinstance(row.get("name"), str), f"{path}.name",
+           "expected a string")
+    expect(isinstance(row.get("count"), int) and row["count"] > 0,
+           f"{path}.count", "expected a positive integer")
+    for key in ("total_ms", "self_ms"):
+        expect(isinstance(row.get(key), (int, float)) and row[key] >= 0,
+               f"{path}.{key}", "expected a non-negative number")
+    expect(row["self_ms"] <= row["total_ms"] + 1e-9, path,
+           f"self_ms={row['self_ms']} exceeds total_ms={row['total_ms']}")
+    expect(("total_counters" in row) == ("self_counters" in row), path,
+           "total_counters and self_counters must appear together")
+    if "total_counters" in row:
+        check_counter_object(row["total_counters"], f"{path}.total_counters")
+        check_counter_object(row["self_counters"], f"{path}.self_counters")
+
+
+def check_document(doc):
+    expect(isinstance(doc, dict), "$", "expected a top-level object")
+    expect(doc.get("schema") == "tmark-profile-v1", "$.schema",
+           f"expected 'tmark-profile-v1', got {doc.get('schema')!r}")
+    expect(isinstance(doc.get("binary"), str), "$.binary",
+           "expected a string")
+    expect(isinstance(doc.get("threads"), int) and doc["threads"] >= 1,
+           "$.threads", "expected a positive integer")
+    expect(isinstance(doc.get("counters_available"), bool),
+           "$.counters_available", "expected a boolean")
+    expect(isinstance(doc.get("counter_status"), str)
+           and doc["counter_status"],
+           "$.counter_status", "expected a non-empty string")
+    if not doc["counters_available"]:
+        # The time-only fallback must carry the typed reason, never "OK".
+        expect(doc["counter_status"] != "OK", "$.counter_status",
+               "counters unavailable but status reads OK")
+
+    regions = doc.get("regions")
+    expect(isinstance(regions, list), "$.regions", "expected a list")
+    names = []
+    for i, region in enumerate(regions):
+        check_region(region, f"$.regions[{i}]")
+        names.append(region["name"])
+    expect(names == sorted(names), "$.regions", "regions must sort by name")
+    expect(len(set(names)) == len(names), "$.regions",
+           "region names must be unique")
+
+    attribution = doc.get("attribution")
+    expect(isinstance(attribution, list), "$.attribution", "expected a list")
+    for i, row in enumerate(attribution):
+        check_attribution_row(row, f"$.attribution[{i}]")
+
+    overhead = doc.get("overhead")
+    expect(isinstance(overhead, dict), "$.overhead", "expected an object")
+    expect(isinstance(overhead.get("disabled_ns_per_region"), (int, float))
+           and overhead["disabled_ns_per_region"] >= 0,
+           "$.overhead.disabled_ns_per_region",
+           "expected a non-negative number")
+    expect(isinstance(overhead.get("region_calls"), int)
+           and overhead["region_calls"] >= 0,
+           "$.overhead.region_calls", "expected a non-negative integer")
+    expect(isinstance(overhead.get("workload_ms"), (int, float)),
+           "$.overhead.workload_ms", "expected a number")
+    pct = overhead.get("estimated_disabled_overhead_pct")
+    expect(pct is None or isinstance(pct, (int, float)),
+           "$.overhead.estimated_disabled_overhead_pct",
+           "expected a number or null")
+    region_calls = sum(r["calls"] for r in regions)
+    expect(overhead["region_calls"] == region_calls, "$.overhead.region_calls",
+           f"records {overhead['region_calls']} calls but regions sum to "
+           f"{region_calls}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--max-overhead-pct", type=float, default=None,
+                        metavar="PCT",
+                        help="fail unless the estimated disabled-path "
+                             "overhead is a number strictly below PCT "
+                             "(requires a run with regions and a measured "
+                             "workload)")
+    parser.add_argument("--require-region", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a region whose name starts with "
+                             "PREFIX accumulated calls")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_profile: cannot read {args.file}: {e}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"check_profile: {args.file} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        check_document(doc)
+        for prefix in args.require_region:
+            expect(any(r["name"].startswith(prefix)
+                       for r in doc["regions"]),
+                   "$.regions", f"no region named '{prefix}*'")
+        if args.max_overhead_pct is not None:
+            overhead = doc["overhead"]
+            # The gate is only meaningful for a run that actually opened
+            # regions and timed a workload; an inert document must fail
+            # loudly rather than vacuously pass.
+            expect(overhead["region_calls"] > 0, "$.overhead.region_calls",
+                   "overhead gate needs a run with region calls")
+            expect(isinstance(overhead["workload_ms"], (int, float))
+                   and overhead["workload_ms"] > 0,
+                   "$.overhead.workload_ms",
+                   "overhead gate needs a measured workload")
+            pct = overhead["estimated_disabled_overhead_pct"]
+            expect(isinstance(pct, (int, float)),
+                   "$.overhead.estimated_disabled_overhead_pct",
+                   "overhead gate needs a numeric estimate")
+            expect(pct < args.max_overhead_pct,
+                   "$.overhead.estimated_disabled_overhead_pct",
+                   f"disabled-path overhead {pct:.4f}% is not below the "
+                   f"{args.max_overhead_pct}% gate")
+    except SchemaError as e:
+        print(f"check_profile: {args.file}: {e}", file=sys.stderr)
+        return 1
+
+    print(f"check_profile: {args.file} conforms to tmark-profile-v1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "tmark/core/tmark.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -121,6 +122,54 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   } else {
     FitPerClass(hin, labeled, warm_start, *ops, prev_x, prev_z, &fit_span);
   }
+
+  // Convergence diagnostics (Theorems 1-3, Fig. 10): the per-iteration
+  // contraction rate rho_{t+1}/rho_t, its geometric-mean estimate, and the
+  // predicted iterations a refit at this rate would need to reach
+  // tolerance. Engine-independent: computed from the finished traces.
+  if (obs::MetricsEnabled()) {
+    for (const ConvergenceTrace& trace : traces_) {
+      const std::string suffix = ".c" + std::to_string(trace.class_index);
+      for (std::size_t t = 1; t < trace.residuals.size(); ++t) {
+        if (trace.residuals[t - 1] > 0.0) {
+          obs::AppendSeries("tmark.fit.contraction" + suffix,
+                            trace.residuals[t] / trace.residuals[t - 1]);
+        }
+      }
+      const double rate = EstimateContractionRate(trace.residuals);
+      if (rate > 0.0) {
+        obs::SetGauge("tmark.fit.contraction_rate" + suffix, rate);
+      }
+      const double predicted =
+          PredictIterationsToTolerance(trace.residuals, rate, config_.epsilon);
+      if (predicted >= 0.0) {
+        obs::SetGauge("tmark.fit.predicted_iters" + suffix, predicted);
+      }
+    }
+  }
+}
+
+double EstimateContractionRate(const std::vector<double>& residuals) {
+  // Walk the trace backwards collecting consecutive positive ratios; stop
+  // at the first non-positive residual (a zero residual means exact
+  // stationarity, and anything before it predates the contraction regime).
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = residuals.size(); t-- > 1 && count < 8;) {
+    if (residuals[t] <= 0.0 || residuals[t - 1] <= 0.0) break;
+    log_sum += std::log(residuals[t] / residuals[t - 1]);
+    ++count;
+  }
+  return count > 0 ? std::exp(log_sum / static_cast<double>(count)) : 0.0;
+}
+
+double PredictIterationsToTolerance(const std::vector<double>& residuals,
+                                    double rate, double epsilon) {
+  if (residuals.empty()) return -1.0;
+  const double last = residuals.back();
+  if (last < epsilon) return 0.0;
+  if (!(rate > 0.0) || rate >= 1.0 || !(epsilon > 0.0)) return -1.0;
+  return std::ceil(std::log(epsilon / last) / std::log(rate));
 }
 
 void TMarkClassifier::FitPerClass(const hin::Hin& hin,

@@ -82,6 +82,21 @@ struct ConvergenceTrace {
   bool converged = false;
 };
 
+/// Geometric-mean estimate of the contraction rate rho_{t+1}/rho_t over the
+/// tail of `residuals` (up to the last 8 consecutive positive ratios). The
+/// contraction-mapping theorems (Theorems 1-3) guarantee this rate is below
+/// 1 for valid alpha/beta, which is what makes the prediction below sound.
+/// Returns 0 when fewer than two positive residuals exist.
+double EstimateContractionRate(const std::vector<double>& residuals);
+
+/// Predicted number of further iterations until the residual drops below
+/// `epsilon`, extrapolating geometrically from the last residual at `rate`:
+/// ceil(log(epsilon / rho_last) / log(rate)). Returns 0 when the trace
+/// already ends below tolerance, and -1 when no finite prediction exists
+/// (rate outside (0, 1) or no positive residual).
+double PredictIterationsToTolerance(const std::vector<double>& residuals,
+                                    double rate, double epsilon);
+
 /// The T-Mark collective classifier (Algorithm 1).
 ///
 /// For each class c the fixed-point iteration

@@ -5,6 +5,7 @@
 #include "tmark/common/check.h"
 #include "tmark/la/microkernel.h"
 #include "tmark/obs/metrics.h"
+#include "tmark/obs/prof.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/parallel_for.h"
 
@@ -101,6 +102,7 @@ la::Vector FeatureSimilarity::Apply(const la::Vector& x) const {
 
 void FeatureSimilarity::ApplyInto(const la::Vector& x, la::PanelWorkspace* ws,
                                   la::Vector* y) const {
+  TMARK_PROF_REGION("hin.similarity.apply");
   const std::size_t n = num_nodes();
   TMARK_CHECK(ws != nullptr && y != nullptr && x.size() == n);
   la::Vector& u = ws->Buffer(0, n);
@@ -122,6 +124,7 @@ void FeatureSimilarity::ApplyInto(const la::Vector& x, la::PanelWorkspace* ws,
 void FeatureSimilarity::ApplyPanel(const la::DenseMatrix& x,
                                    std::size_t width, la::DenseMatrix* y,
                                    la::PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("hin.similarity.apply_panel");
   const std::size_t n = num_nodes();
   TMARK_CHECK(y != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == n && y->rows() == n);

@@ -2,6 +2,7 @@
 
 #include "tmark/common/check.h"
 #include "tmark/la/microkernel.h"
+#include "tmark/obs/prof.h"
 
 namespace tmark::la {
 
@@ -45,6 +46,7 @@ void AxpyLeadingColumns(double alpha, const DenseMatrix& x, std::size_t width,
 }
 
 void NormalizeLeadingColumnsL1(std::size_t width, DenseMatrix* panel) {
+  TMARK_PROF_REGION("la.mk.normalize_l1_panel");
   TMARK_CHECK(panel != nullptr && width <= panel->cols());
   Vector sums;
   LeadingColumnSums(*panel, width, &sums);
@@ -102,6 +104,7 @@ void MoveColumn(std::size_t from, std::size_t to, DenseMatrix* panel) {
 void FusedCombineColumns(double rel, double beta, const DenseMatrix& wx,
                          double alpha, const DenseMatrix& l, std::size_t width,
                          DenseMatrix* x, Vector* sums) {
+  TMARK_PROF_REGION("la.mk.fused_combine");
   TMARK_CHECK(x != nullptr && sums != nullptr);
   TMARK_CHECK(wx.rows() == x->rows() && wx.cols() == x->cols());
   TMARK_CHECK(l.rows() == x->rows() && l.cols() == x->cols());
@@ -116,6 +119,7 @@ void FusedCombineColumns(double rel, double beta, const DenseMatrix& wx,
 void FusedNormalizeDistanceColumns(Vector* sums, const DenseMatrix& prev,
                                    std::size_t width, DenseMatrix* panel,
                                    Vector* out) {
+  TMARK_PROF_REGION("la.mk.fused_normalize_distance");
   TMARK_CHECK(sums != nullptr && panel != nullptr && out != nullptr);
   TMARK_CHECK(sums->size() >= width && width <= panel->cols());
   TMARK_CHECK(prev.rows() == panel->rows() && prev.cols() == panel->cols());

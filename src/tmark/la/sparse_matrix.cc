@@ -6,6 +6,7 @@
 #include "tmark/common/check.h"
 #include "tmark/common/simd.h"
 #include "tmark/la/microkernel.h"
+#include "tmark/obs/prof.h"
 #include "tmark/parallel/parallel_for.h"
 
 namespace tmark::la {
@@ -309,6 +310,7 @@ double SparseMatrix::Bilinear(const Vector& x, const Vector& y) const {
 
 void SparseMatrix::MatMulPanel(const DenseMatrix& x, std::size_t width,
                                DenseMatrix* y) const {
+  TMARK_PROF_REGION("la.mk.matmul_panel");
   TMARK_CHECK(y != nullptr && x.rows() == cols_ && y->rows() == rows_);
   TMARK_CHECK(x.cols() == y->cols() && width <= x.cols());
   // Output rows are disjoint, so any row partition is bit-identical; the
@@ -334,6 +336,7 @@ void SparseMatrix::MatMulPanel(const DenseMatrix& x, std::size_t width,
 void SparseMatrix::TransposeMatMulPanel(const DenseMatrix& x,
                                         std::size_t width, DenseMatrix* y,
                                         PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("la.mk.tmatmul_panel");
   TMARK_CHECK(y != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == rows_ && y->rows() == cols_);
   TMARK_CHECK(x.cols() == y->cols() && width <= x.cols());
@@ -390,6 +393,7 @@ void SparseMatrix::TransposeMatMulPanel(const DenseMatrix& x,
 void SparseMatrix::BilinearPanel(const DenseMatrix& x, const DenseMatrix& y,
                                  std::size_t width, double* out,
                                  PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("la.mk.bilinear_panel");
   TMARK_CHECK(out != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == rows_ && y.rows() == cols_);
   TMARK_CHECK(x.cols() == y.cols() && width <= x.cols());

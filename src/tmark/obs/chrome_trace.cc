@@ -1,0 +1,46 @@
+#include "tmark/obs/chrome_trace.h"
+
+#include "tmark/obs/json_export.h"
+
+namespace tmark::obs {
+namespace {
+
+void WriteChromeEvent(JsonWriter& writer, const SpanNode& span) {
+  writer.BeginObject();
+  writer.Key("name").Value(span.name);
+  writer.Key("cat").Value("tmark");
+  writer.Key("ph").Value("X");
+  // Trace-event timestamps are microseconds; span times are milliseconds
+  // from the tracer epoch. Viewers tolerate fractional microseconds.
+  writer.Key("ts").Value(span.start_ms * 1000.0);
+  writer.Key("dur").Value(span.duration_ms * 1000.0);
+  writer.Key("pid").Value(std::int64_t{1});
+  writer.Key("tid").Value(std::int64_t{1});
+  writer.Key("args").BeginObject();
+  for (const auto& [key, value] : span.fields) {
+    writer.Key(key).Value(value);
+  }
+  if (span.has_counters) {
+    for (std::size_t i = 0; i < kSpanCounters; ++i) {
+      writer.Key(SpanCounterName(i)).Value(span.counters[i]);
+    }
+  }
+  writer.EndObject();
+  writer.EndObject();
+  for (const SpanNode& child : span.children) WriteChromeEvent(writer, child);
+}
+
+}  // namespace
+
+std::string SpansToChromeTrace(const std::vector<SpanNode>& spans) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("displayTimeUnit").Value("ms");
+  writer.Key("traceEvents").BeginArray();
+  for (const SpanNode& span : spans) WriteChromeEvent(writer, span);
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+}  // namespace tmark::obs

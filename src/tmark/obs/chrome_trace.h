@@ -1,0 +1,27 @@
+#ifndef TMARK_OBS_CHROME_TRACE_H_
+#define TMARK_OBS_CHROME_TRACE_H_
+
+// Chrome trace-event export of the span tree. The emitted document follows
+// the Trace Event Format ("X" complete events with microsecond ts/dur), so
+// it loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Span fields and hardware-counter deltas are attached as event args.
+// Reached via `tmark_cli ... --trace-chrome <path>` and the
+// TMARK_TRACE_CHROME environment variable for benches.
+
+#include <string>
+#include <vector>
+
+#include "tmark/obs/trace.h"
+
+namespace tmark::obs {
+
+/// Serializes `spans` (a finished root-span forest, e.g.
+/// Tracer::FinishedCopy()) as a JSON object {"traceEvents": [...],
+/// "displayTimeUnit": "ms"}. Every span and its descendants become one
+/// complete ("X") event; nesting is reconstructed by the viewer from the
+/// ts/dur containment.
+std::string SpansToChromeTrace(const std::vector<SpanNode>& spans);
+
+}  // namespace tmark::obs
+
+#endif  // TMARK_OBS_CHROME_TRACE_H_

@@ -155,6 +155,9 @@ void WriteMetrics(JsonWriter& writer, const MetricsSnapshot& snapshot) {
     writer.Key("name").Value(h.name);
     writer.Key("count").Value(h.count);
     writer.Key("sum").Value(h.sum);
+    writer.Key("mean").Value(h.count > 0
+                                 ? h.sum / static_cast<double>(h.count)
+                                 : 0.0);
     writer.Key("min").Value(h.min);
     writer.Key("max").Value(h.max);
     writer.Key("p50").Value(h.p50);
@@ -194,6 +197,13 @@ void WriteSpan(JsonWriter& writer, const SpanNode& span) {
   writer.Key("name").Value(span.name);
   writer.Key("start_ms").Value(span.start_ms);
   writer.Key("duration_ms").Value(span.duration_ms);
+  if (span.has_counters) {
+    writer.Key("counters").BeginObject();
+    for (std::size_t i = 0; i < kSpanCounters; ++i) {
+      writer.Key(SpanCounterName(i)).Value(span.counters[i]);
+    }
+    writer.EndObject();
+  }
   writer.Key("fields").BeginObject();
   for (const auto& [key, value] : span.fields) {
     writer.Key(key).Value(value);
@@ -211,6 +221,78 @@ void WriteSpans(JsonWriter& writer, const std::vector<SpanNode>& spans) {
   writer.BeginArray();
   for (const SpanNode& span : spans) WriteSpan(writer, span);
   writer.EndArray();
+}
+
+void WriteAttribution(JsonWriter& writer,
+                      const std::vector<prof::AttributionRow>& rows) {
+  writer.BeginArray();
+  for (const prof::AttributionRow& row : rows) {
+    writer.BeginObject();
+    writer.Key("name").Value(row.name);
+    writer.Key("count").Value(row.count);
+    writer.Key("total_ms").Value(row.total_ms);
+    writer.Key("self_ms").Value(row.self_ms);
+    if (row.has_counters) {
+      writer.Key("total_counters").BeginObject();
+      for (std::size_t i = 0; i < prof::kNumCounters; ++i) {
+        writer.Key(prof::CounterName(i)).Value(row.total_counters[i]);
+      }
+      writer.EndObject();
+      writer.Key("self_counters").BeginObject();
+      for (std::size_t i = 0; i < prof::kNumCounters; ++i) {
+        writer.Key(prof::CounterName(i)).Value(row.self_counters[i]);
+      }
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+}
+
+std::string ProfileToJson(std::string_view binary, std::uint64_t threads,
+                          const prof::ProfileSnapshot& profile,
+                          const std::vector<prof::AttributionRow>& attribution,
+                          const ProfileOverhead& overhead) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").Value("tmark-profile-v1");
+  writer.Key("binary").Value(binary);
+  writer.Key("threads").Value(threads);
+  writer.Key("counters_available").Value(profile.counters_available);
+  writer.Key("counter_status").Value(profile.counter_status);
+
+  writer.Key("regions").BeginArray();
+  for (const prof::RegionTotals& region : profile.regions) {
+    writer.BeginObject();
+    writer.Key("name").Value(region.name);
+    writer.Key("calls").Value(region.calls);
+    writer.Key("time_ms").Value(region.time_ms());
+    for (std::size_t i = 0; i < prof::kNumCounters; ++i) {
+      writer.Key(prof::CounterName(i)).Value(region.counters[i]);
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+
+  writer.Key("attribution");
+  WriteAttribution(writer, attribution);
+
+  writer.Key("overhead").BeginObject();
+  writer.Key("disabled_ns_per_region").Value(overhead.disabled_ns_per_region);
+  writer.Key("region_calls").Value(overhead.region_calls);
+  writer.Key("workload_ms").Value(overhead.workload_ms);
+  // null when no workload timing is available (e.g. a CLI run that made no
+  // fit): the gate in check_profile.py requires a measured workload.
+  const double pct =
+      overhead.workload_ms > 0.0
+          ? overhead.disabled_ns_per_region *
+                static_cast<double>(overhead.region_calls) /
+                (overhead.workload_ms * 1e6) * 100.0
+          : std::numeric_limits<double>::quiet_NaN();
+  writer.Key("estimated_disabled_overhead_pct").Value(pct);
+  writer.EndObject();
+  writer.EndObject();
+  return writer.TakeString();
 }
 
 std::string MetricsToJson(const MetricsSnapshot& snapshot) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "tmark/obs/metrics.h"
+#include "tmark/obs/prof.h"
 #include "tmark/obs/trace.h"
 
 namespace tmark::obs {
@@ -62,6 +63,31 @@ void WriteMetrics(JsonWriter& writer, const MetricsSnapshot& snapshot);
 /// Writes `spans` as an array of {name, start_ms, duration_ms, fields,
 /// children} objects (children recurse with the same shape).
 void WriteSpans(JsonWriter& writer, const std::vector<SpanNode>& spans);
+
+/// Writes attribution rows as an array of {name, count, total_ms, self_ms}
+/// objects; rows whose spans carried hardware counters additionally get
+/// "total_counters"/"self_counters" objects keyed by counter name.
+void WriteAttribution(JsonWriter& writer,
+                      const std::vector<prof::AttributionRow>& rows);
+
+/// Inputs for the "overhead" section of a tmark-profile-v1 document: the
+/// measured per-call cost of a disabled region, how many region calls the
+/// profiled workload made, and the workload's wall time. The estimated
+/// disabled-instrumentation overhead percentage is derived from the three
+/// (null when the workload is unknown).
+struct ProfileOverhead {
+  double disabled_ns_per_region = 0.0;
+  std::uint64_t region_calls = 0;
+  double workload_ms = 0.0;
+};
+
+/// The standalone tmark-profile-v1 document (docs/OBSERVABILITY.md),
+/// reached via `tmark_cli --profile-json` and TMARK_PROFILE_JSON, and
+/// validated by scripts/check_profile.py.
+std::string ProfileToJson(std::string_view binary, std::uint64_t threads,
+                          const prof::ProfileSnapshot& profile,
+                          const std::vector<prof::AttributionRow>& attribution,
+                          const ProfileOverhead& overhead);
 
 /// Standalone documents for the CLI --metrics-json / --trace-json flags.
 std::string MetricsToJson(const MetricsSnapshot& snapshot);

@@ -8,6 +8,8 @@
 #include <iomanip>
 #include <mutex>
 
+#include "tmark/obs/metrics.h"
+
 namespace tmark::obs {
 namespace {
 
@@ -82,9 +84,24 @@ struct Logger::Impl {
   std::atomic<bool> stderr_enabled{true};
   std::mutex mu;                     // guards file sink + line emission
   std::ofstream file;                // optional secondary sink
+  bool sink_error_warned = false;    // one-shot warning latch (under mu)
   std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
 };
+
+namespace {
+
+// One-shot Status-carrying warning for a failing file sink; the
+// obs.log.file_errors counter keeps counting every subsequent failure.
+void WarnSinkFailureLocked(bool* warned, const Status& status) {
+  IncrCounter("obs.log.file_errors");
+  if (*warned) return;
+  *warned = true;
+  std::fprintf(stderr, "[warn] tmark: log sink unavailable: %s\n",
+               status.ToString().c_str());
+}
+
+}  // namespace
 
 Logger::Logger() : impl_(new Impl) {
   if (const char* env = std::getenv("TMARK_LOG_LEVEL")) {
@@ -99,10 +116,9 @@ Logger::Logger() : impl_(new Impl) {
     }
   }
   if (const char* env = std::getenv("TMARK_LOG_FILE")) {
-    if (*env != '\0' && !set_sink_file(env)) {
-      std::fprintf(stderr, "[warn] tmark: cannot open TMARK_LOG_FILE '%s'\n",
-                   env);
-    }
+    // set_sink_file already counts the failure and warns once with the
+    // typed status, so nothing extra to do here.
+    if (*env != '\0') set_sink_file(env);
   }
 }
 
@@ -121,16 +137,27 @@ void Logger::set_level(LogLevel level) {
   impl_->level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-bool Logger::set_sink_file(const std::string& path) {
+Status Logger::OpenSinkFile(const std::string& path) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (path.empty()) {
     impl_->file.close();
-    return true;
+    impl_->file.clear();
+    return Status::Ok();
   }
   std::ofstream next(path, std::ios::app);
-  if (!next.is_open()) return false;
+  if (!next.is_open()) {
+    return NotFoundError("cannot open log sink '" + path + "'");
+  }
   impl_->file = std::move(next);
-  return true;
+  return Status::Ok();
+}
+
+bool Logger::set_sink_file(const std::string& path) {
+  const Status status = OpenSinkFile(path);
+  if (status.ok()) return true;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  WarnSinkFailureLocked(&impl_->sink_error_warned, status);
+  return false;
 }
 
 void Logger::set_stderr_enabled(bool enabled) {
@@ -176,6 +203,14 @@ void Logger::Write(LogLevel level, std::string_view event,
     impl_->file.write(line.data(),
                       static_cast<std::streamsize>(line.size()));
     impl_->file.flush();
+    if (!impl_->file.good()) {
+      WarnSinkFailureLocked(
+          &impl_->sink_error_warned,
+          DataLossError("log sink write failed; dropping log lines"));
+      // Clear the error so later lines retry (and are counted when the
+      // sink is still failing) instead of silently no-oping forever.
+      impl_->file.clear();
+    }
   }
 }
 

@@ -21,6 +21,8 @@
 #include <string_view>
 #include <type_traits>
 
+#include "tmark/common/status.h"
+
 namespace tmark::obs {
 
 enum class LogLevel : int {
@@ -68,8 +70,15 @@ class Logger {
   void set_level(LogLevel level);
 
   /// Mirrors every line to `path` (append). Empty path closes the sink.
-  /// Returns false (and keeps the previous sink) when the file cannot be
-  /// opened.
+  /// Returns kNotFound (and keeps the previous sink) when the file cannot
+  /// be opened. Pure: no warning or counter side effects.
+  Status OpenSinkFile(const std::string& path);
+
+  /// OpenSinkFile plus the failure signal contract: an unopenable sink
+  /// bumps the `obs.log.file_errors` counter and emits a one-shot
+  /// Status-carrying warning to stderr, then returns false. Sink write
+  /// failures at log time get the same treatment (every dropped line
+  /// counts), so TMARK_LOG_FILE never drops lines silently.
   bool set_sink_file(const std::string& path);
 
   /// Disables the stderr sink (tests use this to keep output clean).

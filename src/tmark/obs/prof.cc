@@ -1,0 +1,451 @@
+#include "tmark/obs/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace tmark::obs::prof {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Hardware counters: one perf_event group per thread.
+// ---------------------------------------------------------------------------
+
+struct ThreadCounters {
+  int fds[kNumCounters] = {-1, -1, -1, -1};
+  bool ok = false;
+};
+
+#if defined(__linux__)
+
+constexpr std::uint64_t kPerfConfigs[kNumCounters] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+Status OpenThreadCounters(ThreadCounters* tc) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = kPerfConfigs[i];
+    attr.disabled = i == 0 ? 1 : 0;  // Group enabled as one unit below.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    const int group_fd = i == 0 ? -1 : tc->fds[0];
+    const int fd = PerfEventOpen(&attr, 0, -1, group_fd, 0);
+    if (fd < 0) {
+      const int err = errno;
+      for (std::size_t j = 0; j < i; ++j) {
+        close(tc->fds[j]);
+        tc->fds[j] = -1;
+      }
+      return FailedPreconditionError(
+          std::string("perf_event_open(") + std::string(CounterName(i)) +
+          ") failed: " + std::strerror(err) +
+          " (hardware counters unavailable; falling back to time-only "
+          "profiling)");
+    }
+    tc->fds[i] = fd;
+  }
+  ioctl(tc->fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(tc->fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  tc->ok = true;
+  return Status::Ok();
+}
+
+bool ReadThreadCounters(const ThreadCounters& tc,
+                        std::array<std::uint64_t, kNumCounters>* out) {
+  struct {
+    std::uint64_t nr;
+    std::uint64_t values[kNumCounters];
+  } data;
+  const ssize_t n = read(tc.fds[0], &data, sizeof(data));
+  if (n != static_cast<ssize_t>(sizeof(data)) || data.nr != kNumCounters) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kNumCounters; ++i) (*out)[i] = data.values[i];
+  return true;
+}
+
+#else  // !defined(__linux__)
+
+Status OpenThreadCounters(ThreadCounters* tc) {
+  (void)tc;
+  return FailedPreconditionError(
+      "hardware counters require Linux perf_event_open; falling back to "
+      "time-only profiling");
+}
+
+bool ReadThreadCounters(const ThreadCounters& tc,
+                        std::array<std::uint64_t, kNumCounters>* out) {
+  (void)tc;
+  (void)out;
+  return false;
+}
+
+#endif  // defined(__linux__)
+
+// ---------------------------------------------------------------------------
+// Per-thread region buffers.
+// ---------------------------------------------------------------------------
+
+struct RegionAccum {
+  std::uint64_t calls = 0;
+  std::uint64_t time_ns = 0;
+  std::array<std::uint64_t, kNumCounters> counters{};
+};
+
+// Threads never free their buffer: the registry owns it so Snapshot() can
+// merge buffers of threads that already exited. Sort key is (ordinal, seq):
+// pool workers carry lane ordinals from RegisterWorkerThread(), everything
+// else (the caller thread) sorts first by registration order.
+struct ThreadBuffer {
+  std::size_t ordinal = 0;
+  std::uint64_t seq = 0;
+  std::vector<RegionAccum> regions;            // indexed by region id
+  std::map<std::string, std::uint32_t, std::less<>> name_cache;
+  ThreadCounters counters;
+  bool counters_attempted = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint64_t next_seq = 0;
+  std::map<std::string, std::uint32_t, std::less<>> region_ids;
+  std::vector<std::string> region_names;
+  Status counter_status;            // first probe result, latched
+  bool counter_status_known = false;
+  std::atomic<bool> counters_available{false};
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // never destroyed (exit-safe)
+  return *registry;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+thread_local std::size_t t_ordinal = 0;
+thread_local bool t_has_ordinal = false;
+
+// Opens this thread's counter group once; latches the first failure as the
+// process-wide counter status. Caller holds registry.mu.
+void ProbeCountersLocked(Registry& registry, ThreadBuffer* buffer) {
+  if (buffer->counters_attempted) return;
+  buffer->counters_attempted = true;
+  Status status = OpenThreadCounters(&buffer->counters);
+  if (status.ok()) {
+    registry.counters_available.store(true, std::memory_order_relaxed);
+  }
+  if (!registry.counter_status_known) {
+    registry.counter_status_known = true;
+    registry.counter_status = std::move(status);
+  }
+}
+
+ThreadBuffer* EnsureThreadBuffer() {
+  if (t_buffer != nullptr) return t_buffer;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->ordinal = t_has_ordinal ? t_ordinal : 0;
+  buffer->seq = registry.next_seq++;
+  ProbeCountersLocked(registry, buffer.get());
+  t_buffer = buffer.get();
+  registry.buffers.push_back(std::move(buffer));
+  return t_buffer;
+}
+
+std::uint32_t InternRegion(ThreadBuffer* buffer, std::string_view name) {
+  const auto cached = buffer->name_cache.find(name);
+  if (cached != buffer->name_cache.end()) return cached->second;
+  Registry& registry = GetRegistry();
+  std::uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    const auto it = registry.region_ids.find(name);
+    if (it != registry.region_ids.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<std::uint32_t>(registry.region_names.size());
+      registry.region_names.emplace_back(name);
+      registry.region_ids.emplace(std::string(name), id);
+    }
+  }
+  buffer->name_cache.emplace(std::string(name), id);
+  return id;
+}
+
+}  // namespace
+
+std::string_view CounterName(std::size_t index) {
+  switch (index) {
+    case 0:
+      return "cycles";
+    case 1:
+      return "instructions";
+    case 2:
+      return "llc_misses";
+    case 3:
+      return "branch_misses";
+    default:
+      return "unknown";
+  }
+}
+
+Profiler& Profiler::Instance() {
+  static Profiler* profiler = new Profiler;  // never destroyed (exit-safe)
+  return *profiler;
+}
+
+void Profiler::set_enabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+  // Probe counters on the enabling thread so counters_status() answers
+  // immediately, before any region runs.
+  if (enabled) EnsureThreadBuffer();
+}
+
+Status Profiler::counters_status() const {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.counter_status_known) {
+    return FailedPreconditionError(
+        "hardware counters not probed yet (enable profiling first)");
+  }
+  return registry.counter_status;
+}
+
+bool Profiler::counters_available() const {
+  return GetRegistry().counters_available.load(std::memory_order_relaxed);
+}
+
+ProfileSnapshot Profiler::Snapshot() const {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+
+  ProfileSnapshot snapshot;
+  snapshot.counters_available =
+      registry.counters_available.load(std::memory_order_relaxed);
+  snapshot.counter_status = registry.counter_status_known
+                                ? registry.counter_status.ToString()
+                                : std::string("UNPROBED");
+
+  // Deterministic merge: (ordinal, seq) fixes the buffer order regardless
+  // of OS scheduling; all accumulators are integers, so the merged totals
+  // are bit-identical for any buffer order anyway — the sort makes the
+  // iteration order itself reproducible.
+  std::vector<const ThreadBuffer*> ordered;
+  ordered.reserve(registry.buffers.size());
+  for (const auto& buffer : registry.buffers) ordered.push_back(buffer.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ThreadBuffer* a, const ThreadBuffer* b) {
+              if (a->ordinal != b->ordinal) return a->ordinal < b->ordinal;
+              return a->seq < b->seq;
+            });
+
+  std::vector<RegionAccum> merged(registry.region_names.size());
+  for (const ThreadBuffer* buffer : ordered) {
+    for (std::size_t id = 0; id < buffer->regions.size(); ++id) {
+      const RegionAccum& accum = buffer->regions[id];
+      merged[id].calls += accum.calls;
+      merged[id].time_ns += accum.time_ns;
+      for (std::size_t i = 0; i < kNumCounters; ++i) {
+        merged[id].counters[i] += accum.counters[i];
+      }
+    }
+  }
+
+  for (std::size_t id = 0; id < merged.size(); ++id) {
+    if (merged[id].calls == 0) continue;
+    RegionTotals totals;
+    totals.name = registry.region_names[id];
+    totals.calls = merged[id].calls;
+    totals.time_ns = merged[id].time_ns;
+    totals.counters = merged[id].counters;
+    snapshot.regions.push_back(std::move(totals));
+  }
+  std::sort(snapshot.regions.begin(), snapshot.regions.end(),
+            [](const RegionTotals& a, const RegionTotals& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void Profiler::Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    for (RegionAccum& accum : buffer->regions) accum = RegionAccum{};
+  }
+}
+
+void ProfRegion::Begin(std::string_view name) {
+  ThreadBuffer* buffer = EnsureThreadBuffer();
+  active_ = true;
+  buffer_ = buffer;
+  region_id_ = InternRegion(buffer, name);
+  if (buffer->counters.ok) {
+    counters_active_ = ReadThreadCounters(buffer->counters, &start_counters_);
+  }
+  start_ns_ = NowNs();
+}
+
+void ProfRegion::End() {
+  const std::uint64_t end_ns = NowNs();
+  ThreadBuffer* buffer = static_cast<ThreadBuffer*>(buffer_);
+  if (buffer->regions.size() <= region_id_) {
+    buffer->regions.resize(region_id_ + 1);
+  }
+  RegionAccum& accum = buffer->regions[region_id_];
+  accum.calls += 1;
+  accum.time_ns += end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  if (counters_active_) {
+    std::array<std::uint64_t, kNumCounters> end_counters;
+    if (ReadThreadCounters(buffer->counters, &end_counters)) {
+      for (std::size_t i = 0; i < kNumCounters; ++i) {
+        if (end_counters[i] >= start_counters_[i]) {
+          accum.counters[i] += end_counters[i] - start_counters_[i];
+        }
+      }
+    }
+  }
+}
+
+bool SampleThreadCounters(std::array<std::uint64_t, kNumCounters>* out) {
+  if (!ProfilingEnabled()) return false;
+  ThreadBuffer* buffer = EnsureThreadBuffer();
+  if (!buffer->counters.ok) return false;
+  return ReadThreadCounters(buffer->counters, out);
+}
+
+void RegisterWorkerThread(std::size_t ordinal) {
+  t_ordinal = ordinal;
+  t_has_ordinal = true;
+}
+
+std::vector<AttributionRow> ComputeAttribution(
+    const std::vector<SpanNode>& spans) {
+  struct Accum {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double self_ms = 0.0;
+    /// Counter columns are valid only when every span of this name — and
+    /// all their direct children — carried counter deltas; an exclusive
+    /// split against partially-counted children would be wrong.
+    bool counters_valid = true;
+    std::array<std::uint64_t, kNumCounters> total_counters{};
+    std::array<std::uint64_t, kNumCounters> self_counters{};
+  };
+  std::map<std::string, Accum> by_name;
+
+  // Recursive lambda over the forest; exclusive time/counters subtract the
+  // direct children, clamped at zero (clock jitter can make a child nominally
+  // outlast its parent by sub-microsecond amounts).
+  const auto visit = [&by_name](const SpanNode& span, const auto& self) -> void {
+    Accum& accum = by_name[span.name];
+    accum.count += 1;
+    accum.total_ms += span.duration_ms;
+    double child_ms = 0.0;
+    bool children_have_counters = true;
+    std::array<std::uint64_t, kNumCounters> child_counters{};
+    for (const SpanNode& child : span.children) {
+      child_ms += child.duration_ms;
+      if (child.has_counters) {
+        for (std::size_t i = 0; i < kNumCounters; ++i) {
+          child_counters[i] += child.counters[i];
+        }
+      } else {
+        children_have_counters = false;
+      }
+      self(child, self);
+    }
+    accum.self_ms += std::max(0.0, span.duration_ms - child_ms);
+    if (span.has_counters && children_have_counters) {
+      for (std::size_t i = 0; i < kNumCounters; ++i) {
+        accum.total_counters[i] += span.counters[i];
+        if (span.counters[i] >= child_counters[i]) {
+          accum.self_counters[i] += span.counters[i] - child_counters[i];
+        }
+      }
+    } else {
+      accum.counters_valid = false;
+    }
+  };
+  for (const SpanNode& span : spans) visit(span, visit);
+
+  std::vector<AttributionRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, accum] : by_name) {
+    AttributionRow row;
+    row.name = name;
+    row.count = accum.count;
+    row.total_ms = accum.total_ms;
+    row.self_ms = accum.self_ms;
+    row.has_counters = accum.counters_valid;
+    if (accum.counters_valid) {
+      row.total_counters = accum.total_counters;
+      row.self_counters = accum.self_counters;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const AttributionRow& a, const AttributionRow& b) {
+              if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+double MeasureDisabledRegionCostNs(std::size_t iterations) {
+  if (iterations == 0) return 0.0;
+  const bool was_enabled = Profiler::Instance().enabled();
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  Stopwatch stopwatch;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    TMARK_PROF_REGION("obs.prof.overhead_probe");
+#if defined(__GNUC__)
+    asm volatile("" ::: "memory");  // Keep the loop from folding away.
+#endif
+  }
+  const double elapsed_ms = stopwatch.ElapsedMs();
+  internal::g_enabled.store(was_enabled, std::memory_order_relaxed);
+  return elapsed_ms * 1e6 / static_cast<double>(iterations);
+}
+
+}  // namespace tmark::obs::prof

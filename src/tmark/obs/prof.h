@@ -1,0 +1,197 @@
+#ifndef TMARK_OBS_PROF_H_
+#define TMARK_OBS_PROF_H_
+
+// Profiling and attribution layer on top of the tracing subsystem.
+//
+// Three pieces live here:
+//
+//  1. TMARK_PROF_REGION("la.mk.matmul_panel") — a lightweight RAII kernel
+//     region. Each region accumulates call count, wall time, and (when
+//     available) hardware-counter deltas into a per-thread buffer; buffers
+//     are merged in a deterministic order by Profiler::Snapshot(). Like the
+//     tracer, profiling is compiled in but off by default: a disabled
+//     region costs one relaxed atomic load + branch (enforced by the
+//     overhead self-test and scripts/check_profile.py).
+//
+//  2. Hardware counters via Linux perf_event_open (cycles, instructions,
+//     LLC misses, branch misses), opened lazily per thread as one event
+//     group. When the counters cannot be opened (no perf permission,
+//     missing PMU, non-Linux build) the failure is reported as a typed
+//     Status from Profiler::counters_status() and everything degrades to
+//     time-only profiling; no call site needs to care.
+//
+//  3. ComputeAttribution() — an exclusive-time/counter table derived from a
+//     finished span forest: for every span name, total (inclusive) and
+//     self (exclusive of children) milliseconds and counter deltas. This is
+//     what the tmark-bench-v1 "attribution" key and the tmark-profile-v1
+//     document export (docs/OBSERVABILITY.md).
+//
+// Thread-safety contract: regions may run concurrently on any thread, but
+// Snapshot()/Reset() must be called from outside a parallel region, after
+// the producing threads joined (ThreadPool::Run's join provides the
+// happens-before edge). ThreadPool workers register a merge ordinal via
+// RegisterWorkerThread() so the per-thread buffers merge in the same order
+// regardless of OS scheduling; all accumulators are integers, so the
+// merged call/counter totals are bit-identical across thread counts.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tmark/common/status.h"
+#include "tmark/obs/trace.h"
+
+namespace tmark::obs::prof {
+
+/// Hardware counters sampled per region / span, in export order.
+inline constexpr std::size_t kNumCounters = 4;
+
+/// "cycles", "instructions", "llc_misses", "branch_misses".
+std::string_view CounterName(std::size_t index);
+
+/// Merged totals of one kernel region across all threads.
+struct RegionTotals {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t time_ns = 0;
+  std::array<std::uint64_t, kNumCounters> counters{};
+
+  double time_ms() const { return static_cast<double>(time_ns) * 1e-6; }
+};
+
+/// Point-in-time merge of every thread's region buffer.
+struct ProfileSnapshot {
+  bool counters_available = false;
+  /// counters_status().ToString() at snapshot time ("OK" when available).
+  std::string counter_status;
+  std::vector<RegionTotals> regions;  ///< Sorted by name.
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Process-global profiler: the on/off switch, the per-thread region
+/// buffers, and the counter-availability status.
+class Profiler {
+ public:
+  static Profiler& Instance();
+
+  bool enabled() const {
+    return internal::g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Enabling probes the hardware counters on the calling thread, so
+  /// counters_status() is meaningful right away. Toggle only between
+  /// parallel regions.
+  void set_enabled(bool enabled);
+
+  /// OK when hardware counters opened on at least one thread; otherwise
+  /// the typed reason (kFailedPrecondition) for the time-only fallback.
+  Status counters_status() const;
+  bool counters_available() const;
+
+  /// Merges all per-thread buffers in deterministic (ordinal, registration)
+  /// order. Call only after producing threads joined.
+  ProfileSnapshot Snapshot() const;
+
+  /// Zeroes every thread's accumulators in place (buffers stay registered,
+  /// so live threads keep their caches). Call between parallel regions.
+  void Reset();
+
+ private:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+};
+
+inline bool ProfilingEnabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII kernel region. Construction and destruction are inline no-ops
+/// (one relaxed load + branch) while profiling is disabled; when enabled
+/// they stamp wall time and hardware-counter deltas into the calling
+/// thread's buffer. Must be destroyed on the thread that created it.
+class ProfRegion {
+ public:
+  /// `name` must outlive the region — pass a string literal.
+  explicit ProfRegion(std::string_view name) {
+    if (ProfilingEnabled()) Begin(name);
+  }
+
+  ~ProfRegion() {
+    if (active_) End();
+  }
+
+  ProfRegion(const ProfRegion&) = delete;
+  ProfRegion& operator=(const ProfRegion&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(std::string_view name);
+  void End();
+
+  bool active_ = false;
+  bool counters_active_ = false;
+  std::uint32_t region_id_ = 0;
+  void* buffer_ = nullptr;  ///< Owning thread's buffer (opaque).
+  std::uint64_t start_ns_ = 0;
+  std::array<std::uint64_t, kNumCounters> start_counters_{};
+};
+
+#define TMARK_PROF_CONCAT_INNER_(a, b) a##b
+#define TMARK_PROF_CONCAT_(a, b) TMARK_PROF_CONCAT_INNER_(a, b)
+/// Opens a profiling region for the rest of the enclosing scope.
+#define TMARK_PROF_REGION(name)                 \
+  ::tmark::obs::prof::ProfRegion TMARK_PROF_CONCAT_(tmark_prof_region_, \
+                                                    __LINE__)(name)
+
+/// Samples the calling thread's hardware counters. Returns false (leaving
+/// *out untouched) when profiling is disabled or the counters are
+/// unavailable. TraceSpan uses begin/end samples to attach deltas to spans.
+bool SampleThreadCounters(std::array<std::uint64_t, kNumCounters>* out);
+
+/// Called by ThreadPool workers before any region: fixes this thread's
+/// position in the Snapshot() merge order (caller thread of a pool batch
+/// sorts first, workers follow in lane order).
+void RegisterWorkerThread(std::size_t ordinal);
+
+/// One row of the exclusive-time attribution table: spans named `name`
+/// cost `total_ms` inclusive and `self_ms` after subtracting their direct
+/// children. Counter columns follow the same inclusive/exclusive split and
+/// are present only when every contributing span carried counters.
+struct AttributionRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+  bool has_counters = false;
+  std::array<std::uint64_t, kNumCounters> total_counters{};
+  std::array<std::uint64_t, kNumCounters> self_counters{};
+};
+
+/// Aggregates a finished span forest (Tracer::FinishedCopy()) into
+/// attribution rows, one per distinct span name, sorted by descending
+/// self_ms (ties by name). In a single-threaded forest the self_ms of all
+/// rows sums to the total duration of the root spans (up to clamping of
+/// negative exclusive times caused by clock jitter); concurrent sibling
+/// spans overlap in wall time, so at higher thread counts the sum can
+/// legitimately exceed it.
+std::vector<AttributionRow> ComputeAttribution(
+    const std::vector<SpanNode>& spans);
+
+/// Measures the per-call cost of a *disabled* TMARK_PROF_REGION by timing
+/// `iterations` back-to-back regions (profiling is forced off during the
+/// measurement and restored after). Feeds the overhead gate in
+/// scripts/check_profile.py.
+double MeasureDisabledRegionCostNs(std::size_t iterations);
+
+}  // namespace tmark::obs::prof
+
+#endif  // TMARK_OBS_PROF_H_

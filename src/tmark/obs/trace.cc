@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "tmark/obs/prof.h"
+
 namespace tmark::obs {
 namespace {
 
@@ -18,6 +20,10 @@ struct SpanStack {
 };
 
 }  // namespace
+
+std::string_view SpanCounterName(std::size_t index) {
+  return prof::CounterName(index);
+}
 
 Tracer& Tracer::Instance() {
   static Tracer* tracer = new Tracer;  // never destroyed (exit-safe)
@@ -57,6 +63,7 @@ TraceSpan::TraceSpan(std::string_view name) {
   if (!tracer.enabled()) return;
   active_ = true;
   node_.name = std::string(name);
+  SampleCountersAtOpen();
   node_.start_ms = tracer.NowMs();
   parent_ = SpanStack::Swap(this);
 }
@@ -66,13 +73,33 @@ TraceSpan::TraceSpan(std::string_view name, SpanNode* sink) : sink_(sink) {
   if (!tracer.enabled()) return;
   active_ = true;
   node_.name = std::string(name);
+  SampleCountersAtOpen();
   node_.start_ms = tracer.NowMs();
   parent_ = SpanStack::Swap(this);
+}
+
+void TraceSpan::SampleCountersAtOpen() {
+  static_assert(kSpanCounters == prof::kNumCounters,
+                "SpanNode counter slots must match the profiler's");
+  counters_active_ = prof::SampleThreadCounters(&counters_begin_);
+}
+
+void TraceSpan::SampleCountersAtClose() {
+  if (!counters_active_) return;
+  std::array<std::uint64_t, kSpanCounters> end_counters;
+  if (!prof::SampleThreadCounters(&end_counters)) return;
+  node_.has_counters = true;
+  for (std::size_t i = 0; i < kSpanCounters; ++i) {
+    node_.counters[i] = end_counters[i] >= counters_begin_[i]
+                            ? end_counters[i] - counters_begin_[i]
+                            : 0;
+  }
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   node_.duration_ms = Tracer::Instance().NowMs() - node_.start_ms;
+  SampleCountersAtClose();
   SpanStack::Swap(parent_);
   if (sink_ != nullptr) {
     *sink_ = std::move(node_);

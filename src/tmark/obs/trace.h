@@ -13,7 +13,9 @@
 // feeds the duration (milliseconds) into a registry histogram; it is active
 // only while the metrics registry is enabled.
 
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,11 +43,23 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-/// One finished span: name, timing, key=value fields, nested children.
+/// Hardware counters a span can carry, in export order. Mirrors
+/// obs::prof::kNumCounters (static_assert'd in prof.h); names come from
+/// SpanCounterName().
+inline constexpr std::size_t kSpanCounters = 4;
+
+/// "cycles", "instructions", "llc_misses", "branch_misses".
+std::string_view SpanCounterName(std::size_t index);
+
+/// One finished span: name, timing, key=value fields, nested children, and
+/// (when the profiler's hardware counters are available) counter deltas
+/// over the span's lifetime.
 struct SpanNode {
   std::string name;
   double start_ms = 0.0;     ///< Offset from the tracer epoch.
   double duration_ms = 0.0;
+  bool has_counters = false;
+  std::array<std::uint64_t, kSpanCounters> counters{};
   std::vector<std::pair<std::string, std::string>> fields;
   std::vector<SpanNode> children;
 };
@@ -128,9 +142,14 @@ class TraceSpan {
   void AdoptChild(SpanNode child);
 
  private:
+  void SampleCountersAtOpen();
+  void SampleCountersAtClose();
+
   bool active_ = false;
+  bool counters_active_ = false;  ///< Hardware counters sampled at open.
   TraceSpan* parent_ = nullptr;  ///< Innermost active span at open time.
   SpanNode* sink_ = nullptr;     ///< Non-null for detached spans.
+  std::array<std::uint64_t, kSpanCounters> counters_begin_{};
   SpanNode node_;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tmark/obs/metrics.h"
+#include "tmark/obs/prof.h"
 
 namespace tmark::parallel {
 namespace {
@@ -80,7 +81,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads - 1);
   for (std::size_t i = 0; i + 1 < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Lane i+1: the caller participating in Run is lane 0, so the
+    // profiler's per-thread buffers merge caller-first, then workers in
+    // lane order (see obs/prof.h).
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -129,8 +133,9 @@ void ThreadPool::Run(std::size_t num_tasks,
   if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t lane) {
   t_inside_parallel_region = true;
+  obs::prof::RegisterWorkerThread(lane);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* task = nullptr;

@@ -70,7 +70,10 @@ class ThreadPool {
   void Run(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
 
  private:
-  void WorkerLoop();
+  /// `lane` is this worker's 1-based lane (the participating caller is
+  /// lane 0); it fixes the worker's position in the profiler's
+  /// deterministic buffer-merge order.
+  void WorkerLoop(std::size_t lane);
   /// Claims and executes tasks of the current batch until it drains or a
   /// task fails.
   void Drain(const std::function<void(std::size_t)>& task);

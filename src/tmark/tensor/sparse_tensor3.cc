@@ -4,6 +4,7 @@
 
 #include "tmark/common/check.h"
 #include "tmark/la/microkernel.h"
+#include "tmark/obs/prof.h"
 #include "tmark/parallel/parallel_for.h"
 
 namespace tmark::tensor {
@@ -168,6 +169,7 @@ la::Vector SparseTensor3::ContractMode1(const la::Vector& x,
 
 void SparseTensor3::ContractMode1Into(const la::Vector& x, const la::Vector& z,
                                       la::Vector* y) const {
+  TMARK_PROF_REGION("tensor.contract.mode1");
   TMARK_CHECK(y != nullptr && x.size() == n_ && z.size() == m_);
   y->assign(n_, 0.0);
   // Row-partitioned: each row accumulates its per-slice contributions in
@@ -199,6 +201,7 @@ la::Vector SparseTensor3::ContractMode3(const la::Vector& x,
 
 void SparseTensor3::ContractMode3Into(const la::Vector& x, const la::Vector& y,
                                       la::Vector* w) const {
+  TMARK_PROF_REGION("tensor.contract.mode3");
   TMARK_CHECK(w != nullptr && x.size() == n_ && y.size() == n_);
   w->resize(m_);
   // One independent bilinear form per slice; w entries are disjoint.
@@ -212,6 +215,7 @@ void SparseTensor3::ContractMode1Panel(const la::DenseMatrix& x,
                                        std::size_t width,
                                        la::DenseMatrix* y,
                                        la::PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("tensor.contract.mode1_panel");
   TMARK_CHECK(y != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == n_ && z.rows() == m_ && y->rows() == n_);
   TMARK_CHECK(x.cols() == y->cols() && z.cols() == x.cols());
@@ -270,6 +274,7 @@ void SparseTensor3::ContractMode3Panel(const la::DenseMatrix& x,
                                        const la::DenseMatrix& y,
                                        std::size_t width, la::DenseMatrix* w,
                                        la::PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("tensor.contract.mode3_panel");
   TMARK_CHECK(w != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == n_ && y.rows() == n_ && w->rows() == m_);
   TMARK_CHECK(x.cols() == y.cols() && w->cols() == x.cols());

@@ -5,6 +5,7 @@
 #include "tmark/common/check.h"
 #include "tmark/la/microkernel.h"
 #include "tmark/obs/metrics.h"
+#include "tmark/obs/prof.h"
 #include "tmark/obs/trace.h"
 
 namespace tmark::tensor {
@@ -114,6 +115,7 @@ la::Vector TransitionTensors::ApplyO(const la::Vector& x,
 
 void TransitionTensors::ApplyOInto(const la::Vector& x, const la::Vector& z,
                                    la::Vector* y) const {
+  TMARK_PROF_REGION("tensor.apply_o");
   TMARK_CHECK(y != nullptr && x.size() == n_ && z.size() == m_);
   o_.ContractMode1Into(x, z, y);
   // Dangling correction: every empty column (j,k) contributes
@@ -140,6 +142,7 @@ la::Vector TransitionTensors::ApplyR(const la::Vector& x,
 
 void TransitionTensors::ApplyRInto(const la::Vector& x, const la::Vector& y,
                                    la::Vector* w) const {
+  TMARK_PROF_REGION("tensor.apply_r");
   TMARK_CHECK(w != nullptr && x.size() == n_ && y.size() == n_);
   r_.ContractMode3Into(x, y, w);
   // Dangling correction: unlinked (i,j) pairs carry the uniform fiber 1/m.
@@ -154,6 +157,7 @@ void TransitionTensors::ApplyOPanel(const la::DenseMatrix& x,
                                     const la::DenseMatrix& z,
                                     std::size_t width, la::DenseMatrix* y,
                                     la::PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("tensor.apply_o_panel");
   TMARK_CHECK(y != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == n_ && z.rows() == m_ && y->rows() == n_);
   TMARK_CHECK(width <= x.cols());
@@ -191,6 +195,7 @@ void TransitionTensors::ApplyRPanel(const la::DenseMatrix& x,
                                     const la::Vector* x_sums,
                                     const la::Vector* y_sums,
                                     la::Vector* w_sums) const {
+  TMARK_PROF_REGION("tensor.apply_r_panel");
   TMARK_CHECK(w != nullptr && ws != nullptr);
   TMARK_CHECK(x.rows() == n_ && y.rows() == n_ && w->rows() == m_);
   TMARK_CHECK(width <= x.cols());

@@ -212,6 +212,39 @@ TEST(TMarkTest, GammaOneUsesOnlyFeatures) {
   EXPECT_EQ(pred[3], 0u);
 }
 
+TEST(ConvergenceDiagnosticsTest, GeometricDecayRecoversItsRate) {
+  // rho_t = 0.5^t decays at exactly rate 0.5.
+  std::vector<double> residuals;
+  double rho = 1.0;
+  for (int t = 0; t < 12; ++t) {
+    residuals.push_back(rho);
+    rho *= 0.5;
+  }
+  EXPECT_NEAR(EstimateContractionRate(residuals), 0.5, 1e-12);
+  // Last residual 0.5^11 ~ 4.9e-4; reaching 1e-6 at rate 0.5 takes
+  // ceil(log(1e-6 / 0.5^11) / log(0.5)) = 9 more iterations.
+  EXPECT_DOUBLE_EQ(
+      PredictIterationsToTolerance(residuals, 0.5, 1e-6), 9.0);
+}
+
+TEST(ConvergenceDiagnosticsTest, DegenerateTracesHaveNoPrediction) {
+  EXPECT_EQ(EstimateContractionRate({}), 0.0);
+  EXPECT_EQ(EstimateContractionRate({1.0}), 0.0);
+  EXPECT_EQ(EstimateContractionRate({1.0, 0.0}), 0.0);
+  EXPECT_EQ(PredictIterationsToTolerance({}, 0.5, 1e-6), -1.0);
+  // Diverging (rate >= 1) traces cannot predict a finite horizon.
+  EXPECT_EQ(PredictIterationsToTolerance({1.0, 2.0}, 2.0, 1e-6), -1.0);
+  // Already converged: zero further iterations.
+  EXPECT_EQ(PredictIterationsToTolerance({1.0, 1e-9}, 0.5, 1e-6), 0.0);
+}
+
+TEST(ConvergenceDiagnosticsTest, RateUsesOnlyTheConsecutivePositiveTail) {
+  // A stall (zero residual) in the middle must not poison the estimate:
+  // only the ratios after it contribute.
+  const std::vector<double> residuals = {5.0, 0.0, 1.0, 0.25, 0.0625};
+  EXPECT_NEAR(EstimateContractionRate(residuals), 0.25, 1e-12);
+}
+
 TEST(TMarkTest, MultiLabelPredictionIncludesArgmax) {
   const hin::Hin hin = datasets::MakePaperExample();
   TMarkClassifier clf;

@@ -1,0 +1,82 @@
+#include "tmark/obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tmark/obs/trace.h"
+
+namespace tmark::obs {
+namespace {
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ChromeTraceTest, EmptyForestIsAValidSkeleton) {
+  const std::string doc = SpansToChromeTrace({});
+  EXPECT_EQ(doc, R"({"displayTimeUnit":"ms","traceEvents":[]})");
+}
+
+TEST(ChromeTraceTest, EmitsOneCompleteEventPerSpanIncludingChildren) {
+  SpanNode root;
+  root.name = "fit";
+  root.start_ms = 1.0;
+  root.duration_ms = 10.0;
+  SpanNode child;
+  child.name = "kernel";
+  child.start_ms = 2.0;
+  child.duration_ms = 3.0;
+  root.children.push_back(child);
+
+  const std::string doc = SpansToChromeTrace({root});
+  // Flattened: one "X" (complete) event per span, children included.
+  EXPECT_EQ(CountOccurrences(doc, "\"ph\":\"X\""), 2u);
+  EXPECT_NE(doc.find("\"name\":\"fit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"kernel\""), std::string::npos);
+  // Times convert ms -> us.
+  EXPECT_NE(doc.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":10000"), std::string::npos);
+  EXPECT_NE(doc.find("\"ts\":2000"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":3000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, FieldsAndCountersLandInArgs) {
+  SpanNode span;
+  span.name = "annotated";
+  span.fields.emplace_back("classes", "4");
+  span.has_counters = true;
+  span.counters = {111, 222, 33, 44};
+
+  const std::string doc = SpansToChromeTrace({span});
+  EXPECT_NE(doc.find("\"args\":{\"classes\":\"4\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cycles\":111"), std::string::npos);
+  EXPECT_NE(doc.find("\"instructions\":222"), std::string::npos);
+  EXPECT_NE(doc.find("\"llc_misses\":33"), std::string::npos);
+  EXPECT_NE(doc.find("\"branch_misses\":44"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, SpansWithoutCountersOmitCounterKeys) {
+  SpanNode span;
+  span.name = "plain";
+  const std::string doc = SpansToChromeTrace({span});
+  EXPECT_EQ(doc.find("cycles"), std::string::npos);
+  EXPECT_NE(doc.find("\"args\":{}"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, HostileSpanNamesAreEscaped) {
+  SpanNode span;
+  span.name = "weird\"name\n";
+  const std::string doc = SpansToChromeTrace({span});
+  EXPECT_NE(doc.find("weird\\\"name\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmark::obs

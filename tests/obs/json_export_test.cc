@@ -274,6 +274,106 @@ TEST(JsonExportTest, EmptySnapshotsAreValidDocuments) {
   EXPECT_TRUE(IsValidJson(SpansToJson({})));
 }
 
+TEST(JsonExportTest, HistogramExportCarriesMeanBetweenSumAndMin) {
+  Registry& registry = Registry::Instance();
+  registry.Reset();
+  registry.set_enabled(true);
+  ObserveHistogram("json.mean_hist", 2.0);
+  ObserveHistogram("json.mean_hist", 4.0);
+  registry.set_enabled(false);
+  const std::string doc = MetricsToJson(registry.Snapshot());
+  registry.Reset();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"mean\":3"), std::string::npos) << doc;
+  // Key order is part of the schema consumed by scripts/check_bench_json.py.
+  const std::size_t sum_pos = doc.find("\"sum\":");
+  const std::size_t mean_pos = doc.find("\"mean\":");
+  const std::size_t min_pos = doc.find("\"min\":");
+  ASSERT_NE(sum_pos, std::string::npos);
+  ASSERT_NE(mean_pos, std::string::npos);
+  ASSERT_NE(min_pos, std::string::npos);
+  EXPECT_LT(sum_pos, mean_pos);
+  EXPECT_LT(mean_pos, min_pos);
+}
+
+TEST(JsonExportTest, SpanCountersExportWhenPresent) {
+  SpanNode span;
+  span.name = "counted";
+  span.has_counters = true;
+  span.counters = {10, 20, 3, 4};
+  const std::string doc = SpansToJson({span});
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"counters\":{\"cycles\":10,\"instructions\":20,"
+                     "\"llc_misses\":3,\"branch_misses\":4}"),
+            std::string::npos)
+      << doc;
+  // And stays absent without counters.
+  SpanNode plain;
+  plain.name = "plain";
+  EXPECT_EQ(SpansToJson({plain}).find("counters"), std::string::npos);
+}
+
+TEST(JsonExportTest, AttributionRowsRoundTripThroughValidator) {
+  prof::AttributionRow timed;
+  timed.name = "fit";
+  timed.count = 2;
+  timed.total_ms = 10.0;
+  timed.self_ms = 4.0;
+  prof::AttributionRow counted;
+  counted.name = "kernel";
+  counted.count = 8;
+  counted.total_ms = 6.0;
+  counted.self_ms = 6.0;
+  counted.has_counters = true;
+  counted.total_counters = {100, 200, 30, 40};
+  counted.self_counters = {90, 180, 20, 30};
+
+  JsonWriter writer;
+  WriteAttribution(writer, {timed, counted});
+  const std::string doc = writer.TakeString();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"name\":\"fit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"self_ms\":4"), std::string::npos);
+  // Counter columns only on the row that has them.
+  EXPECT_NE(doc.find("\"total_counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"self_counters\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"total_counters\""), doc.rfind("\"total_counters\""));
+}
+
+TEST(JsonExportTest, ProfileDocumentRoundTripsThroughValidator) {
+  prof::ProfileSnapshot profile;
+  profile.counters_available = false;
+  profile.counter_status = "FAILED_PRECONDITION: perf unavailable";
+  prof::RegionTotals region;
+  region.name = "la.mk.matmul_panel";
+  region.calls = 12;
+  region.time_ns = 3'500'000;
+  profile.regions.push_back(region);
+
+  ProfileOverhead overhead;
+  overhead.disabled_ns_per_region = 2.5;
+  overhead.region_calls = 12;
+  overhead.workload_ms = 100.0;
+
+  const std::string doc =
+      ProfileToJson("unit_test", 4, profile, {}, overhead);
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"schema\":\"tmark-profile-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters_available\":false"), std::string::npos);
+  EXPECT_NE(doc.find("\"la.mk.matmul_panel\""), std::string::npos);
+  EXPECT_NE(doc.find("\"estimated_disabled_overhead_pct\""),
+            std::string::npos);
+
+  // Unknown workload -> the overhead percentage is null, not garbage.
+  overhead.workload_ms = 0.0;
+  const std::string doc2 =
+      ProfileToJson("unit_test", 4, profile, {}, overhead);
+  EXPECT_TRUE(IsValidJson(doc2)) << doc2;
+  EXPECT_NE(doc2.find("\"estimated_disabled_overhead_pct\":null"),
+            std::string::npos)
+      << doc2;
+}
+
 TEST(JsonExportTest, WriteTextFileRoundTrip) {
   const std::string path =
       ::testing::TempDir() + "/tmark_json_export_test.json";

@@ -6,6 +6,9 @@
 #include <iterator>
 #include <string>
 
+#include "tmark/common/status.h"
+#include "tmark/obs/metrics.h"
+
 namespace tmark::obs {
 namespace {
 
@@ -107,6 +110,52 @@ TEST_F(LoggingTest, SinkFileFailureKeepsLoggerUsable) {
   Logger::Instance().set_level(LogLevel::kInfo);
   LogInfo("still.works");
   EXPECT_NE(SinkContents().find("still.works"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OpenSinkFileReturnsTypedNotFoundOnFailure) {
+  const Status status =
+      Logger::Instance().OpenSinkFile("/nonexistent-dir/x/tmark.log");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.ToString().find("/nonexistent-dir/x/tmark.log"),
+            std::string::npos);
+  EXPECT_TRUE(Logger::Instance().OpenSinkFile(path_).ok());
+  EXPECT_TRUE(Logger::Instance().OpenSinkFile("").ok());  // detach
+}
+
+TEST_F(LoggingTest, SinkOpenFailureBumpsFileErrorCounter) {
+  Registry::Instance().Reset();
+  Registry::Instance().set_enabled(true);
+  EXPECT_FALSE(
+      Logger::Instance().set_sink_file("/nonexistent-dir/x/tmark.log"));
+  EXPECT_FALSE(
+      Logger::Instance().set_sink_file("/nonexistent-dir/y/tmark.log"));
+  Registry::Instance().set_enabled(false);
+  // Every failure is counted, even though the stderr warning is one-shot.
+  EXPECT_EQ(Registry::Instance().GetCounter("obs.log.file_errors").value(),
+            2);
+  Registry::Instance().Reset();
+}
+
+TEST_F(LoggingTest, SinkWriteFailureIsCountedAndLoggerRecovers) {
+  // /dev/full accepts the open but fails every write with ENOSPC —
+  // exactly the silent-drop scenario the counter exists for.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  ASSERT_TRUE(Logger::Instance().set_sink_file("/dev/full"));
+  Registry::Instance().Reset();
+  Registry::Instance().set_enabled(true);
+  Logger::Instance().set_level(LogLevel::kInfo);
+  LogInfo("dropped.first");
+  LogInfo("dropped.second");
+  Registry::Instance().set_enabled(false);
+  EXPECT_EQ(Registry::Instance().GetCounter("obs.log.file_errors").value(),
+            2);
+  Registry::Instance().Reset();
+  // Re-pointing at a writable sink fully recovers.
+  ASSERT_TRUE(Logger::Instance().set_sink_file(path_));
+  LogInfo("recovered");
+  EXPECT_NE(SinkContents().find("recovered"), std::string::npos);
 }
 
 }  // namespace

@@ -18,7 +18,10 @@
 //
 // Observability (any command): --log-level debug|info|warn|error|off,
 // --metrics-json FILE (dump the metrics-registry snapshot on exit),
-// --trace-json FILE (dump the trace-span tree on exit). See
+// --trace-json FILE (dump the trace-span tree on exit), --trace-chrome
+// FILE (dump the span tree as a Perfetto-loadable Chrome trace), and
+// --profile-json FILE (dump a tmark-profile-v1 kernel-attribution
+// document). The trace sinks compose: one run can write any subset. See
 // docs/OBSERVABILITY.md.
 
 #include <cstdio>
@@ -37,8 +40,10 @@
 #include "tmark/datasets/presets.h"
 #include "tmark/eval/experiment.h"
 #include "tmark/hin/hin_io.h"
+#include "tmark/obs/chrome_trace.h"
 #include "tmark/obs/json_export.h"
 #include "tmark/obs/logging.h"
+#include "tmark/obs/prof.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/thread_pool.h"
@@ -117,6 +122,10 @@ int Usage() {
                "  --log-level debug|info|warn|error|off\n"
                "  --metrics-json FILE   dump metrics snapshot on exit\n"
                "  --trace-json FILE     dump trace spans on exit\n"
+               "  --trace-chrome FILE   dump Chrome trace (Perfetto) on "
+               "exit\n"
+               "  --profile-json FILE   dump tmark-profile-v1 attribution "
+               "on exit\n"
                "  --threads N           worker threads for fit kernels\n"
                "                        (default: TMARK_NUM_THREADS or all "
                "cores)\n");
@@ -138,10 +147,22 @@ std::string OneLine(const std::string& text) {
 struct ObsFlags {
   std::string metrics_json;
   std::string trace_json;
+  std::string trace_chrome;
+  std::string profile_json;
 
   explicit ObsFlags(const Args& args)
       : metrics_json(args.Get("metrics-json", "")),
-        trace_json(args.Get("trace-json", "")) {
+        trace_json(args.Get("trace-json", "")),
+        trace_chrome(args.Get("trace-chrome", "")),
+        profile_json(args.Get("profile-json", "")) {
+    // --profile-json is the only --profile-* flag; catch typos like
+    // --profile-out under the usage-error contract instead of silently
+    // ignoring them.
+    for (const auto& [key, value] : args.flags) {
+      if (key.rfind("profile-", 0) == 0 && key != "profile-json") {
+        throw FlagError("unknown flag --" + key);
+      }
+    }
     const std::string level = args.Get("log-level", "");
     if (!level.empty()) {
       const auto parsed = obs::ParseLogLevel(level);
@@ -153,9 +174,14 @@ struct ObsFlags {
       obs::Logger::Instance().set_level(*parsed);
     }
     if (!metrics_json.empty()) obs::Registry::Instance().set_enabled(true);
-    if (!trace_json.empty()) {
+    if (!trace_json.empty() || !trace_chrome.empty()) {
       obs::Registry::Instance().set_enabled(true);
       obs::Tracer::Instance().set_enabled(true);
+    }
+    if (!profile_json.empty()) {
+      obs::Registry::Instance().set_enabled(true);
+      obs::Tracer::Instance().set_enabled(true);
+      obs::prof::Profiler::Instance().set_enabled(true);
     }
     if (args.flags.count("threads") != 0) {
       const std::string& raw = args.flags.at("threads");
@@ -188,6 +214,40 @@ struct ObsFlags {
           obs::SpansToJson(obs::Tracer::Instance().FinishedCopy());
       if (!obs::WriteTextFile(trace_json, doc)) {
         std::fprintf(stderr, "error: cannot write %s\n", trace_json.c_str());
+        ok = false;
+      }
+    }
+    if (!trace_chrome.empty()) {
+      const std::string doc =
+          obs::SpansToChromeTrace(obs::Tracer::Instance().FinishedCopy());
+      if (!obs::WriteTextFile(trace_chrome, doc)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     trace_chrome.c_str());
+        ok = false;
+      }
+    }
+    if (!profile_json.empty()) {
+      const obs::prof::ProfileSnapshot profile =
+          obs::prof::Profiler::Instance().Snapshot();
+      const std::vector<obs::SpanNode> spans =
+          obs::Tracer::Instance().FinishedCopy();
+      obs::ProfileOverhead overhead;
+      for (const obs::prof::RegionTotals& region : profile.regions) {
+        overhead.region_calls += region.calls;
+      }
+      // Workload = total fit time, when this run fitted anything.
+      const obs::MetricsSnapshot metrics = obs::Registry::Instance().Snapshot();
+      for (const obs::HistogramSnapshot& h : metrics.histograms) {
+        if (h.name == "tmark.fit.total_ms") overhead.workload_ms = h.sum;
+      }
+      overhead.disabled_ns_per_region =
+          obs::prof::MeasureDisabledRegionCostNs(2'000'000);
+      const std::string doc = obs::ProfileToJson(
+          "tmark_cli", static_cast<std::uint64_t>(parallel::NumThreads()),
+          profile, obs::prof::ComputeAttribution(spans), overhead);
+      if (!obs::WriteTextFile(profile_json, doc)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     profile_json.c_str());
         ok = false;
       }
     }
