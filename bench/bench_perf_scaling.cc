@@ -1,0 +1,212 @@
+// Scaling-curve bench for the million-node regime (docs/PERFORMANCE.md
+// "Scaling"): fixed-iteration fit cost and structure memory versus node
+// count on the constant-average-degree synthetic family
+// (datasets::ScalingSyntheticConfig — the same graphs `tmark_cli generate
+// --preset synthetic:<n>` emits).
+//
+// Two tables go into the TMARK_BENCH_JSON dump (and stdout):
+//   * "scaling curve"  — per (n, threads, dispatch) fit wall time and
+//     ms/iter, with the LLC-sharded merged-view dispatch against the fixed
+//     chunk-grid baseline (tensor/sharding.h). Both dispatches are
+//     bit-identical, so iteration counts match and ms/iter is directly
+//     comparable; scripts/check_scaling_bench.py gates sharded <= slack x
+//     fixed.
+//   * "scaling memory" — compact (adaptive 32-bit) vs forced-wide (64-bit)
+//     structure bytes for the CSR slices and the merged view, from the
+//     analytic byte accounting (StructureBytes / MergedViewStorageBytes).
+//     The analytic numbers are the gated quantity because VmHWM is monotone
+//     per process; the peak-RSS column is recorded as context only.
+//
+// Knobs: TMARK_SCALING_NODES (comma list, default "100000,1000000") and
+// TMARK_SCALING_THREADS (comma list, default "1,4"). The ctest gate runs a
+// reduced TMARK_SCALING_NODES so CI stays fast; the committed
+// docs/bench/perf_scaling*.json dumps use the defaults.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+#include "tmark/common/string_util.h"
+#include "tmark/core/prepared_operators.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/la/index_array.h"
+#include "tmark/obs/mem.h"
+#include "tmark/tensor/sharding.h"
+#include "tmark/tensor/transition_tensors.h"
+
+namespace {
+
+using namespace tmark;
+
+std::vector<std::size_t> EnvSizeList(const char* name,
+                                     std::vector<std::size_t> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::size_t> values;
+  const char* p = env;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) return fallback;  // Unparsable: keep the defaults whole.
+    values.push_back(static_cast<std::size_t>(v));
+    p = *end == ',' ? end + 1 : end;
+    if (end != p && *end != ',') return fallback;
+  }
+  return values.empty() ? fallback : values;
+}
+
+std::string MiB(std::size_t bytes) {
+  return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+}
+
+/// Restores every global knob this bench sweeps.
+struct KnobGuard {
+  ~KnobGuard() {
+    parallel::SetNumThreads(0);
+    tensor::SetMergedShardingEnabled(true);
+    la::SetForceWideIndexArrays(false);
+  }
+};
+
+struct StructureBytesReport {
+  std::size_t nnz = 0;
+  std::size_t csr_bytes = 0;
+  std::size_t merged_bytes = 0;
+  std::size_t merged_index_bits = 0;
+  std::size_t shards = 0;
+};
+
+StructureBytesReport MeasureStructures(const hin::Hin& hin) {
+  const tensor::TransitionTensors tensors =
+      tensor::TransitionTensors::Build(hin.ToAdjacencyTensor());
+  StructureBytesReport report;
+  for (const tensor::SparseTensor3* t :
+       {&tensors.o_stored(), &tensors.r_stored()}) {
+    report.nnz += t->NumNonZeros();
+    for (std::size_t k = 0; k < t->num_relations(); ++k) {
+      report.csr_bytes += t->Slice(k).StructureBytes();
+    }
+    report.merged_bytes += t->MergedViewStorageBytes();
+    report.merged_index_bits =
+        std::max(report.merged_index_bits, t->MergedViewIndexBits());
+    report.shards += t->MergedShardCount();
+  }
+  return report;
+}
+
+void RunScalingStudy() {
+  KnobGuard guard;
+  const std::vector<std::size_t> sizes =
+      EnvSizeList("TMARK_SCALING_NODES", {100'000, 1'000'000});
+  const std::vector<std::size_t> thread_counts =
+      EnvSizeList("TMARK_SCALING_THREADS", {1, 4});
+
+  std::vector<std::string> curve_headers = {
+      "n",      "threads",     "dispatch",    "shards",
+      "fit_ms", "iterations",  "ms_per_iter", "peak_rss_mb"};
+  std::vector<std::vector<std::string>> curve_rows;
+  std::vector<std::string> mem_headers = {
+      "n",     "nnz",
+      "csr_compact_bytes",    "csr_wide_bytes",
+      "merged_compact_bytes", "merged_wide_bytes",
+      "merged_index_bits",    "shards"};
+  std::vector<std::vector<std::string>> mem_rows;
+
+  for (const std::size_t n : sizes) {
+    const hin::Hin hin = datasets::GenerateSyntheticHin(
+        datasets::ScalingSyntheticConfig(n, /*seed=*/7));
+    std::vector<std::size_t> labeled;
+    for (std::size_t i = 0; i < n; i += 3) labeled.push_back(i);
+
+    // Memory: the same structures under compact (adaptive) and forced-wide
+    // offsets. Analytic byte accounting, not RSS — see the header comment.
+    // The HIN is regenerated under the force-wide knob because downstream
+    // builds inherit structure arrays from the relation matrices, which are
+    // assembled at generation time.
+    const StructureBytesReport compact = MeasureStructures(hin);
+    la::SetForceWideIndexArrays(true);
+    const StructureBytesReport wide =
+        MeasureStructures(datasets::GenerateSyntheticHin(
+            datasets::ScalingSyntheticConfig(n, /*seed=*/7)));
+    la::SetForceWideIndexArrays(false);
+    mem_rows.push_back({std::to_string(n), std::to_string(compact.nnz),
+                        std::to_string(compact.csr_bytes),
+                        std::to_string(wide.csr_bytes),
+                        std::to_string(compact.merged_bytes),
+                        std::to_string(wide.merged_bytes),
+                        std::to_string(compact.merged_index_bits),
+                        std::to_string(compact.shards)});
+
+    // Timing: prebuilt operators, fixed 8-iteration chains (epsilon below
+    // any reachable residual) so every (dispatch, threads) cell runs the
+    // identical workload — the dispatches are bit-identical anyway, but the
+    // cap also keeps the million-node cells affordable.
+    const core::PreparedOperators ops =
+        core::PreparedOperators::Build(hin, hin::SimilarityKernel::kCosine);
+    core::TMarkConfig config;
+    config.max_iterations = 8;
+    config.epsilon = 1e-300;
+    for (const std::size_t threads : thread_counts) {
+      parallel::SetNumThreads(threads);
+      for (const bool sharded : {true, false}) {
+        tensor::SetMergedShardingEnabled(sharded);
+        std::size_t iterations = 0;
+        const bench::BenchTimer::Timing timing =
+            bench::BenchTimer::Time([&] {
+              core::TMarkClassifier clf(config);
+              clf.Fit(hin, ops, labeled);
+              iterations = 0;
+              for (const core::ConvergenceTrace& t : clf.Traces()) {
+                iterations += t.residuals.size();
+              }
+              benchmark::DoNotOptimize(clf.Confidences());
+            });
+        const auto rss = obs::ReadPeakRssBytes();
+        curve_rows.push_back(
+            {std::to_string(n), std::to_string(threads),
+             sharded ? "sharded" : "fixed",
+             std::to_string(sharded ? compact.shards : 0),
+             FormatDouble(timing.min_ms, 2), std::to_string(iterations),
+             FormatDouble(timing.min_ms / static_cast<double>(iterations),
+                          5),
+             rss.ok() ? MiB(*rss) : "n/a"});
+      }
+      tensor::SetMergedShardingEnabled(true);
+    }
+  }
+
+  const auto emit = [](const std::string& title,
+                       const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows) {
+    std::cout << title << "\n";
+    eval::TablePrinter printer(headers);
+    for (const std::vector<std::string>& row : rows) {
+      printer.AddRow(std::vector<std::string>(row));
+    }
+    printer.Print(std::cout);
+    if (bench::BenchObsSession* session = bench::BenchObsSession::active()) {
+      session->RecordTable({title, headers, rows});
+    }
+  };
+  emit("scaling curve", curve_headers, curve_rows);
+  emit("scaling memory", mem_headers, mem_rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tmark::bench::BenchObsSession obs_session(argv[0]);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RunScalingStudy();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include "tmark/obs/chrome_trace.h"
 #include "tmark/obs/json_export.h"
 #include "tmark/obs/logging.h"
+#include "tmark/obs/mem.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/prof.h"
 #include "tmark/obs/trace.h"
@@ -103,6 +104,9 @@ class BenchObsSession {
 
  private:
   void WriteJson() {
+    // Refresh the peak-RSS gauge just before the snapshot so the dump
+    // carries the run's true memory high-water mark.
+    obs::RecordPeakRss();
     obs::JsonWriter writer;
     writer.BeginObject();
     writer.Key("schema").Value("tmark-bench-v1");

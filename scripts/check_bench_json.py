@@ -4,6 +4,7 @@
 Usage: check_bench_json.py FILE [--require-series PREFIX]
                                 [--require-histogram NAME]
                                 [--require-gauge NAME]
+                                [--require-positive-gauge NAME]
                                 [--check-attribution]
 
 The schema is documented in docs/OBSERVABILITY.md. Exits 0 when FILE is a
@@ -11,7 +12,10 @@ well-formed document, 1 (with a message on stderr) otherwise. The optional
 --require-* flags additionally assert that the metrics snapshot contains a
 series whose name starts with PREFIX / a histogram with at least one
 observation named NAME / a gauge named NAME — the ctest wiring uses them to
-pin the fit telemetry end-to-end.
+pin the fit telemetry end-to-end. --require-positive-gauge further demands
+value > 0; the memory/shard gauges (mem.peak_rss_bytes,
+tensor.merged.bytes, tensor.merged.shards) use it, since a zero there means
+the instrumentation silently broke.
 """
 
 import argparse
@@ -241,6 +245,10 @@ def main():
     parser.add_argument("--require-gauge", action="append", default=[],
                         metavar="NAME",
                         help="fail unless gauge NAME is present")
+    parser.add_argument("--require-positive-gauge", action="append",
+                        default=[], metavar="NAME",
+                        help="fail unless gauge NAME is present with "
+                             "value > 0")
     parser.add_argument("--check-attribution", action="store_true",
                         help="fail unless a non-empty attribution table is "
                              "present whose exclusive times partition the "
@@ -279,6 +287,11 @@ def main():
             expect(any(g["name"] == name for g in gauges),
                    "$.metrics.gauges",
                    f"no gauge named '{name}'")
+        for name in args.require_positive_gauge:
+            expect(any(g["name"] == name and g["value"] > 0
+                       for g in gauges),
+                   "$.metrics.gauges",
+                   f"no gauge named '{name}' with value > 0")
         if args.check_attribution:
             check_attribution_consistency(doc)
     except SchemaError as e:

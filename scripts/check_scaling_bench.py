@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Gate for the scaling bench (docs/PERFORMANCE.md "Scaling").
+
+Reads a TMARK_BENCH_JSON dump from bench_perf_scaling and asserts, for
+every (n, threads) cell of the "scaling curve" table:
+
+  * both dispatch rows ("sharded" and "fixed") are present,
+  * their iteration counts agree (the dispatches are bit-identical, so a
+    mismatch means two different workloads were timed),
+  * the sharded dispatch's ms_per_iter does not exceed the fixed dispatch's
+    by more than --slack (default 1.5x — deliberately generous, like
+    check_fit_engine.py: the gate catches a sharded path that regressed to
+    uselessness, not timing noise on a loaded CI machine),
+
+and, for every row of the "scaling memory" table, that the compact
+(adaptive 32-bit) structures are strictly smaller than the forced-wide
+64-bit ones — for the CSR slices and the merged view alike. The memory
+comparison is analytic byte accounting, so it is exact and noise-free.
+
+Usage: check_scaling_bench.py FILE [--slack 1.5]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+CURVE_TITLE = "scaling curve"
+MEMORY_TITLE = "scaling memory"
+
+
+def fail(message):
+    print(f"check_scaling_bench: {message}", file=sys.stderr)
+    return 1
+
+
+def find_table(doc, title, path):
+    table = next((t for t in doc.get("tables", [])
+                  if t.get("title") == title), None)
+    if table is None:
+        raise KeyError(f"{path}: no '{title}' table "
+                       "(bench_perf_scaling out of date?)")
+    return table
+
+
+def columns(table, names, path):
+    headers = table["headers"]
+    try:
+        return [headers.index(name) for name in names]
+    except ValueError as e:
+        raise KeyError(f"{path}: table missing column: {e}")
+
+
+def check_curve(table, slack, path):
+    n_col, t_col, d_col, iter_col, per_col = columns(
+        table, ["n", "threads", "dispatch", "iterations", "ms_per_iter"],
+        path)
+    cells = collections.defaultdict(dict)
+    for row in table["rows"]:
+        cells[(row[n_col], row[t_col])][row[d_col]] = (
+            int(row[iter_col]), float(row[per_col]))
+    if not cells:
+        raise ValueError(f"{path}: '{CURVE_TITLE}' table has no rows")
+    for (n, threads), by_dispatch in sorted(cells.items()):
+        where = f"n={n} threads={threads}"
+        for dispatch in ("sharded", "fixed"):
+            if dispatch not in by_dispatch:
+                raise ValueError(f"{path}: {where}: no '{dispatch}' row")
+        sharded_iters, sharded = by_dispatch["sharded"]
+        fixed_iters, fixed = by_dispatch["fixed"]
+        if sharded_iters != fixed_iters:
+            raise ValueError(
+                f"{path}: {where}: iteration counts differ (sharded "
+                f"{sharded_iters} vs fixed {fixed_iters}) — dispatches "
+                "diverged?")
+        if sharded > fixed * slack:
+            raise ValueError(
+                f"{path}: {where}: sharded dispatch is too slow: "
+                f"{sharded:.5f} ms/iter vs fixed {fixed:.5f} ms/iter "
+                f"(allowed up to {fixed * slack:.5f} with slack {slack})")
+        print(f"check_scaling_bench: {where}: sharded {sharded:.5f} "
+              f"vs fixed {fixed:.5f} ms/iter")
+
+
+def check_memory(table, path):
+    cols = columns(
+        table,
+        ["n", "csr_compact_bytes", "csr_wide_bytes",
+         "merged_compact_bytes", "merged_wide_bytes"], path)
+    if not table["rows"]:
+        raise ValueError(f"{path}: '{MEMORY_TITLE}' table has no rows")
+    for row in table["rows"]:
+        n, csr_c, csr_w, mv_c, mv_w = (row[c] for c in cols)
+        for label, compact, wide in (("csr", int(csr_c), int(csr_w)),
+                                     ("merged", int(mv_c), int(mv_w))):
+            if compact >= wide:
+                raise ValueError(
+                    f"{path}: n={n}: compact {label} structures are not "
+                    f"smaller than wide ones ({compact} vs {wide} bytes)")
+        print(f"check_scaling_bench: n={n}: csr {csr_c}/{csr_w} "
+              f"merged {mv_c}/{mv_w} compact/wide bytes")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--slack", type=float, default=1.5,
+                        help="allowed sharded/fixed ms_per_iter ratio")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read {args.file}: {e}")
+
+    try:
+        check_curve(find_table(doc, CURVE_TITLE, args.file), args.slack,
+                    args.file)
+        check_memory(find_table(doc, MEMORY_TITLE, args.file), args.file)
+    except (KeyError, ValueError) as e:
+        return fail(str(e).strip("'"))
+
+    print(f"check_scaling_bench: ok (slack {args.slack})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

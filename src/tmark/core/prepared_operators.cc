@@ -29,7 +29,13 @@ void HashMatrix(const la::SparseMatrix& m, std::uint64_t* h) {
   HashValue(m.rows(), h);
   HashValue(m.cols(), h);
   HashValue(m.NumNonZeros(), h);
-  HashBytes(m.row_ptr().data(), m.row_ptr().size() * sizeof(std::size_t), h);
+  // Hash row offsets as canonical 64-bit values so the fingerprint does not
+  // depend on the adaptive storage width the IndexArray happened to pick
+  // (compact and wide builds of the same structure must hit the same cache
+  // entry).
+  for (std::size_t i = 0; i < m.row_ptr().size(); ++i) {
+    HashValue(m.row_ptr()[i], h);
+  }
   HashBytes(m.col_idx().data(), m.col_idx().size() * sizeof(std::uint32_t), h);
   HashBytes(m.values().data(), m.values().size() * sizeof(double), h);
 }

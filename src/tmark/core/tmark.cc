@@ -8,6 +8,7 @@
 #include "tmark/common/check.h"
 #include "tmark/hin/label_vector.h"
 #include "tmark/la/panel.h"
+#include "tmark/la/panel_f32.h"
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/parallel_for.h"
@@ -305,6 +306,8 @@ void TMarkClassifier::FitBatched(const hin::Hin& hin,
   la::DenseMatrix x_next(n, q);
   la::DenseMatrix z_next(m, q);
   la::DenseMatrix wx_panel(n, q);
+  la::PanelF32 x_f32;
+  if (config_.fp32_panels) x_f32.Resize(n, q);
   std::vector<std::size_t> cls(q);
   std::vector<std::string> series_names(q);
   std::vector<la::Vector> ica_cols(q);  // per-slot ICA extraction scratch
@@ -351,7 +354,15 @@ void TMarkClassifier::FitBatched(const hin::Hin& hin,
     }
     {
       obs::ScopedTimer phase("tmark.fit.phase.tensor_product_ms", metrics);
-      tensors.ApplyOPanel(x_panel, z_panel, width, &x_next, &ws);
+      if (config_.fp32_panels) {
+        // Refresh the fp32 mirror from the authoritative fp64 panel (the
+        // compaction moves above only touch the fp64 panel, so the mirror
+        // is rebuilt for the current column layout) and gather from it.
+        la::DemoteLeadingColumns(x_panel, width, &x_f32);
+        tensors.ApplyOPanelF32(x_f32, z_panel, width, &x_next, &ws);
+      } else {
+        tensors.ApplyOPanel(x_panel, z_panel, width, &x_next, &ws);
+      }
     }
     {
       obs::ScopedTimer phase("tmark.fit.phase.feature_walk_ms", metrics);

@@ -1,10 +1,14 @@
 #include "tmark/datasets/presets.h"
 
+#include <string_view>
+
+#include "tmark/common/strict_parse.h"
 #include "tmark/datasets/acm.h"
 #include "tmark/datasets/dblp.h"
 #include "tmark/datasets/movies.h"
 #include "tmark/datasets/nus.h"
 #include "tmark/datasets/paper_example.h"
+#include "tmark/datasets/synthetic_hin.h"
 
 namespace tmark::datasets {
 
@@ -16,6 +20,26 @@ const std::vector<std::string>& PresetNames() {
 
 Result<hin::Hin> MakePreset(const std::string& name,
                             const PresetOptions& options) {
+  // The parameterized scaling family carries its size in the name and has
+  // its own (larger) bound — check before the named-preset size gate.
+  constexpr std::string_view kSyntheticPrefix = "synthetic:";
+  if (name.rfind(kSyntheticPrefix, 0) == 0) {
+    const std::string_view size_text =
+        std::string_view(name).substr(kSyntheticPrefix.size());
+    TMARK_ASSIGN_OR_RETURN(const std::size_t nodes, ParseIndex(size_text));
+    if (nodes == 0 || nodes > kMaxSyntheticPresetNodes) {
+      return InvalidArgumentError(
+          "synthetic preset size " + std::string(size_text) +
+          " must be in [1, " + std::to_string(kMaxSyntheticPresetNodes) +
+          "]");
+    }
+    if (options.num_nodes != 0) {
+      return InvalidArgumentError(
+          "preset '" + name +
+          "' carries its size in the name; leave num_nodes at 0");
+    }
+    return GenerateSyntheticHin(ScalingSyntheticConfig(nodes, options.seed));
+  }
   if (options.num_nodes > kMaxPresetNodes) {
     return InvalidArgumentError(
         "preset size " + std::to_string(options.num_nodes) +

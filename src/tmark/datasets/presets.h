@@ -31,13 +31,26 @@ struct PresetOptions {
 /// in places and a hostile size must not take the process down.
 inline constexpr std::size_t kMaxPresetNodes = 1'000'000;
 
+/// Upper bound on the `synthetic:<n>` preset's node count. The scaling
+/// generator is strictly O(nodes + edges) with constant average degree, so
+/// it can safely go an order of magnitude past the named presets.
+inline constexpr std::size_t kMaxSyntheticPresetNodes = 10'000'000;
+
 /// Names accepted by MakePreset, in display order:
-/// {"dblp", "movies", "nus1", "nus2", "acm", "example"}.
+/// {"dblp", "movies", "nus1", "nus2", "acm", "example"}. The
+/// parameterized "synthetic:<n>" family is accepted too but not listed —
+/// it is a spelling, not a name.
 const std::vector<std::string>& PresetNames();
 
 /// Builds the named synthetic HIN. kNotFound for an unknown preset name,
 /// kInvalidArgument for an out-of-range size. The "example" preset is the
 /// paper's fixed 4-node example and ignores num_nodes/seed.
+///
+/// "synthetic:<n>" builds the constant-average-degree scaling graph of
+/// ScalingSyntheticConfig with n nodes (bench_perf_scaling uses the same
+/// family, so CLI-generated graphs match the committed scaling curves).
+/// `n` must be a positive integer <= kMaxSyntheticPresetNodes;
+/// options.num_nodes must be 0 (the size lives in the name).
 Result<hin::Hin> MakePreset(const std::string& name,
                             const PresetOptions& options = {});
 

@@ -9,6 +9,25 @@
 
 namespace tmark::datasets {
 
+SyntheticHinConfig ScalingSyntheticConfig(std::size_t num_nodes,
+                                          std::uint64_t seed) {
+  SyntheticHinConfig config;
+  config.num_nodes = num_nodes;
+  config.class_names = {"A", "B", "C"};
+  config.relations.resize(3);
+  config.relations[0].name = "r0";
+  config.relations[0].same_class_prob = 0.8;
+  config.relations[1].name = "r1";
+  config.relations[1].same_class_prob = 0.6;
+  config.relations[2].name = "r2";
+  config.relations[2].same_class_prob = 0.2;
+  for (RelationSpec& spec : config.relations) spec.edges_per_member = 2.0;
+  config.vocab_size = 90;
+  config.words_per_node = 6.0;
+  config.seed = seed;
+  return config;
+}
+
 hin::Hin GenerateSyntheticHin(const SyntheticHinConfig& config) {
   const std::size_t n = config.num_nodes;
   const std::size_t q = config.class_names.size();
@@ -24,6 +43,13 @@ hin::Hin GenerateSyntheticHin(const SyntheticHinConfig& config) {
   // is the latent one except for a label_noise fraction of nodes.
   std::vector<std::size_t> primary(n);
   std::vector<std::vector<std::size_t>> by_class(q);
+  // Class sizes are Binomial(n, 1/q); 2n/q + 64 covers the tail many sigmas
+  // out, so the per-class pools never reallocate. Reservations only — the
+  // RNG call sequence below is part of the preset contract and must not
+  // change.
+  for (std::vector<std::size_t>& pool : by_class) {
+    pool.reserve(2 * n / q + 64);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     primary[i] = static_cast<std::size_t>(rng.UniformInt(q));
     by_class[primary[i]].push_back(i);
@@ -45,7 +71,12 @@ hin::Hin GenerateSyntheticHin(const SyntheticHinConfig& config) {
                              << " received no nodes; increase num_nodes");
   }
 
-  // Features: class topic blocks + uniform noise.
+  // Features: class topic blocks + uniform noise. The record count is
+  // Poisson-concentrated around n * words_per_node; reserve the mean plus
+  // slack so assembly stays O(nodes + edges).
+  builder.ReserveFeatures(static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * config.words_per_node * 1.1)) +
+      64);
   const std::size_t block = config.vocab_size / q;
   for (std::size_t i = 0; i < n; ++i) {
     const int words = rng.Poisson(config.words_per_node);
@@ -95,6 +126,8 @@ hin::Hin GenerateSyntheticHin(const SyntheticHinConfig& config) {
       pick_class[c] =
           class_weights[c] * static_cast<double>(by_class[c].size());
     }
+    // Each undirected edge buffers two directed records.
+    builder.ReserveEdges(k, num_edges * (spec.directed ? 1 : 2));
     for (std::size_t e = 0; e < num_edges; ++e) {
       const std::size_t sc = rng.Categorical(pick_class);
       const std::vector<std::size_t>& pool = by_class[sc];

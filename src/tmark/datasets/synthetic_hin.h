@@ -54,6 +54,15 @@ struct SyntheticHinConfig {
   std::uint64_t seed = 42;
 };
 
+/// Configuration of the scaling-study graph family behind the
+/// `synthetic:<n>` preset and bench_perf_scaling: constant average degree
+/// (so edges, features, and fit work all grow linearly in n — the regime of
+/// the Sec. 4.5 complexity analysis), 3 classes, 3 relations of
+/// 2 undirected edges per member, a 90-word vocabulary, and ~6 words per
+/// node. Deterministic given (n, seed); generation is O(nodes + edges).
+SyntheticHinConfig ScalingSyntheticConfig(std::size_t num_nodes,
+                                          std::uint64_t seed);
+
 /// Generates a HIN with planted class structure in both links and features.
 ///
 /// Node labels are drawn uniformly; each relation generates edges whose

@@ -22,6 +22,15 @@ std::size_t HinBuilder::AddClass(const std::string& name) {
   return class_names_.size() - 1;
 }
 
+void HinBuilder::ReserveEdges(std::size_t k, std::size_t count) {
+  TMARK_CHECK(k < edges_.size());
+  edges_[k].reserve(count);
+}
+
+void HinBuilder::ReserveFeatures(std::size_t count) {
+  feature_triplets_.reserve(count);
+}
+
 void HinBuilder::AddDirectedEdge(std::size_t k, std::size_t src,
                                  std::size_t dst, double weight) {
   TMARK_CHECK(k < edges_.size());

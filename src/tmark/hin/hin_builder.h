@@ -29,6 +29,15 @@ class HinBuilder {
   /// Registers a new class label; returns its index.
   std::size_t AddClass(const std::string& name);
 
+  /// Pre-sizes relation k's edge buffer for `count` *directed* records
+  /// (an undirected edge stores two). Generators that know their edge
+  /// budget up front call this to keep assembly O(nodes + edges) with no
+  /// reallocation churn at million-node scale.
+  void ReserveEdges(std::size_t k, std::size_t count);
+
+  /// Pre-sizes the feature-triplet buffer for `count` records.
+  void ReserveFeatures(std::size_t count);
+
   /// Adds a directed link src -> dst in relation k (tensor entry
   /// A[dst, src, k] += weight, per the column-as-source convention).
   void AddDirectedEdge(std::size_t k, std::size_t src, std::size_t dst,

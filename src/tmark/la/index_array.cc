@@ -1,0 +1,54 @@
+#include "tmark/la/index_array.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tmark::la {
+namespace {
+
+bool g_force_wide = false;
+
+}  // namespace
+
+void SetForceWideIndexArrays(bool force) { g_force_wide = force; }
+
+bool ForceWideIndexArrays() { return g_force_wide; }
+
+IndexArray IndexArray::FromOffsets(std::vector<std::size_t> offsets) {
+  IndexArray a;
+  const std::size_t max_offset =
+      offsets.empty() ? 0
+                      : *std::max_element(offsets.begin(), offsets.end());
+  if (!g_force_wide &&
+      max_offset <= std::numeric_limits<std::uint32_t>::max()) {
+    a.wide_ = false;
+    a.v32_.reserve(offsets.size());
+    for (std::size_t v : offsets) {
+      a.v32_.push_back(static_cast<std::uint32_t>(v));
+    }
+  } else {
+    a.wide_ = true;
+    a.v64_.assign(offsets.begin(), offsets.end());
+  }
+  return a;
+}
+
+IndexArray IndexArray::Zeros(std::size_t count) {
+  IndexArray a;
+  if (g_force_wide) {
+    a.wide_ = true;
+    a.v64_.assign(count, 0);
+  } else {
+    a.v32_.assign(count, 0);
+  }
+  return a;
+}
+
+std::vector<std::size_t> IndexArray::ToVector() const {
+  std::vector<std::size_t> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back((*this)[i]);
+  return out;
+}
+
+}  // namespace tmark::la

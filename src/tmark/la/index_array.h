@@ -1,0 +1,78 @@
+#ifndef TMARK_LA_INDEX_ARRAY_H_
+#define TMARK_LA_INDEX_ARRAY_H_
+
+// Adaptive-width offset arrays for CSR-style structures.
+//
+// A million-node tensor stores one row_ptr offset per (row, slice) plus one
+// per merged-view segment; at 8 bytes each those offset arrays rival the
+// value payload itself. An IndexArray stores offsets as uint32 whenever the
+// largest offset fits (chosen once at build time — CSR offsets are bounded
+// by nnz, known when the structure is assembled) and transparently widens to
+// uint64 otherwise, halving structure bytes and cache traffic on every
+// realistic input while keeping the >4G-nnz case correct.
+//
+// Reads go through a width branch in operator[]; the panel kernels issue
+// only O(1) offset reads per row/segment against O(row nnz) value work, so
+// the branch is off the critical path (and perfectly predicted — the width
+// never changes after build). Offsets are immutable after construction:
+// mutation always happens on a plain std::vector<std::size_t> which is then
+// handed to FromOffsets.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tmark::la {
+
+/// Test/bench knob: when set, every subsequently built IndexArray stores
+/// 64-bit offsets even when 32-bit would fit. Lets the scaling bench and the
+/// bit-identity tests compare compact vs wide structures on the same input.
+/// Not thread-safe; flip it only between structure builds.
+void SetForceWideIndexArrays(bool force);
+bool ForceWideIndexArrays();
+
+/// Immutable offset array, 32- or 64-bit storage chosen at build time.
+class IndexArray {
+ public:
+  /// Empty array (size 0).
+  IndexArray() = default;
+
+  /// Takes ownership of `offsets`, storing uint32 when the maximum offset
+  /// fits and ForceWideIndexArrays() is off.
+  static IndexArray FromOffsets(std::vector<std::size_t> offsets);
+
+  /// `count` zero offsets (always compact unless forced wide).
+  static IndexArray Zeros(std::size_t count);
+
+  std::size_t size() const { return wide_ ? v64_.size() : v32_.size(); }
+  bool empty() const { return size() == 0; }
+
+  std::size_t operator[](std::size_t i) const {
+    return wide_ ? v64_[i] : v32_[i];
+  }
+  std::size_t front() const { return (*this)[0]; }
+  std::size_t back() const { return (*this)[size() - 1]; }
+
+  /// True when offsets are stored as uint32.
+  bool is_compact() const { return !wide_; }
+  /// Bits per stored offset: 32 or 64.
+  std::size_t index_bits() const { return wide_ ? 64 : 32; }
+  /// Bytes held by the offset storage (size, not capacity — FromOffsets
+  /// shrinks to fit).
+  std::size_t StorageBytes() const {
+    return wide_ ? v64_.size() * sizeof(std::uint64_t)
+                 : v32_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Canonical 64-bit copy — fingerprinting and tests; never on a hot path.
+  std::vector<std::size_t> ToVector() const;
+
+ private:
+  bool wide_ = false;
+  std::vector<std::uint32_t> v32_;
+  std::vector<std::uint64_t> v64_;
+};
+
+}  // namespace tmark::la
+
+#endif  // TMARK_LA_INDEX_ARRAY_H_

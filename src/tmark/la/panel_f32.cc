@@ -1,0 +1,24 @@
+#include "tmark/la/panel_f32.h"
+
+#include "tmark/common/check.h"
+#include "tmark/la/microkernel.h"
+
+namespace tmark::la {
+
+void PanelF32::Resize(std::size_t rows, std::size_t cols) {
+  if (rows == rows_ && cols == cols_) return;
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void DemoteLeadingColumns(const DenseMatrix& src, std::size_t width,
+                          PanelF32* dst) {
+  TMARK_CHECK(dst != nullptr && dst->rows() == src.rows() &&
+              dst->cols() == src.cols() && width <= src.cols());
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    mk::Demote(dst->RowPtr(i), src.RowPtr(i), width);
+  }
+}
+
+}  // namespace tmark::la

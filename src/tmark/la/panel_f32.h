@@ -1,0 +1,57 @@
+#ifndef TMARK_LA_PANEL_F32_H_
+#define TMARK_LA_PANEL_F32_H_
+
+// fp32 panel storage for the opt-in reduced-precision gather mode.
+//
+// The batched tensor product is a gather kernel: per stored entry it reads
+// one row of the x panel. At million-node scale those random reads dominate
+// the iteration, so storing the gathered panel in fp32 halves the traffic
+// the cache misses pay for. Accumulation stays fp64 (la::mk f32-input
+// overloads widen each loaded float exactly), so the only rounding relative
+// to the fp64 path is the one demotion per stored panel element —
+// |x| * 2^-24, checked end to end by the fp32-mode error-bound test. This
+// trades bit-identity for bandwidth and is opt-in via
+// TMarkConfig::fp32_panels (docs/PERFORMANCE.md "Scaling").
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::la {
+
+/// Row-major dense float matrix — the fp32 mirror of a panel. Minimal on
+/// purpose: the authoritative iteration state stays in the fp64 panel; this
+/// mirror only feeds the gather kernels.
+class PanelF32 {
+ public:
+  PanelF32() : rows_(0), cols_(0) {}
+  PanelF32(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Reallocates only when the shape changes; contents are unspecified
+  /// afterwards (callers overwrite their active region).
+  void Resize(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  float* RowPtr(std::size_t r) { return data_.data() + r * cols_; }
+  const float* RowPtr(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<float> data_;
+};
+
+/// dst(i, c) = (float)src(i, c) for c in [0, width), every row — the
+/// per-iteration mirror refresh. Requires matching shapes.
+void DemoteLeadingColumns(const DenseMatrix& src, std::size_t width,
+                          PanelF32* dst);
+
+}  // namespace tmark::la
+
+#endif  // TMARK_LA_PANEL_F32_H_

@@ -26,7 +26,7 @@ constexpr std::size_t kReduceGrain = SparseMatrix::kBilinearReduceGrain;
 }  // namespace
 
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+    : rows_(rows), cols_(cols), row_ptr_(IndexArray::Zeros(rows + 1)) {}
 
 SparseMatrix SparseMatrix::FromTriplets(std::size_t rows, std::size_t cols,
                                         std::vector<Triplet> triplets) {
@@ -41,7 +41,10 @@ SparseMatrix SparseMatrix::FromTriplets(std::size_t rows, std::size_t cols,
             [](const Triplet& a, const Triplet& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
             });
-  // Count unique entries per row while summing duplicates.
+  // Count unique entries per row while summing duplicates. Offsets assemble
+  // in a plain 64-bit vector; IndexArray::FromOffsets then picks the
+  // narrowest storage that holds nnz.
+  std::vector<std::size_t> row_ptr(rows + 1, 0);
   m.col_idx_.reserve(triplets.size());
   m.values_.reserve(triplets.size());
   std::size_t i = 0;
@@ -56,9 +59,10 @@ SparseMatrix SparseMatrix::FromTriplets(std::size_t rows, std::size_t cols,
     }
     m.col_idx_.push_back(c);
     m.values_.push_back(v);
-    ++m.row_ptr_[r + 1];
+    ++row_ptr[r + 1];
   }
-  for (std::size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  for (std::size_t r = 0; r < rows; ++r) row_ptr[r + 1] += row_ptr[r];
+  m.row_ptr_ = IndexArray::FromOffsets(std::move(row_ptr));
   return m;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tmark/la/dense_matrix.h"
+#include "tmark/la/index_array.h"
 #include "tmark/la/panel.h"
 #include "tmark/la/vector_ops.h"
 
@@ -32,7 +33,7 @@ class SparseMatrix {
   static constexpr std::size_t kBilinearReduceGrain = 8192;
 
   /// Empty 0x0 matrix.
-  SparseMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_(IndexArray::Zeros(1)) {}
 
   /// All-zero rows x cols matrix.
   SparseMatrix(std::size_t rows, std::size_t cols);
@@ -48,11 +49,20 @@ class SparseMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t NumNonZeros() const { return values_.size(); }
 
-  /// CSR internals (read-only). row_ptr has rows()+1 entries.
-  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  /// CSR internals (read-only). row_ptr has rows()+1 entries and stores
+  /// 32-bit offsets whenever nnz permits (see la/index_array.h).
+  const IndexArray& row_ptr() const { return row_ptr_; }
   const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& mutable_values() { return values_; }
+
+  /// Bytes held by the CSR structure (row_ptr + col_idx + values). The
+  /// scaling bench compares this across index widths; peak RSS cannot
+  /// distinguish them within one process (the high-water mark is monotone).
+  std::size_t StructureBytes() const {
+    return row_ptr_.StorageBytes() + col_idx_.size() * sizeof(std::uint32_t) +
+           values_.size() * sizeof(double);
+  }
 
   /// Value at (r, c); zero when not stored. O(log nnz-in-row).
   double At(std::size_t r, std::size_t c) const;
@@ -141,7 +151,7 @@ class SparseMatrix {
  private:
   std::size_t rows_;
   std::size_t cols_;
-  std::vector<std::size_t> row_ptr_;
+  IndexArray row_ptr_;
   std::vector<std::uint32_t> col_idx_;
   std::vector<double> values_;
 };

@@ -1,0 +1,43 @@
+#include "tmark/obs/mem.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tmark/obs/metrics.h"
+
+namespace tmark::obs {
+
+Result<std::uint64_t> ReadPeakRssBytes() {
+  // /proc/self/status is a small pseudo-file; a single fgets loop over its
+  // "Key:\tvalue" lines is the portable-across-libc way to find VmHWM
+  // without pulling in an iostream.
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return NotFoundError("/proc/self/status is not readable on this system");
+  }
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    std::fclose(f);
+    // Format: "VmHWM:   123456 kB".
+    char* end = nullptr;
+    const unsigned long long kb = std::strtoull(line + 6, &end, 10);
+    if (end == line + 6) {
+      return ParseError(std::string("unparseable VmHWM line: ") + line);
+    }
+    return static_cast<std::uint64_t>(kb) * 1024;
+  }
+  std::fclose(f);
+  return ParseError("/proc/self/status has no VmHWM line");
+}
+
+void RecordPeakRss() {
+  if (!MetricsEnabled()) return;
+  const Result<std::uint64_t> rss = ReadPeakRssBytes();
+  if (!rss.ok()) return;
+  SetGauge("mem.peak_rss_bytes", static_cast<double>(*rss));
+}
+
+}  // namespace tmark::obs

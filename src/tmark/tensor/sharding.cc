@@ -1,0 +1,39 @@
+#include "tmark/tensor/sharding.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace tmark::tensor {
+namespace {
+
+std::size_t g_budget_override = 0;
+bool g_sharding_enabled = true;
+
+// TMARK_LLC_BUDGET_BYTES is operator-supplied tuning, not untrusted input:
+// unparsable or non-positive values silently fall back to the default, the
+// same contract TMARK_NUM_THREADS follows.
+std::size_t ParseBudget(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::size_t MergedShardBudgetBytes() {
+  if (g_budget_override > 0) return g_budget_override;
+  const std::size_t env = ParseBudget(std::getenv("TMARK_LLC_BUDGET_BYTES"));
+  return env > 0 ? env : kDefaultMergedShardBudgetBytes;
+}
+
+void SetMergedShardBudgetBytes(std::size_t bytes) {
+  g_budget_override = bytes;
+}
+
+bool MergedShardingEnabled() { return g_sharding_enabled; }
+
+void SetMergedShardingEnabled(bool enabled) { g_sharding_enabled = enabled; }
+
+}  // namespace tmark::tensor

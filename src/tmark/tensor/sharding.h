@@ -1,0 +1,51 @@
+#ifndef TMARK_TENSOR_SHARDING_H_
+#define TMARK_TENSOR_SHARDING_H_
+
+// LLC shard-budget configuration for the merged tensor-slice traversal.
+//
+// The panel contractions stream the merged view's structure (col/val/segment
+// arrays) while repeatedly gathering rows of the x panel. Once the structure
+// slab of one work unit outgrows the last-level cache, every streamed line
+// evicts panel rows that are about to be gathered again, and the kernel
+// degrades to memory bandwidth. PrepareMergedView therefore splits the view
+// into contiguous row blocks whose streamed structure fits a byte budget —
+// one block per thread-pool task. The budget only shapes work *assignment*,
+// never accumulation grouping, so results stay bit-identical across budgets
+// and thread counts (see SparseTensor3::ContractMode1Panel).
+//
+// Resolution order: SetMergedShardBudgetBytes(value > 0) wins, else the
+// TMARK_LLC_BUDGET_BYTES environment variable, else
+// kDefaultMergedShardBudgetBytes. Pick roughly half the LLC so the streamed
+// structure and the gathered panel rows can coexist.
+
+#include <cstddef>
+
+namespace tmark::tensor {
+
+/// Default per-shard structure budget: 24 MiB, about half a contemporary
+/// server LLC.
+inline constexpr std::size_t kDefaultMergedShardBudgetBytes =
+    24ull * 1024 * 1024;
+
+/// Upper bound on shards per merged view — a backstop so a degenerate budget
+/// (e.g. a typo'd TMARK_LLC_BUDGET_BYTES=1) cannot explode the task count;
+/// the effective budget is raised until the plan fits.
+inline constexpr std::size_t kMaxMergedShards = 4096;
+
+/// The resolved per-shard byte budget (override, env, or default).
+std::size_t MergedShardBudgetBytes();
+
+/// Overrides the budget; 0 restores env/default resolution. Takes effect the
+/// next time a merged view is prepared or resharded — not thread-safe
+/// against concurrent builds.
+void SetMergedShardBudgetBytes(std::size_t bytes);
+
+/// When disabled, the panel contractions fall back to the fixed-chunk
+/// dispatch that predates sharding (the scaling bench's baseline). On by
+/// default; consulted at contraction time, so toggling needs no rebuild.
+bool MergedShardingEnabled();
+void SetMergedShardingEnabled(bool enabled);
+
+}  // namespace tmark::tensor
+
+#endif  // TMARK_TENSOR_SHARDING_H_

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tmark/la/panel_f32.h"
 #include "tmark/la/sparse_matrix.h"
 
 namespace tmark::tensor {
@@ -97,6 +98,14 @@ class SparseTensor3 {
                           std::size_t width, la::DenseMatrix* y,
                           la::PanelWorkspace* ws) const;
 
+  /// ContractMode1Panel with fp32 panel storage: gathers float x rows,
+  /// accumulates in double (the opt-in TMarkConfig::fp32_panels mode). Same
+  /// traversal and shard plan as the fp64 kernel; NOT bit-identical to it —
+  /// the panel was demoted when mirrored (error bound in la/panel_f32.h).
+  void ContractMode1PanelF32(const la::PanelF32& x, const la::DenseMatrix& z,
+                             std::size_t width, la::DenseMatrix* y,
+                             la::PanelWorkspace* ws) const;
+
   /// w(k, c) = sum_{i,j} A[i,j,k] * x(i, c) * y(j, c) for c in [0, width).
   /// Requires x, y: n rows, w: m rows. `ws` backs the per-slice bilinear
   /// reduction partials.
@@ -112,7 +121,26 @@ class SparseTensor3 {
   /// (tensor::TransitionTensors::Build does).
   void PrepareMergedView() const;
 
- private:
+  /// Recomputes only the shard plan of an already-built merged view against
+  /// the currently resolved budget (tensor/sharding.h) — the structure
+  /// arrays are untouched. The scaling bench uses this to sweep budgets
+  /// without rebuilding operators; results are bit-identical across plans.
+  /// Builds the view first when necessary.
+  void ReshardMergedView() const;
+
+  /// Bytes held by the merged view's structure arrays (row_ptr, segments,
+  /// col, val). Builds the view when necessary.
+  std::size_t MergedViewStorageBytes() const;
+
+  /// Widest offset storage the merged view picked: 32 or 64.
+  std::size_t MergedViewIndexBits() const;
+
+  /// Number of contiguous row blocks in the mode-1 shard plan (>= 1 for a
+  /// non-empty tensor).
+  std::size_t MergedShardCount() const;
+
+  // The merged-view type is public so the file-local shard planner can name
+  // it; the instance itself stays private behind MergedSlices().
   // Row-major merge of all slices: for each row i, one segment per relation
   // k that stores entries in that row (segments ascending in k, entries
   // within a segment in the slice's column order). Both panel contractions
@@ -122,16 +150,36 @@ class SparseTensor3 {
   // sequential walk (the m ~= 20-relation presets are bound by exactly that
   // probing). The entry values duplicate the slices' storage; the slices
   // stay authoritative for the single-vector kernels and Slice() readers.
+  // Offsets live in adaptive-width IndexArrays (32-bit whenever the segment
+  // / entry counts permit — la/index_array.h), roughly halving structure
+  // bytes at million-node scale.
+  //
+  // The shard plan partitions the view into contiguous row blocks whose
+  // streamed structure fits the LLC budget of tensor/sharding.h. It shapes
+  // work *assignment* only: mode-1 output rows are disjoint (any row
+  // partition is bit-identical) and mode-3 keeps its budget-independent
+  // fixed-chunk accumulation layout, with shards grouping whole consecutive
+  // chunks and the merge folding in global chunk order — so results are
+  // bit-identical across budgets and thread counts.
   struct MergedView {
-    std::vector<std::size_t> row_ptr;  ///< n + 1 offsets into seg_k/seg_end.
+    la::IndexArray row_ptr;            ///< n + 1 offsets into seg_k/seg_end.
     std::vector<std::uint32_t> seg_k;  ///< Relation index per segment.
-    std::vector<std::size_t> seg_end;  ///< Exclusive entry end per segment
+    la::IndexArray seg_end;            ///< Exclusive entry end per segment
                                        ///< (begin = previous segment's end).
     std::vector<std::uint32_t> col;    ///< Column index j per entry.
     std::vector<double> val;           ///< Stored value per entry.
+    /// Mode-1 shard s covers rows [shard_rows[s], shard_rows[s+1]).
+    std::vector<std::size_t> shard_rows;
+    /// Mode-3 shard s covers fixed reduce chunks
+    /// [reduce_chunk_bounds[s], reduce_chunk_bounds[s+1]); empty when the
+    /// reduction collapses to <= 1 chunk.
+    std::vector<std::size_t> reduce_chunk_bounds;
+    /// Budget the current plan was built against (diagnostics).
+    std::size_t shard_budget_bytes = 0;
     bool built = false;
   };
 
+ private:
   const MergedView& MergedSlices() const;
 
   std::size_t n_;

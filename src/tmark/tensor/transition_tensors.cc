@@ -39,7 +39,7 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
   // R: normalize each (i,j) fiber over k. totals[i][j] = sum_k A[i,j,k]
   // is only needed on the union support, which is SumOverRelations().
   const la::SparseMatrix totals = adjacency.SumOverRelations();
-  const std::vector<std::size_t>& totals_row_ptr = totals.row_ptr();
+  const la::IndexArray& totals_row_ptr = totals.row_ptr();
   const std::vector<std::uint32_t>& totals_cols = totals.col_idx();
   const std::vector<double>& totals_vals = totals.values();
   std::vector<la::SparseMatrix> r_slices;
@@ -97,6 +97,18 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
                   static_cast<double>(t.o_.NumNonZeros()));
     obs::SetGauge("tensor.transition.nnz_r",
                   static_cast<double>(t.r_.NumNonZeros()));
+    // Scaling telemetry: structure footprint of the merged views, the
+    // offset width the IndexArrays picked, and the LLC shard plan size
+    // (docs/PERFORMANCE.md "Scaling").
+    obs::SetGauge("tensor.merged.bytes",
+                  static_cast<double>(t.o_.MergedViewStorageBytes() +
+                                      t.r_.MergedViewStorageBytes()));
+    obs::SetGauge("tensor.merged.index_bits",
+                  static_cast<double>(std::max(t.o_.MergedViewIndexBits(),
+                                               t.r_.MergedViewIndexBits())));
+    obs::SetGauge("tensor.merged.shards",
+                  static_cast<double>(t.o_.MergedShardCount() +
+                                      t.r_.MergedShardCount()));
   }
   if (span.active()) {
     span.AddField("nodes", n);
@@ -180,6 +192,40 @@ void TransitionTensors::ApplyOPanel(const la::DenseMatrix& x,
   }
   if (!la::mk::AnyNonZero(mass.data(), width)) return;
   // Columns with zero mass receive a + 0.0 — the value ApplyO's skip keeps.
+  for (std::size_t c = 0; c < width; ++c) {
+    mass[c] /= static_cast<double>(n_);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    la::mk::Add(y->RowPtr(i), mass.data(), width);
+  }
+}
+
+void TransitionTensors::ApplyOPanelF32(const la::PanelF32& x,
+                                       const la::DenseMatrix& z,
+                                       std::size_t width, la::DenseMatrix* y,
+                                       la::PanelWorkspace* ws) const {
+  TMARK_PROF_REGION("tensor.apply_o_panel_f32");
+  TMARK_CHECK(y != nullptr && ws != nullptr);
+  TMARK_CHECK(x.rows() == n_ && z.rows() == m_ && y->rows() == n_);
+  TMARK_CHECK(width <= x.cols());
+  o_.ContractMode1PanelF32(x, z, width, y, ws);
+  // The dangling correction mirrors ApplyOPanel step for step; the gathered
+  // x rows are float (widened exactly into the double column sums), so the
+  // correction carries the same demotion error as the contraction and
+  // nothing more.
+  la::Vector& mass = ws->Buffer(0, width);
+  la::Vector& colsum = ws->Buffer(1, width);
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (dangling_cols_[k].empty()) continue;
+    const double* zrow = z.RowPtr(k);
+    if (!la::mk::AnyNonZero(zrow, width)) continue;
+    la::mk::Zero(colsum.data(), width);
+    for (std::uint32_t j : dangling_cols_[k]) {
+      la::mk::Add(colsum.data(), x.RowPtr(j), width);
+    }
+    la::mk::MulAdd(mass.data(), zrow, colsum.data(), width);
+  }
+  if (!la::mk::AnyNonZero(mass.data(), width)) return;
   for (std::size_t c = 0; c < width; ++c) {
     mass[c] /= static_cast<double>(n_);
   }

@@ -60,6 +60,14 @@ class TransitionTensors {
                    std::size_t width, la::DenseMatrix* y,
                    la::PanelWorkspace* ws) const;
 
+  /// ApplyOPanel with fp32 panel storage (TMarkConfig::fp32_panels): the
+  /// gathered x rows — contraction and dangling correction alike — are
+  /// float, every accumulation double. Same structure walk as ApplyOPanel;
+  /// not bit-identical to it (see la/panel_f32.h for the error bound).
+  void ApplyOPanelF32(const la::PanelF32& x, const la::DenseMatrix& z,
+                      std::size_t width, la::DenseMatrix* y,
+                      la::PanelWorkspace* ws) const;
+
   /// w(:, c) = R x1 x(:, c) x2 y(:, c) for c in [0, width).
   ///
   /// The optional sum arguments let the fused fit engine avoid extra panel

@@ -6,6 +6,8 @@
 #include "tmark/datasets/dblp.h"
 #include "tmark/datasets/movies.h"
 #include "tmark/datasets/nus.h"
+#include "tmark/datasets/presets.h"
+#include "tmark/datasets/synthetic_hin.h"
 
 namespace tmark::datasets {
 namespace {
@@ -157,6 +159,44 @@ TEST(AcmPresetTest, IsMultiLabel) {
     if (hin.labels(i).size() > 1) ++multi;
   }
   EXPECT_GT(multi, 50u);
+}
+
+TEST(SyntheticPresetTest, BuildsScalingFamilyGraph) {
+  PresetOptions options;
+  options.seed = 11;
+  const Result<hin::Hin> hin = MakePreset("synthetic:500", options);
+  ASSERT_TRUE(hin.ok()) << hin.status().ToString();
+  EXPECT_EQ(hin->num_nodes(), 500u);
+  EXPECT_EQ(hin->num_relations(), 3u);
+  EXPECT_EQ(hin->num_classes(), 3u);
+  // Matches the bench's generator exactly — the CLI and the scaling curves
+  // must describe the same graph family.
+  const hin::Hin direct =
+      GenerateSyntheticHin(ScalingSyntheticConfig(500, 11));
+  EXPECT_EQ(hin->NumLinks(), direct.NumLinks());
+  // Constant average degree: ~2 undirected edges per member per relation,
+  // stored as two directed records each (duplicates collapse a few).
+  EXPECT_GT(hin->NumLinks(), 500u * 3u * 2u);
+  EXPECT_LT(hin->NumLinks(), 500u * 3u * 2u * 2u + 500u);
+}
+
+TEST(SyntheticPresetTest, RejectsBadSizes) {
+  EXPECT_EQ(MakePreset("synthetic:0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakePreset("synthetic:10000001").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(MakePreset("synthetic:").ok());
+  EXPECT_FALSE(MakePreset("synthetic:12x").ok());
+  // The size lives in the name; a second size via options is a conflict.
+  PresetOptions options;
+  options.num_nodes = 100;
+  EXPECT_EQ(MakePreset("synthetic:500", options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticPresetTest, UnknownNamesStillNotFound) {
+  EXPECT_EQ(MakePreset("synthetic").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(MakePreset("bogus").status().code(), StatusCode::kNotFound);
 }
 
 TEST(AcmPresetTest, CitationRelationIsDirected) {

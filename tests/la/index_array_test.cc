@@ -1,0 +1,78 @@
+// Unit tests for the adaptive-width offset arrays (la/index_array.h): width
+// selection at build time, the force-wide test knob, storage accounting,
+// and exact round-trips through the canonical 64-bit view.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tmark/la/index_array.h"
+
+namespace tmark::la {
+namespace {
+
+constexpr std::size_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+
+struct ForceWideGuard {
+  ~ForceWideGuard() { SetForceWideIndexArrays(false); }
+};
+
+TEST(IndexArrayTest, SmallOffsetsAreStoredCompact) {
+  const std::vector<std::size_t> offsets = {0, 3, 3, 10, kU32Max};
+  const IndexArray a = IndexArray::FromOffsets(offsets);
+  EXPECT_TRUE(a.is_compact());
+  EXPECT_EQ(a.index_bits(), 32u);
+  ASSERT_EQ(a.size(), offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(a[i], offsets[i]) << "offset " << i;
+  }
+  EXPECT_EQ(a.front(), 0u);
+  EXPECT_EQ(a.back(), kU32Max);
+  EXPECT_EQ(a.StorageBytes(), offsets.size() * sizeof(std::uint32_t));
+  EXPECT_EQ(a.ToVector(), offsets);
+}
+
+TEST(IndexArrayTest, OffsetsBeyondU32WidenAutomatically) {
+  const std::vector<std::size_t> offsets = {0, 17, kU32Max + std::size_t{1}};
+  const IndexArray a = IndexArray::FromOffsets(offsets);
+  EXPECT_FALSE(a.is_compact());
+  EXPECT_EQ(a.index_bits(), 64u);
+  EXPECT_EQ(a.back(), kU32Max + std::size_t{1});
+  EXPECT_EQ(a.StorageBytes(), offsets.size() * sizeof(std::uint64_t));
+  EXPECT_EQ(a.ToVector(), offsets);
+}
+
+TEST(IndexArrayTest, ForceWideKnobOverridesCompactSelection) {
+  ForceWideGuard guard;
+  const std::vector<std::size_t> offsets = {0, 1, 2};
+  SetForceWideIndexArrays(true);
+  EXPECT_TRUE(ForceWideIndexArrays());
+  const IndexArray wide = IndexArray::FromOffsets(offsets);
+  EXPECT_FALSE(wide.is_compact());
+  EXPECT_EQ(wide.StorageBytes(), offsets.size() * sizeof(std::uint64_t));
+  EXPECT_EQ(wide.ToVector(), offsets);
+
+  SetForceWideIndexArrays(false);
+  const IndexArray compact = IndexArray::FromOffsets(offsets);
+  EXPECT_TRUE(compact.is_compact());
+  // Same logical content, half the bytes.
+  EXPECT_EQ(compact.ToVector(), wide.ToVector());
+  EXPECT_EQ(2 * compact.StorageBytes(), wide.StorageBytes());
+}
+
+TEST(IndexArrayTest, ZerosAndEmpty) {
+  const IndexArray empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.StorageBytes(), 0u);
+
+  const IndexArray zeros = IndexArray::Zeros(5);
+  EXPECT_TRUE(zeros.is_compact());
+  ASSERT_EQ(zeros.size(), 5u);
+  for (std::size_t i = 0; i < zeros.size(); ++i) EXPECT_EQ(zeros[i], 0u);
+}
+
+}  // namespace
+}  // namespace tmark::la

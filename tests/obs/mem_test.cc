@@ -1,0 +1,46 @@
+// Tests for the peak-RSS reading (obs/mem.h). These run on Linux where
+// /proc/self/status exists, so the happy path is asserted directly; the
+// typed-Status fallbacks are covered by the contract that ReadPeakRssBytes
+// never throws and never returns 0 on success.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tmark/obs/mem.h"
+#include "tmark/obs/metrics.h"
+
+namespace tmark::obs {
+namespace {
+
+TEST(MemTest, ReadPeakRssReturnsPlausibleValue) {
+  const Result<std::uint64_t> rss = ReadPeakRssBytes();
+  ASSERT_TRUE(rss.ok()) << rss.status().ToString();
+  // Any live process has paged in more than a megabyte and (in these tests)
+  // far less than a terabyte; the bounds catch kB-vs-bytes unit slips.
+  EXPECT_GT(*rss, 1ull << 20);
+  EXPECT_LT(*rss, 1ull << 40);
+}
+
+TEST(MemTest, RecordPeakRssIsGatedOnMetrics) {
+  Registry::Instance().set_enabled(false);
+  Registry::Instance().Reset();
+  RecordPeakRss();
+  EXPECT_TRUE(Registry::Instance().Snapshot().gauges.empty());
+
+  Registry::Instance().set_enabled(true);
+  RecordPeakRss();
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  bool found = false;
+  for (const GaugeSnapshot& gauge : snap.gauges) {
+    if (gauge.name != "mem.peak_rss_bytes") continue;
+    found = true;
+    EXPECT_GT(gauge.value, static_cast<double>(1ull << 20));
+  }
+  EXPECT_TRUE(found);
+  Registry::Instance().set_enabled(false);
+  Registry::Instance().Reset();
+}
+
+}  // namespace
+}  // namespace tmark::obs

@@ -1,0 +1,124 @@
+// Error-bound tests for the opt-in fp32 panel-storage mode
+// (TMarkConfig::fp32_panels). The mode deliberately gives up bit-identity:
+// the x panel is demoted to float before each tensor product, so every
+// gathered element carries a relative error of at most 2^-24 while all
+// accumulation stays double. These tests pin the resulting end-to-end
+// deviation from the fp64 batched engine to a small explicit bound on the
+// DBLP preset, and check the knob changes nothing it should not touch
+// (per-class engine, rankings, determinism across thread counts).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/presets.h"
+#include "tmark/parallel/thread_pool.h"
+
+namespace tmark {
+namespace {
+
+// End-to-end tolerance on stationary confidences/importances. One demotion
+// is a 2^-24 (~6e-8) relative error on values <= 1; the fixed-point
+// iteration is a contraction (Theorems 1-3), so the stationary deviation is
+// the per-iteration injection amplified by 1/(1 - rate) — comfortably under
+// 1e-5 for the preset's alpha = 0.8. A bound this tight would fail
+// immediately if fp32 storage leaked into the accumulators (float
+// accumulation on DBLP-sized rows loses ~1e-3).
+constexpr double kFp32Bound = 1e-5;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::SetNumThreads(0); }
+};
+
+hin::Hin MakeDblp() {
+  datasets::PresetOptions options;
+  options.num_nodes = 400;
+  options.seed = 7;
+  auto hin = datasets::MakePreset("dblp", options);
+  EXPECT_TRUE(hin.ok()) << hin.status().ToString();
+  return *std::move(hin);
+}
+
+std::vector<std::size_t> EveryThird(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  return labeled;
+}
+
+TEST(Fp32FitTest, BatchedFp32StaysWithinErrorBoundOfFp64) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeDblp();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig fp64;
+  fp64.fit_mode = core::FitMode::kBatched;
+  core::TMarkConfig fp32 = fp64;
+  fp32.fp32_panels = true;
+
+  parallel::SetNumThreads(1);
+  core::TMarkClassifier golden(fp64);
+  golden.Fit(hin, labeled);
+
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    parallel::SetNumThreads(threads);
+    core::TMarkClassifier clf(fp32);
+    clf.Fit(hin, labeled);
+    EXPECT_LE(golden.Confidences().MaxAbsDiff(clf.Confidences()), kFp32Bound);
+    EXPECT_LE(golden.LinkImportance().MaxAbsDiff(clf.LinkImportance()),
+              kFp32Bound);
+    // A deviation this small must not reorder the link-importance ranking.
+    for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+      EXPECT_EQ(golden.RankRelationsForClass(c), clf.RankRelationsForClass(c))
+          << "class " << c;
+    }
+  }
+}
+
+TEST(Fp32FitTest, Fp32IsDeterministicAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeDblp();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig fp32;
+  fp32.fit_mode = core::FitMode::kBatched;
+  fp32.fp32_panels = true;
+
+  // fp32 trades identity with the fp64 path, not determinism: the demoted
+  // panel and the accumulation grouping are both thread-count-invariant.
+  parallel::SetNumThreads(1);
+  core::TMarkClassifier serial(fp32);
+  serial.Fit(hin, labeled);
+  parallel::SetNumThreads(4);
+  core::TMarkClassifier threaded(fp32);
+  threaded.Fit(hin, labeled);
+  EXPECT_DOUBLE_EQ(
+      serial.Confidences().MaxAbsDiff(threaded.Confidences()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      serial.LinkImportance().MaxAbsDiff(threaded.LinkImportance()), 0.0);
+}
+
+TEST(Fp32FitTest, PerClassEngineIgnoresTheKnob) {
+  ThreadCountGuard guard;
+  const hin::Hin hin = MakeDblp();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig plain;
+  plain.fit_mode = core::FitMode::kPerClass;
+  core::TMarkConfig with_knob = plain;
+  with_knob.fp32_panels = true;
+
+  parallel::SetNumThreads(1);
+  core::TMarkClassifier a(plain);
+  a.Fit(hin, labeled);
+  core::TMarkClassifier b(with_knob);
+  b.Fit(hin, labeled);
+  EXPECT_DOUBLE_EQ(a.Confidences().MaxAbsDiff(b.Confidences()), 0.0);
+  EXPECT_DOUBLE_EQ(a.LinkImportance().MaxAbsDiff(b.LinkImportance()), 0.0);
+}
+
+}  // namespace
+}  // namespace tmark

@@ -1,0 +1,146 @@
+// Bit-identity tests for the LLC-sharded merged-view dispatch: a fit run
+// under any shard budget — pathologically tiny, the LLC-sized default, or
+// one so large the plan collapses to a single shard — must equal the
+// per-class engine bit for bit at every thread count, with sharding
+// enabled, disabled, and with the compact index arrays forced wide. The
+// shard plan shapes work assignment only; these tests pin that contract.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/la/index_array.h"
+#include "tmark/parallel/thread_pool.h"
+#include "tmark/tensor/sharding.h"
+
+namespace tmark {
+namespace {
+
+// Restores every global knob the tests touch, so a failing assertion cannot
+// leak a tiny budget or a forced-wide build into later tests.
+struct KnobGuard {
+  ~KnobGuard() {
+    parallel::SetNumThreads(0);
+    tensor::SetMergedShardBudgetBytes(0);
+    tensor::SetMergedShardingEnabled(true);
+    la::SetForceWideIndexArrays(false);
+  }
+};
+
+hin::Hin MakeTestHin() {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 220;
+  config.class_names = {"A", "B", "C", "D"};
+  config.relations = {{"r0", 0.85, 0.0, 3.0, {}, false},
+                      {"r1", 0.6, 0.2, 2.0, {}, true}};
+  config.seed = 99;
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> EveryThird(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) labeled.push_back(i);
+  return labeled;
+}
+
+struct FitOutputs {
+  la::DenseMatrix confidences;
+  la::DenseMatrix link_importance;
+  std::vector<core::ConvergenceTrace> traces;
+};
+
+FitOutputs RunFit(const hin::Hin& hin, const std::vector<std::size_t>& labeled,
+                  const core::TMarkConfig& config, int threads) {
+  parallel::SetNumThreads(threads);
+  core::TMarkClassifier clf(config);
+  clf.Fit(hin, labeled);
+  return {clf.Confidences(), clf.LinkImportance(), clf.Traces()};
+}
+
+void ExpectBitIdentical(const FitOutputs& golden, const FitOutputs& other) {
+  EXPECT_DOUBLE_EQ(golden.confidences.MaxAbsDiff(other.confidences), 0.0);
+  EXPECT_DOUBLE_EQ(golden.link_importance.MaxAbsDiff(other.link_importance),
+                   0.0);
+  ASSERT_EQ(golden.traces.size(), other.traces.size());
+  for (std::size_t c = 0; c < golden.traces.size(); ++c) {
+    const core::ConvergenceTrace& g = golden.traces[c];
+    const core::ConvergenceTrace& o = other.traces[c];
+    EXPECT_EQ(g.converged, o.converged);
+    ASSERT_EQ(g.residuals.size(), o.residuals.size()) << "class " << c;
+    for (std::size_t t = 0; t < g.residuals.size(); ++t) {
+      EXPECT_EQ(g.residuals[t], o.residuals[t])  // exact, not approximate
+          << "class " << c << " iteration " << t;
+    }
+  }
+}
+
+TEST(ShardedFitTest, BitIdenticalAcrossShardBudgetsAndThreadCounts) {
+  KnobGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig per_class;
+  per_class.fit_mode = core::FitMode::kPerClass;
+  core::TMarkConfig batched = per_class;
+  batched.fit_mode = core::FitMode::kBatched;
+
+  // Golden: per-class engine, serial, default sharding config.
+  const FitOutputs golden = RunFit(hin, labeled, per_class, 1);
+
+  // 1 byte forces one shard per row (clamped by kMaxMergedShards); the
+  // default budget puts this whole test graph in one LLC block; SIZE_MAX
+  // collapses the plan to a single shard outright.
+  const std::size_t budgets[] = {1, tensor::kDefaultMergedShardBudgetBytes,
+                                 std::numeric_limits<std::size_t>::max()};
+  for (const std::size_t budget : budgets) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    tensor::SetMergedShardBudgetBytes(budget);
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      ExpectBitIdentical(golden, RunFit(hin, labeled, batched, threads));
+    }
+  }
+}
+
+TEST(ShardedFitTest, DisabledShardingMatchesEnabled) {
+  KnobGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig batched;
+  batched.fit_mode = core::FitMode::kBatched;
+
+  tensor::SetMergedShardingEnabled(true);
+  tensor::SetMergedShardBudgetBytes(1);  // Maximal shard count.
+  const FitOutputs sharded = RunFit(hin, labeled, batched, 4);
+
+  tensor::SetMergedShardingEnabled(false);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectBitIdentical(sharded, RunFit(hin, labeled, batched, threads));
+  }
+}
+
+TEST(ShardedFitTest, ForcedWideIndexArraysAreBitIdentical) {
+  KnobGuard guard;
+  const hin::Hin hin = MakeTestHin();
+  const std::vector<std::size_t> labeled = EveryThird(hin);
+
+  core::TMarkConfig batched;
+  batched.fit_mode = core::FitMode::kBatched;
+
+  const FitOutputs compact = RunFit(hin, labeled, batched, 1);
+  la::SetForceWideIndexArrays(true);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectBitIdentical(compact, RunFit(hin, labeled, batched, threads));
+  }
+}
+
+}  // namespace
+}  // namespace tmark

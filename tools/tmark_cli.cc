@@ -108,15 +108,18 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tmark_cli <command> [--flag value ...]\n"
-               "  generate --preset dblp|movies|nus1|nus2|acm|example\n"
+               "  generate --preset "
+               "dblp|movies|nus1|nus2|acm|example|synthetic:<n>\n"
                "           [--nodes N] [--seed S] --out FILE\n"
                "  info     --hin FILE\n"
                "  classify --hin FILE [--method NAME] [--train-fraction F]\n"
                "           [--alpha A] [--gamma G] [--seed S]\n"
-               "           [--fit-mode per_class|batched]\n"
+               "           [--fit-mode per_class|batched] "
+               "[--fp32-panels on|off]\n"
                "  rank     --hin FILE [--train-fraction F] [--alpha A]\n"
                "           [--gamma G] [--top K] [--seed S]\n"
-               "           [--fit-mode per_class|batched]\n"
+               "           [--fit-mode per_class|batched] "
+               "[--fp32-panels on|off]\n"
                "           [--save-model FILE | --model FILE]\n"
                "global flags (any command):\n"
                "  --log-level debug|info|warn|error|off\n"
@@ -268,6 +271,16 @@ core::FitMode GetFitMode(const Args& args) {
   return mode;
 }
 
+/// Parses --fp32-panels (default off — the opt-in fp32 panel-storage mode
+/// of the batched engine, core/tmark.h).
+bool GetFp32Panels(const Args& args) {
+  const std::string raw = args.Get("fp32-panels", "");
+  if (raw.empty() || raw == "off") return false;
+  if (raw == "on") return true;
+  throw FlagError("invalid value '" + raw +
+                  "' for --fp32-panels (expected on|off)");
+}
+
 /// Loads --hin through the Status boundary; the flag is required.
 Result<hin::Hin> LoadHinFlag(const Args& args) {
   const std::string path = args.Get("hin", "");
@@ -325,7 +338,8 @@ Status Classify(const Args& args) {
   auto clf = baselines::TryMakeClassifier(method,
                                           args.GetDouble("alpha", 0.8),
                                           args.GetDouble("gamma", 0.6),
-                                          0.7, GetFitMode(args));
+                                          0.7, GetFitMode(args),
+                                          GetFp32Panels(args));
   if (clf == nullptr) {
     return InvalidArgumentError("unknown method '" + method + "'");
   }
@@ -347,6 +361,7 @@ Status Rank(const Args& args) {
   config.alpha = args.GetDouble("alpha", 0.8);
   config.gamma = args.GetDouble("gamma", 0.6);
   config.fit_mode = GetFitMode(args);
+  config.fp32_panels = GetFp32Panels(args);
   core::TMarkClassifier clf(config);
   if (!model_path.empty()) {
     TMARK_ASSIGN_OR_RETURN(clf, core::LoadTMarkModelFromFile(model_path));
