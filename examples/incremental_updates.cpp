@@ -4,12 +4,24 @@
 // previous stationary distributions, cutting iterations while landing on
 // the same unique fixed point (Theorem 3 guarantees uniqueness for a fixed
 // restart vector).
+//
+// The second half goes further: the *network itself* changes. A HinDelta
+// batches edge adds/removes/reweights, feature-row updates, and new labels;
+// TMarkClassifier::Update applies it, patches the prepared operators in
+// place (renormalizing only the touched O columns / R rows), and warm-starts
+// the refresh — instead of rebuilding every operator and refitting cold.
 
+#include <cstddef>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "tmark/core/tmark.h"
 #include "tmark/datasets/dblp.h"
 #include "tmark/eval/experiment.h"
+#include "tmark/hin/hin_delta.h"
+#include "tmark/la/sparse_matrix.h"
+#include "tmark/obs/trace.h"
 
 namespace {
 
@@ -70,7 +82,69 @@ int main() {
                     static_cast<double>(hin.num_nodes()),
                 warm_iters, cold_iters, drift);
   }
+  // --- The network itself changes: patch, don't rebuild. -----------------
+  // A small delta touching every mutation kind: reweight and remove two
+  // stored edges of relation 0, add an absent edge to relation 1, replace a
+  // feature row, and label one more author.
+  hin::Hin live = hin;
+  hin::HinDelta delta;
+  {
+    const la::SparseMatrix& r0 = live.relation(0);
+    std::vector<std::pair<std::size_t, std::size_t>> stored;  // (dst, src)
+    for (std::size_t i = 0; i < r0.rows() && stored.size() < 2; ++i) {
+      for (std::size_t p = r0.row_ptr()[i];
+           p < r0.row_ptr()[i + 1] && stored.size() < 2; ++p) {
+        stored.emplace_back(i, r0.col_idx()[p]);
+      }
+    }
+    delta.ReweightEdge(0, stored[0].second, stored[0].first, 2.0);
+    delta.RemoveEdge(0, stored[1].second, stored[1].first);
+    const la::SparseMatrix& r1 = live.relation(1);
+    for (std::size_t i = 0; i < r1.rows(); ++i) {
+      const std::size_t j = (i + 11) % live.num_nodes();
+      if (i != j && r1.FindEntry(i, j) == la::SparseMatrix::npos) {
+        delta.AddEdge(1, j, i, 1.0);
+        break;
+      }
+    }
+    delta.UpdateFeatureRow(2, {{0, 1.5}, {3, 0.5}});
+    // The preset labels every author, so grow a label set instead: give the
+    // first author without class 0 that class as a secondary label.
+    for (std::size_t node = 0; node < live.num_nodes(); ++node) {
+      if (!live.HasLabel(node, 0)) {
+        delta.AddLabel(node, 0);
+        break;
+      }
+    }
+  }
+
+  obs::Stopwatch patch_watch;
+  if (const Status status = incremental.Update(&live, delta, wave3);
+      !status.ok()) {
+    std::printf("Update failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double patch_ms = patch_watch.ElapsedMs();
+  const std::size_t patch_iters = TotalIterations(incremental);
+
+  // The alternative: rebuild every operator and refit cold on the mutated
+  // network. Same fixed point, much more work.
+  obs::Stopwatch rebuild_watch;
+  core::TMarkClassifier rebuilt(config);
+  rebuilt.Fit(live, wave3);
+  const double rebuild_ms = rebuild_watch.ElapsedMs();
+  const std::size_t rebuild_iters = TotalIterations(rebuilt);
+
+  std::printf("\nedge/feature/label delta (%zu ops):\n", delta.size());
+  std::printf("  Update (patch + warm refresh)   %8.2f ms   %zu iterations\n",
+              patch_ms, patch_iters);
+  std::printf("  rebuild + cold fit              %8.2f ms   %zu iterations\n",
+              rebuild_ms, rebuild_iters);
+  std::printf("  max drift patched vs rebuilt: %.2e\n",
+              incremental.Confidences().MaxAbsDiff(rebuilt.Confidences()));
+
   std::printf("\nwarm starts land on the same unique fixed point; when the "
-              "problem is unchanged they are\nalready stationary, and when labels shift they converge from nearby.\n");
+              "problem is unchanged they are\nalready stationary, and when "
+              "labels or the network shift they converge from nearby.\n");
   return 0;
 }

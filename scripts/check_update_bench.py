@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate for the incremental-update bench (docs/PERFORMANCE.md
+"Incremental updates").
+
+Reads a TMARK_BENCH_JSON dump from bench_perf_updates and asserts, for
+every row of the "update latency" table:
+
+  * the patched path (operator patch/reuse + warm refresh) is not slower
+    than the full rebuild for any delta of at most 1% of the edges, with
+    --slack headroom (default 1.5x — generous on purpose, like
+    check_scaling_bench.py: the gate catches an Update path that regressed
+    to rebuild-equivalent cost, not timing noise on a loaded CI machine),
+  * for the "labels" delta kind at the 0.1%-of-edges size — the operators
+    are untouched, so Update skips the patch and the warm refresh retires
+    almost immediately — the end-to-end speedup clears the 5x the
+    performance docs claim, divided by the same slack,
+  * the warm refresh does not iterate past the cold fit by more than the
+    same slack factor (a renormalized restart vector can cost the warm
+    chain a few extra steps, but far more means the warm start was lost).
+
+Usage: check_update_bench.py FILE [--slack 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+TABLE_TITLE = "update latency"
+CLAIMED_SPEEDUP = 5.0
+CLAIM_KIND = "labels"
+CLAIM_PCT = 0.1
+
+
+def fail(message):
+    print(f"check_update_bench: {message}", file=sys.stderr)
+    return 1
+
+
+def find_table(doc, title, path):
+    table = next((t for t in doc.get("tables", [])
+                  if t.get("title") == title), None)
+    if table is None:
+        raise KeyError(f"{path}: no '{title}' table "
+                       "(bench_perf_updates out of date?)")
+    return table
+
+
+def columns(table, names, path):
+    headers = table["headers"]
+    try:
+        return [headers.index(name) for name in names]
+    except ValueError as e:
+        raise KeyError(f"{path}: table missing column: {e}")
+
+
+def check_latency(table, slack, path):
+    cols = columns(
+        table,
+        ["dataset", "delta_kind", "delta_pct", "patch_ms", "rebuild_ms",
+         "patch_iters", "rebuild_iters"], path)
+    if not table["rows"]:
+        raise ValueError(f"{path}: '{TABLE_TITLE}' table has no rows")
+    claims_checked = 0
+    for row in table["rows"]:
+        dataset, kind, pct, patch, rebuild, pit, rit = (row[c] for c in cols)
+        pct, patch, rebuild = float(pct), float(patch), float(rebuild)
+        pit, rit = int(pit), int(rit)
+        where = f"{dataset} {kind} delta={pct}%"
+        speedup = rebuild / patch if patch > 0 else float("inf")
+        if pct <= 1.0 and patch > rebuild * slack:
+            raise ValueError(
+                f"{path}: {where}: patched update is slower than a full "
+                f"rebuild: {patch:.3f} ms vs {rebuild:.3f} ms (allowed up "
+                f"to {rebuild * slack:.3f} with slack {slack})")
+        if kind == CLAIM_KIND and pct == CLAIM_PCT:
+            claims_checked += 1
+            needed = CLAIMED_SPEEDUP / slack
+            if speedup < needed:
+                raise ValueError(
+                    f"{path}: {where}: end-to-end speedup {speedup:.2f}x is "
+                    f"below the claimed {CLAIMED_SPEEDUP}x (gated at "
+                    f">= {needed:.2f}x with slack {slack})")
+        if pit > rit * slack:
+            raise ValueError(
+                f"{path}: {where}: warm refresh took far more iterations "
+                f"than the cold fit ({pit} vs {rit}, allowed up to "
+                f"{rit * slack:.0f} with slack {slack}) — warm start lost?")
+        print(f"check_update_bench: {where}: patch {patch:.3f} ms vs "
+              f"rebuild {rebuild:.3f} ms ({speedup:.2f}x, "
+              f"{pit}/{rit} iters)")
+    if claims_checked == 0:
+        raise ValueError(
+            f"{path}: no '{CLAIM_KIND}' row at delta_pct == {CLAIM_PCT} — "
+            f"the {CLAIMED_SPEEDUP}x claim was never checked")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--slack", type=float, default=1.5,
+                        help="allowed patch/rebuild latency headroom")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read {args.file}: {e}")
+
+    try:
+        check_latency(find_table(doc, TABLE_TITLE, args.file), args.slack,
+                      args.file)
+    except (KeyError, ValueError) as e:
+        return fail(str(e).strip("'"))
+
+    print(f"check_update_bench: ok (slack {args.slack})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

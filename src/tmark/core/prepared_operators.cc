@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
+#include "tmark/hin/hin_delta.h"
 #include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
 
 namespace tmark::core {
 namespace {
@@ -72,7 +75,49 @@ PreparedOperators PreparedOperators::Build(const hin::Hin& hin,
 
 std::shared_ptr<const PreparedOperators> PreparedOperators::BuildShared(
     const hin::Hin& hin, hin::SimilarityKernel kernel) {
-  return std::make_shared<const PreparedOperators>(Build(hin, kernel));
+  // The managed object is non-const so a uniquely-held bundle can be
+  // patched in place through const_pointer_cast (TMarkClassifier::Update);
+  // every handle handed out is still pointer-to-const.
+  return std::make_shared<PreparedOperators>(Build(hin, kernel));
+}
+
+void PreparedOperators::ApplyDelta(const hin::Hin& hin,
+                                   const hin::HinDelta& delta) {
+  obs::ScopedTimer timer("update.operators_ms");
+  obs::IncrCounter("update.edges",
+                   static_cast<std::int64_t>(delta.edge_ops().size()));
+  if (!delta.edge_ops().empty()) {
+    std::vector<const la::SparseMatrix*> adjacency;
+    adjacency.reserve(hin.num_relations());
+    for (std::size_t k = 0; k < hin.num_relations(); ++k) {
+      adjacency.push_back(&hin.relation(k));
+    }
+    tensor::TransitionTensors::AdjacencyDelta adelta;
+    adelta.relations.reserve(delta.edge_ops().size());
+    adelta.pairs.reserve(delta.edge_ops().size());
+    for (const hin::EdgeOp& op : delta.edge_ops()) {
+      adelta.relations.push_back(op.relation);
+      adelta.pairs.emplace_back(static_cast<std::uint32_t>(op.dst),
+                                static_cast<std::uint32_t>(op.src));
+    }
+    std::sort(adelta.relations.begin(), adelta.relations.end());
+    adelta.relations.erase(
+        std::unique(adelta.relations.begin(), adelta.relations.end()),
+        adelta.relations.end());
+    std::sort(adelta.pairs.begin(), adelta.pairs.end());
+    adelta.pairs.erase(std::unique(adelta.pairs.begin(), adelta.pairs.end()),
+                       adelta.pairs.end());
+    tensors_.ApplyPatch(adjacency, adelta);
+  }
+  if (!delta.feature_updates().empty()) {
+    std::vector<std::uint32_t> rows;
+    rows.reserve(delta.feature_updates().size());
+    for (const hin::FeatureRowUpdate& u : delta.feature_updates()) {
+      rows.push_back(static_cast<std::uint32_t>(u.node));
+    }
+    similarity_.PatchRows(hin.features(), rows);
+  }
+  fingerprint_ = FingerprintOperators(hin, kernel_);
 }
 
 OperatorCache::OperatorCache(std::size_t capacity)
@@ -93,11 +138,13 @@ std::shared_ptr<const PreparedOperators> OperatorCache::GetOrBuild(
       entries_.erase(it);
       entries_.insert(entries_.begin(), hit);  // refresh MRU position
       obs::IncrCounter("core.prepared.cache_hits");
+      obs::IncrCounter("ops.cache.hit");
       return hit;
     }
   }
   // Build outside the lock: concurrent misses may build twice, but both
   // results are identical and the cache stays consistent.
+  obs::IncrCounter("ops.cache.miss");
   std::shared_ptr<const PreparedOperators> built =
       PreparedOperators::BuildShared(hin, kernel);
   std::lock_guard<std::mutex> lock(mu_);

@@ -31,7 +31,10 @@ namespace tmark::core {
 std::uint64_t FingerprintOperators(const hin::Hin& hin,
                                    hin::SimilarityKernel kernel);
 
-/// Immutable bundle of the label-independent fit operators.
+/// Bundle of the label-independent fit operators. Consumers hold it through
+/// `shared_ptr<const PreparedOperators>` and treat it as immutable; the one
+/// sanctioned mutation is ApplyDelta on a uniquely-held (or copied) bundle,
+/// which patches the operators in place after a HIN mutation.
 class PreparedOperators {
  public:
   /// Builds O, R, and W from the HIN. Increments the "core.prepared.builds"
@@ -43,6 +46,16 @@ class PreparedOperators {
   /// Build wrapped in a shared_ptr, for caching / cross-classifier sharing.
   static std::shared_ptr<const PreparedOperators> BuildShared(
       const hin::Hin& hin, hin::SimilarityKernel kernel);
+
+  /// Incrementally re-derives the bundle after `hin` absorbed `delta`
+  /// (Hin::ApplyDelta already ran; this bundle must have been built from
+  /// the pre-mutation network). Edge ops patch O, R, and the linked mask
+  /// through TransitionTensors::ApplyPatch; feature updates patch W through
+  /// FeatureSimilarity::PatchRows; the fingerprint is recomputed from the
+  /// mutated network. A patched bundle is bit-identical to
+  /// Build(hin, kernel()) — same fingerprint, same operator bytes. Timed as
+  /// "update.operators_ms"; the edge-op count lands on "update.edges".
+  void ApplyDelta(const hin::Hin& hin, const hin::HinDelta& delta);
 
   const tensor::TransitionTensors& tensors() const { return tensors_; }
   const hin::FeatureSimilarity& similarity() const { return similarity_; }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "tmark/common/check.h"
+#include "tmark/hin/hin_delta.h"
 #include "tmark/hin/label_vector.h"
 #include "tmark/la/panel.h"
 #include "tmark/la/panel_f32.h"
@@ -73,6 +74,57 @@ void TMarkClassifier::Refit(const hin::Hin& hin,
               /*external_ops=*/nullptr);
 }
 
+Status TMarkClassifier::Update(hin::Hin* hin, const hin::HinDelta& delta,
+                               const std::vector<std::size_t>& labeled) {
+  TMARK_CHECK(hin != nullptr);
+  obs::ScopedTimer update_timer("update.total_ms");
+  // Label-only deltas cannot change the operators (labels are excluded from
+  // the fingerprint), so one post-mutation fingerprint both validates the
+  // held bundle and proves its honesty. Deltas that touch edges or features
+  // need the pre-mutation fingerprint: patching a bundle that does not match
+  // the network it claims to describe would stamp a fresh fingerprint onto
+  // stale content.
+  const bool ops_affected =
+      !delta.edge_ops().empty() || !delta.feature_updates().empty();
+  std::uint64_t pre_fingerprint = 0;
+  if (ops_affected && prepared_ != nullptr) {
+    pre_fingerprint = FingerprintOperators(*hin, config_.similarity);
+  }
+  TMARK_RETURN_IF_ERROR(hin->ApplyDelta(delta));
+  const PreparedOperators* external = nullptr;
+  if (prepared_ != nullptr) {
+    if (!ops_affected) {
+      if (prepared_->fingerprint() ==
+          FingerprintOperators(*hin, config_.similarity)) {
+        obs::IncrCounter("ops.cache.hit");
+        external = prepared_.get();
+      }
+    } else if (prepared_->fingerprint() == pre_fingerprint) {
+      // Patch instead of rebuild. Copy-on-write: a uniquely-held bundle is
+      // patched in place; a shared one is copied first so other holders
+      // keep the pre-mutation operators.
+      std::shared_ptr<PreparedOperators> mutable_ops;
+      if (prepared_.use_count() == 1) {
+        mutable_ops = std::const_pointer_cast<PreparedOperators>(prepared_);
+      } else {
+        mutable_ops = std::make_shared<PreparedOperators>(*prepared_);
+      }
+      mutable_ops->ApplyDelta(*hin, delta);
+      prepared_ = std::move(mutable_ops);
+      obs::IncrCounter("ops.cache.hit");
+      external = prepared_.get();
+    }
+  }
+  // A stale (or absent) bundle is left for FitInternal, whose fingerprint
+  // check rebuilds it and records the ops.cache.miss; a validated one is
+  // passed through directly so the refresh skips the O(nnz) re-check.
+  const bool compatible = confidences_.rows() == hin->num_nodes() &&
+                          confidences_.cols() == hin->num_classes() &&
+                          link_importance_.rows() == hin->num_relations();
+  FitInternal(*hin, labeled, /*warm_start=*/compatible, external);
+  return Status::Ok();
+}
+
 void TMarkClassifier::FitInternal(const hin::Hin& hin,
                                   const std::vector<std::size_t>& labeled,
                                   bool warm_start,
@@ -105,7 +157,9 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
         FingerprintOperators(hin, config_.similarity);
     if (prepared_ != nullptr && prepared_->fingerprint() == fingerprint) {
       obs::IncrCounter("tmark.fit.operator_cache_hits");
+      obs::IncrCounter("ops.cache.hit");
     } else {
+      obs::IncrCounter("ops.cache.miss");
       prepared_ = PreparedOperators::BuildShared(hin, config_.similarity);
     }
     ops = prepared_.get();

@@ -151,6 +151,24 @@ class TMarkClassifier : public hin::CollectiveClassifier {
   /// cold Fit when no compatible previous state exists.
   void Refit(const hin::Hin& hin, const std::vector<std::size_t>& labeled);
 
+  /// Incremental update, the fast path of docs/PERFORMANCE.md "Incremental
+  /// updates": validates and applies `delta` to `hin` (Hin::ApplyDelta),
+  /// patches the cached prepared operators in place instead of rebuilding
+  /// them (copy-on-write when the bundle is shared with other holders), and
+  /// re-runs the fixed point warm-started from the previous stationary
+  /// panels. Warm starts put each class's chain at distance ~||delta|| from
+  /// its fixed point, so the batched engine's per-class residual check
+  /// retires columns the delta did not perturb after their first iteration.
+  /// Label-only deltas skip the operator patch entirely — labels do not
+  /// enter O/R/W, so a single post-mutation fingerprint both validates the
+  /// held bundle and keeps it honest — which is why label waves see the
+  /// largest end-to-end speedups (bench_perf_updates).
+  /// On a validation error the network, operators, and model state are all
+  /// unchanged. The end-to-end path is timed as "update.total_ms"; the
+  /// operator patch records "update.{edges,rows_touched,reshards}".
+  Status Update(hin::Hin* hin, const hin::HinDelta& delta,
+                const std::vector<std::size_t>& labeled);
+
   /// n x q stationary node probabilities; column c is x-bar for class c.
   const la::DenseMatrix& Confidences() const override;
 

@@ -1,5 +1,6 @@
 #include "tmark/hin/feature_similarity.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tmark/common/check.h"
@@ -91,6 +92,74 @@ FeatureSimilarity FeatureSimilarity::Build(const la::SparseMatrix& features,
     span.AddField("nnz", fs.fhat_.NumNonZeros());
   }
   return fs;
+}
+
+std::size_t FeatureSimilarity::PatchRows(
+    const la::SparseMatrix& features,
+    const std::vector<std::uint32_t>& rows) {
+  TMARK_CHECK_MSG(features.IsNonNegative(),
+                  "feature similarity assumes non-negative features");
+  const std::size_t n = num_nodes();
+  TMARK_CHECK(features.rows() == n && features.cols() == fhat_.cols());
+  if (rows.empty()) return 0;
+  if (kernel_ == SimilarityKernel::kTfIdfCosine) {
+    *this = Build(features, kernel_);
+    return rows.size();
+  }
+  obs::ScopedTimer timer("hin.similarity.patch_ms");
+  std::vector<std::uint32_t> targets(rows);
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  std::vector<la::RowEdit> edits;
+  edits.reserve(targets.size());
+  for (std::uint32_t i : targets) {
+    TMARK_CHECK(i < n);
+    const std::size_t begin = features.row_ptr()[i];
+    const std::size_t end = features.row_ptr()[i + 1];
+    la::RowEdit e;
+    e.row = i;
+    e.cols.assign(features.col_idx().begin() + begin,
+                  features.col_idx().begin() + end);
+    e.values.reserve(end - begin);
+    // Kernel transform + squared norm, in stored order — Build's per-row
+    // computation verbatim.
+    double sq = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      double v = features.values()[p];
+      if (kernel_ == SimilarityKernel::kBinaryCosine) v = v > 0.0 ? 1.0 : 0.0;
+      sq += v * v;
+      e.values.push_back(v);
+    }
+    double inv = 0.0;
+    if (sq > 0.0) {
+      inv = kernel_ == SimilarityKernel::kDotProduct ? 1.0
+                                                     : 1.0 / std::sqrt(sq);
+    }
+    for (double& v : e.values) v *= inv;
+    const bool now_dangling = !(sq > 0.0);
+    const auto it = std::lower_bound(dangling_.begin(), dangling_.end(), i);
+    const bool was_dangling = it != dangling_.end() && *it == i;
+    if (now_dangling && !was_dangling) {
+      dangling_.insert(it, i);
+    } else if (!now_dangling && was_dangling) {
+      dangling_.erase(it);
+    }
+    edits.push_back(std::move(e));
+  }
+  fhat_.ApplyRowEdits(std::move(edits));
+  // The column sums couple all rows through F_hat^T 1, so they recompute
+  // wholesale — one O(nnz F) pass over the patched F_hat, which matches a
+  // rebuilt operator bit for bit because F_hat itself does.
+  la::Vector t = fhat_.ColumnSums();
+  col_sums_ = fhat_.MatVec(t);
+  for (std::uint32_t j : dangling_) col_sums_[j] = 0.0;
+  if (obs::MetricsEnabled()) {
+    obs::SetGauge("hin.similarity.nnz",
+                  static_cast<double>(fhat_.NumNonZeros()));
+    obs::SetGauge("hin.similarity.dangling_nodes",
+                  static_cast<double>(dangling_.size()));
+  }
+  return targets.size();
 }
 
 la::Vector FeatureSimilarity::Apply(const la::Vector& x) const {

@@ -34,6 +34,17 @@ class FeatureSimilarity {
       const la::SparseMatrix& features,
       SimilarityKernel kernel = SimilarityKernel::kCosine);
 
+  /// Incrementally refreshes the operator after the listed feature rows
+  /// were replaced (`features` is the POST-mutation matrix). The row-local
+  /// kernels (cosine, binary cosine, dot product) re-transform and
+  /// re-normalize only those F_hat rows and then recompute the column sums
+  /// in Build's exact serial accumulation order, so the patched operator is
+  /// bit-identical to Build(features, kernel()). The tf-idf kernel's global
+  /// document frequencies couple every row, so it falls back to a full
+  /// rebuild. Returns the number of F_hat rows rewritten.
+  std::size_t PatchRows(const la::SparseMatrix& features,
+                        const std::vector<std::uint32_t>& rows);
+
   std::size_t num_nodes() const { return col_sums_.size(); }
 
   /// Applies W to x (length n). Maps probability vectors to probability

@@ -5,10 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "tmark/common/status.h"
 #include "tmark/la/sparse_matrix.h"
 #include "tmark/tensor/sparse_tensor3.h"
 
 namespace tmark::hin {
+
+class HinDelta;
 
 /// A Heterogeneous Information Network over one target node type.
 ///
@@ -20,7 +23,9 @@ namespace tmark::hin {
 /// (singleton sets for single-label tasks, larger sets for ACM-style
 /// multi-label tasks).
 ///
-/// Instances are immutable after construction; use HinBuilder to assemble.
+/// Instances are assembled with HinBuilder and then stay put, except for
+/// ApplyDelta, which splices a validated batch of mutations (hin_delta.h)
+/// into the CSR arrays in place.
 class Hin {
  public:
   Hin() = default;
@@ -64,6 +69,11 @@ class Hin {
 
   /// Indices of nodes whose label set is non-empty.
   std::vector<std::size_t> NodesWithLabels() const;
+
+  /// Applies a mutation batch in place. The batch is validated first
+  /// (HinDelta::Validate); on any error the network is left untouched and
+  /// the typed Status is returned. Defined in hin_delta.cc.
+  Status ApplyDelta(const HinDelta& delta);
 
  private:
   friend class HinBuilder;

@@ -1,0 +1,137 @@
+#ifndef TMARK_HIN_HIN_DELTA_H_
+#define TMARK_HIN_HIN_DELTA_H_
+
+// Batched HIN mutations for the incremental-update path.
+//
+// A HinDelta names a batch of edge mutations (add / remove / reweight),
+// full feature-row replacements, and label additions. Hin::ApplyDelta
+// validates the whole batch against the pre-mutation network first —
+// unknown node/relation/class/feature ids, non-finite or non-positive
+// weights, and duplicate ops in one batch are rejected with a typed Status
+// (docs/ERRORS.md) before anything mutates — then applies it through the
+// CSR row-edit path, so downstream operators can patch instead of rebuild
+// (core::PreparedOperators::ApplyDelta). Deltas also round-trip through a
+// line-oriented text format ("# tmark-delta v1"), making the loader an
+// untrusted-input boundary like hin_io.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tmark/common/status.h"
+#include "tmark/hin/hin.h"
+
+namespace tmark::hin {
+
+/// One edge mutation. Follows the tensor convention of Sec. 3.1: the edge
+/// is entry A[dst, src, relation] (column = source, row = destination).
+struct EdgeOp {
+  enum class Kind { kAdd, kRemove, kReweight };
+  Kind kind;
+  std::size_t relation;
+  std::size_t dst;
+  std::size_t src;
+  double weight;  ///< New weight for kAdd/kReweight; unused for kRemove.
+};
+
+/// Full replacement of one node's feature row. Entries may arrive in any
+/// order but dims must be unique; explicit zeros are dropped on apply.
+struct FeatureRowUpdate {
+  std::size_t node;
+  std::vector<std::pair<std::size_t, double>> entries;  ///< (dim, value).
+};
+
+/// Adds class `cls` to a node's label set.
+struct LabelAdd {
+  std::size_t node;
+  std::size_t cls;
+};
+
+/// An ordered batch of mutations, assembled through the builder methods and
+/// consumed by Hin::ApplyDelta / TMarkClassifier::Update.
+class HinDelta {
+ public:
+  HinDelta() = default;
+
+  /// Records A[dst, src, relation] = weight for an edge that must not
+  /// already exist (argument order mirrors HinBuilder::AddDirectedEdge).
+  void AddEdge(std::size_t relation, std::size_t src, std::size_t dst,
+               double weight);
+
+  /// Removes an existing edge.
+  void RemoveEdge(std::size_t relation, std::size_t src, std::size_t dst);
+
+  /// Overwrites an existing edge's weight.
+  void ReweightEdge(std::size_t relation, std::size_t src, std::size_t dst,
+                    double weight);
+
+  /// Replaces `node`'s entire feature row.
+  void UpdateFeatureRow(std::size_t node,
+                        std::vector<std::pair<std::size_t, double>> entries);
+
+  /// Adds class `cls` to `node`'s label set (must not already carry it).
+  void AddLabel(std::size_t node, std::size_t cls);
+
+  const std::vector<EdgeOp>& edge_ops() const { return edge_ops_; }
+  const std::vector<FeatureRowUpdate>& feature_updates() const {
+    return feature_updates_;
+  }
+  const std::vector<LabelAdd>& label_adds() const { return label_adds_; }
+
+  bool empty() const {
+    return edge_ops_.empty() && feature_updates_.empty() &&
+           label_adds_.empty();
+  }
+  std::size_t size() const {
+    return edge_ops_.size() + feature_updates_.size() + label_adds_.size();
+  }
+
+  /// Validates the batch against the PRE-mutation network. Returns (with
+  /// the io.errors counters incremented):
+  ///   * kInvalidArgument — out-of-range node/relation/class/feature id,
+  ///     non-finite or non-positive edge weight, non-finite or negative
+  ///     feature value, or duplicate ops on one key within the batch;
+  ///   * kNotFound — remove/reweight of an edge that does not exist;
+  ///   * kFailedPrecondition — add of an edge or label already present.
+  Status Validate(const Hin& hin) const;
+
+ private:
+  std::vector<EdgeOp> edge_ops_;
+  std::vector<FeatureRowUpdate> feature_updates_;
+  std::vector<LabelAdd> label_adds_;
+};
+
+/// Serializes `delta` to a line-oriented text format:
+///
+///   # tmark-delta v1
+///   add_edge <k> <dst> <src> <w>
+///   remove_edge <k> <dst> <src>
+///   reweight_edge <k> <dst> <src> <w>
+///   feat <node> <dim>:<value> [<dim>:<value> ...]
+///   label <node> <c>
+///
+/// Edge directives use the same <k> <dst> <src> order as the tmark-hin
+/// format; weights round-trip exactly.
+void SaveHinDelta(const HinDelta& delta, std::ostream& out);
+
+/// Writes the SaveHinDelta format to `path`. kNotFound when the file cannot
+/// be created, kDataLoss when the write fails midway.
+Status SaveHinDeltaToFile(const HinDelta& delta, const std::string& path);
+
+/// Parses the format written by SaveHinDelta. Untrusted-input boundary:
+/// every malformed construct — missing header, unknown directive,
+/// non-numeric or overflowing index, NaN/inf/non-positive weight, negative
+/// feature value, duplicate ops on one key — yields a kParseError carrying
+/// the offending line number. Range checks against a concrete network
+/// happen later, in HinDelta::Validate.
+Result<HinDelta> LoadHinDelta(std::istream& in);
+
+/// LoadHinDelta from `path`; kNotFound when the file cannot be opened, and
+/// the path is prepended as context to any parse error.
+Result<HinDelta> LoadHinDeltaFromFile(const std::string& path);
+
+}  // namespace tmark::hin
+
+#endif  // TMARK_HIN_HIN_DELTA_H_

@@ -51,4 +51,51 @@ std::vector<std::size_t> IndexArray::ToVector() const {
   return out;
 }
 
+void IndexArray::Set(std::size_t i, std::size_t value) {
+  if (!wide_) {
+    if (value <= std::numeric_limits<std::uint32_t>::max()) {
+      v32_[i] = static_cast<std::uint32_t>(value);
+      return;
+    }
+    v64_.assign(v32_.begin(), v32_.end());
+    v32_.clear();
+    v32_.shrink_to_fit();
+    wide_ = true;
+  }
+  v64_[i] = value;
+}
+
+void IndexArray::ShiftTail(std::size_t from, std::ptrdiff_t delta) {
+  if (delta == 0) return;
+  const std::size_t count = size();
+  for (std::size_t i = from; i < count; ++i) {
+    Set(i, static_cast<std::size_t>(static_cast<std::ptrdiff_t>((*this)[i]) +
+                                    delta));
+  }
+}
+
+void IndexArray::FitWidth() {
+  std::size_t max_offset = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    max_offset = std::max(max_offset, (*this)[i]);
+  }
+  const bool want_wide =
+      g_force_wide || max_offset > std::numeric_limits<std::uint32_t>::max();
+  if (want_wide == wide_) return;
+  if (want_wide) {
+    v64_.assign(v32_.begin(), v32_.end());
+    v32_.clear();
+    v32_.shrink_to_fit();
+  } else {
+    v32_.reserve(v64_.size());
+    v32_.clear();
+    for (std::uint64_t v : v64_) {
+      v32_.push_back(static_cast<std::uint32_t>(v));
+    }
+    v64_.clear();
+    v64_.shrink_to_fit();
+  }
+  wide_ = want_wide;
+}
+
 }  // namespace tmark::la

@@ -14,9 +14,11 @@
 // Reads go through a width branch in operator[]; the panel kernels issue
 // only O(1) offset reads per row/segment against O(row nnz) value work, so
 // the branch is off the critical path (and perfectly predicted — the width
-// never changes after build). Offsets are immutable after construction:
-// mutation always happens on a plain std::vector<std::size_t> which is then
-// handed to FromOffsets.
+// never changes after build). Offsets are assembled on a plain
+// std::vector<std::size_t> handed to FromOffsets; after construction the
+// only mutation is the in-place patch protocol used by incremental HIN
+// updates (Set/ShiftTail followed by one FitWidth), which reproduces the
+// exact width FromOffsets would have chosen for the patched contents.
 
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +68,21 @@ class IndexArray {
 
   /// Canonical 64-bit copy — fingerprinting and tests; never on a hot path.
   std::vector<std::size_t> ToVector() const;
+
+  /// Overwrites offset i in place, widening the storage on demand when the
+  /// value needs 64 bits. Part of the incremental-update patch protocol:
+  /// after a batch of Set/ShiftTail calls the caller runs FitWidth() once so
+  /// the array ends up byte-identical to a FromOffsets rebuild.
+  void Set(std::size_t i, std::size_t value);
+
+  /// Adds `delta` (possibly negative) to every offset in [from, size()).
+  /// Callers guarantee no offset goes negative.
+  void ShiftTail(std::size_t from, std::ptrdiff_t delta);
+
+  /// Re-picks the storage width for the current contents exactly as
+  /// FromOffsets would: compacts to uint32 when the maximum offset fits and
+  /// ForceWideIndexArrays() is off, widens otherwise.
+  void FitWidth();
 
  private:
   bool wide_ = false;

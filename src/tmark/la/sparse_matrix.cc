@@ -89,6 +89,76 @@ double SparseMatrix::At(std::size_t r, std::size_t c) const {
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
+std::size_t SparseMatrix::FindEntry(std::size_t r, std::size_t c) const {
+  TMARK_CHECK(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(c));
+  if (it == end || *it != c) return npos;
+  return static_cast<std::size_t>(it - col_idx_.begin());
+}
+
+void SparseMatrix::ApplyRowEdits(std::vector<RowEdit> edits) {
+  if (edits.empty()) return;
+  std::sort(edits.begin(), edits.end(),
+            [](const RowEdit& a, const RowEdit& b) { return a.row < b.row; });
+  std::size_t extra = 0;
+  for (std::size_t e = 0; e < edits.size(); ++e) {
+    const RowEdit& edit = edits[e];
+    TMARK_CHECK(edit.row < rows_ && edit.cols.size() == edit.values.size());
+    TMARK_CHECK(e == 0 || edits[e - 1].row < edit.row);
+    for (std::size_t p = 0; p < edit.cols.size(); ++p) {
+      TMARK_CHECK(edit.cols[p] < cols_);
+      TMARK_CHECK(p == 0 || edit.cols[p - 1] < edit.cols[p]);
+    }
+    extra += edit.cols.size();
+  }
+  // Gap-copy col_idx/values: bulk-copy the unedited spans, splice the edited
+  // rows. Old per-row lengths are captured up front because row_ptr is
+  // rewritten afterwards.
+  std::vector<std::size_t> old_len(edits.size());
+  std::size_t new_nnz = values_.size() + extra;
+  for (std::size_t e = 0; e < edits.size(); ++e) {
+    old_len[e] = row_ptr_[edits[e].row + 1] - row_ptr_[edits[e].row];
+    new_nnz -= old_len[e];
+  }
+  std::vector<std::uint32_t> new_cols;
+  std::vector<double> new_vals;
+  new_cols.reserve(new_nnz);
+  new_vals.reserve(new_nnz);
+  std::size_t src = 0;
+  for (const RowEdit& edit : edits) {
+    const std::size_t begin = row_ptr_[edit.row];
+    const std::size_t end = row_ptr_[edit.row + 1];
+    new_cols.insert(new_cols.end(), col_idx_.begin() + src,
+                    col_idx_.begin() + begin);
+    new_vals.insert(new_vals.end(), values_.begin() + src,
+                    values_.begin() + begin);
+    new_cols.insert(new_cols.end(), edit.cols.begin(), edit.cols.end());
+    new_vals.insert(new_vals.end(), edit.values.begin(), edit.values.end());
+    src = end;
+  }
+  new_cols.insert(new_cols.end(), col_idx_.begin() + src, col_idx_.end());
+  new_vals.insert(new_vals.end(), values_.begin() + src, values_.end());
+  // Patch row_ptr in place: each offset past an edited row shifts by the
+  // cumulative length delta. Reads at index i happen before the write at i,
+  // and offsets below the first edited row are untouched.
+  std::ptrdiff_t cum = 0;
+  std::size_t e = 0;
+  for (std::size_t r = edits.front().row + 1; r <= rows_; ++r) {
+    while (e < edits.size() && edits[e].row < r) {
+      cum += static_cast<std::ptrdiff_t>(edits[e].cols.size()) -
+             static_cast<std::ptrdiff_t>(old_len[e]);
+      ++e;
+    }
+    row_ptr_.Set(r, static_cast<std::size_t>(
+                        static_cast<std::ptrdiff_t>(row_ptr_[r]) + cum));
+  }
+  row_ptr_.FitWidth();
+  col_idx_ = std::move(new_cols);
+  values_ = std::move(new_vals);
+}
+
 Vector SparseMatrix::MatVec(const Vector& x) const {
   Vector y;
   MatVecInto(x, &y);

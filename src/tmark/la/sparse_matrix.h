@@ -19,6 +19,15 @@ struct Triplet {
   double value;
 };
 
+/// Full replacement of one row's stored entries, applied through
+/// SparseMatrix::ApplyRowEdits. Columns must be ascending, unique, and in
+/// range; an empty edit clears the row.
+struct RowEdit {
+  std::size_t row;
+  std::vector<std::uint32_t> cols;
+  std::vector<double> values;  ///< One per column.
+};
+
 /// Compressed Sparse Row matrix of doubles.
 ///
 /// The workhorse for HIN adjacency slices and bag-of-words feature matrices.
@@ -66,6 +75,20 @@ class SparseMatrix {
 
   /// Value at (r, c); zero when not stored. O(log nnz-in-row).
   double At(std::size_t r, std::size_t c) const;
+
+  /// Sentinel for FindEntry: entry not stored.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Entry-storage position of (r, c) in col_idx()/values(), or npos when
+  /// the entry is not stored. O(log nnz-in-row).
+  std::size_t FindEntry(std::size_t r, std::size_t c) const;
+
+  /// Replaces the stored entries of each listed row (at most one edit per
+  /// row). col_idx/values are spliced through a single gap-copy pass and
+  /// row_ptr is patched in place through the IndexArray mutators, leaving
+  /// the matrix byte-identical to a from-scratch assembly of the same
+  /// contents. O(nnz + sum of edited-row sizes).
+  void ApplyRowEdits(std::vector<RowEdit> edits);
 
   /// y = this * x. Requires x.size() == cols().
   Vector MatVec(const Vector& x) const;

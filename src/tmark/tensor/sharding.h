@@ -35,6 +35,19 @@ inline constexpr std::size_t kMaxMergedShards = 4096;
 /// The resolved per-shard byte budget (override, env, or default).
 std::size_t MergedShardBudgetBytes();
 
+/// The effective budget a shard plan over `total_bytes` of streamed
+/// structure is held to: `budget` raised to the kMaxMergedShards floor (and
+/// to at least 1). Shared by the planner and the incremental merged-view
+/// patch, which checks an existing plan against this bound before falling
+/// back to a reshard.
+inline std::size_t EffectiveMergedShardBudget(std::size_t budget,
+                                              std::size_t total_bytes) {
+  const std::size_t floor_budget =
+      (total_bytes + kMaxMergedShards - 1) / kMaxMergedShards;
+  if (budget < floor_budget) budget = floor_budget;
+  return budget == 0 ? 1 : budget;
+}
+
 /// Overrides the budget; 0 restores env/default resolution. Takes effect the
 /// next time a merged view is prepared or resharded — not thread-safe
 /// against concurrent builds.

@@ -1,6 +1,7 @@
 #include "tmark/tensor/sparse_tensor3.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "tmark/common/check.h"
 #include "tmark/la/microkernel.h"
@@ -108,14 +109,11 @@ void BuildShardPlan(std::size_t n, SparseTensor3::MergedView* mv) {
   const RowBytes row_bytes(*mv);
   std::size_t total = 0;
   for (std::size_t i = 0; i < n; ++i) total += row_bytes(*mv, i);
-  std::size_t budget = MergedShardBudgetBytes();
-  mv->shard_budget_bytes = budget;
+  mv->shard_budget_bytes = MergedShardBudgetBytes();
   // Backstop: raise the effective budget until the plan fits kMaxMergedShards
   // (a degenerate budget must not explode the task count).
-  const std::size_t floor_budget =
-      (total + kMaxMergedShards - 1) / kMaxMergedShards;
-  if (budget < floor_budget) budget = floor_budget;
-  if (budget == 0) budget = 1;
+  const std::size_t budget =
+      EffectiveMergedShardBudget(mv->shard_budget_bytes, total);
 
   // Mode-1: contiguous row blocks, each streaming <= budget structure bytes
   // (single oversized rows get a shard of their own).
@@ -287,6 +285,278 @@ std::size_t SparseTensor3::MergedShardCount() const {
 const SparseTensor3::MergedView& SparseTensor3::MergedSlices() const {
   PrepareMergedView();
   return merged_;
+}
+
+std::size_t SparseTensor3::ReplaceSlice(std::size_t k, la::SparseMatrix slice,
+                                        bool* resharded) {
+  TMARK_CHECK(k < m_);
+  TMARK_CHECK(slice.rows() == n_ && slice.cols() == n_);
+  const la::SparseMatrix& old = slices_[k];
+  std::vector<std::uint32_t> rows;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t ob = old.row_ptr()[i];
+    const std::size_t oe = old.row_ptr()[i + 1];
+    const std::size_t nb = slice.row_ptr()[i];
+    bool differs = (oe - ob) != (slice.row_ptr()[i + 1] - nb);
+    if (!differs && oe != ob) {
+      differs =
+          std::memcmp(old.col_idx().data() + ob, slice.col_idx().data() + nb,
+                      (oe - ob) * sizeof(std::uint32_t)) != 0 ||
+          std::memcmp(old.values().data() + ob, slice.values().data() + nb,
+                      (oe - ob) * sizeof(double)) != 0;
+    }
+    if (differs) rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  slices_[k] = std::move(slice);
+  return RefreshMergedRows(std::move(rows), resharded);
+}
+
+std::size_t SparseTensor3::PatchSliceRows(std::size_t k,
+                                          std::vector<la::RowEdit> edits,
+                                          bool* resharded) {
+  TMARK_CHECK(k < m_);
+  std::vector<std::uint32_t> rows;
+  rows.reserve(edits.size());
+  for (const la::RowEdit& e : edits) {
+    rows.push_back(static_cast<std::uint32_t>(e.row));
+  }
+  slices_[k].ApplyRowEdits(std::move(edits));
+  return RefreshMergedRows(std::move(rows), resharded);
+}
+
+std::size_t SparseTensor3::PatchSliceValues(
+    std::size_t k, const std::vector<std::pair<std::size_t, double>>& edits) {
+  TMARK_CHECK(k < m_);
+  if (edits.empty()) return 0;
+  la::SparseMatrix& slice = slices_[k];
+  std::vector<std::pair<std::size_t, double>> sorted(edits.begin(),
+                                                     edits.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const std::pair<std::size_t, double>& a,
+               const std::pair<std::size_t, double>& b) {
+              return a.first < b.first;
+            });
+  std::vector<double>& vals = slice.mutable_values();
+  std::size_t rows_touched = 0;
+  std::size_t row = 0;
+  std::size_t cur_row = static_cast<std::size_t>(-1);
+  std::size_t merged_base = 0;  // Merged entry index of slice row begin.
+  bool have_segment = false;
+  for (const std::pair<std::size_t, double>& edit : sorted) {
+    const std::size_t pos = edit.first;
+    TMARK_CHECK(pos < vals.size());
+    while (slice.row_ptr()[row + 1] <= pos) ++row;
+    if (row != cur_row) {
+      ++rows_touched;
+      cur_row = row;
+      have_segment = false;
+    }
+    vals[pos] = edit.second;
+    if (!merged_.built) continue;
+    if (!have_segment) {
+      std::size_t entry = merged_.row_ptr[row] == 0
+                              ? 0
+                              : merged_.seg_end[merged_.row_ptr[row] - 1];
+      for (std::size_t s = merged_.row_ptr[row];
+           s < merged_.row_ptr[row + 1]; ++s) {
+        if (merged_.seg_k[s] == k) {
+          merged_base = entry;
+          have_segment = true;
+          break;
+        }
+        entry = merged_.seg_end[s];
+      }
+      TMARK_CHECK(have_segment);
+    }
+    merged_.val[merged_base + (pos - slice.row_ptr()[row])] = edit.second;
+  }
+  return rows_touched;
+}
+
+std::size_t SparseTensor3::RefreshMergedRows(std::vector<std::uint32_t> rows,
+                                             bool* resharded) {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  if (rows.empty()) return 0;
+  if (!merged_.built) return rows.size();
+  MergedView& mv = merged_;
+
+  // Regenerate the affected rows' segment lists from the (already patched)
+  // slices and compare layout with the stored view. Old per-row segment
+  // counts are captured here, before any mutation.
+  struct NewRow {
+    std::vector<std::uint32_t> seg_k;
+    std::vector<std::size_t> seg_len;
+    std::size_t entries = 0;
+  };
+  std::vector<NewRow> fresh(rows.size());
+  std::vector<std::size_t> old_segs(rows.size());
+  bool structural = false;
+  for (std::size_t idx = 0; idx < rows.size(); ++idx) {
+    const std::size_t i = rows[idx];
+    TMARK_CHECK(i < n_);
+    NewRow& nr = fresh[idx];
+    for (std::size_t k = 0; k < m_; ++k) {
+      const la::SparseMatrix& s = slices_[k];
+      const std::size_t len = s.row_ptr()[i + 1] - s.row_ptr()[i];
+      if (len == 0) continue;
+      nr.seg_k.push_back(static_cast<std::uint32_t>(k));
+      nr.seg_len.push_back(len);
+      nr.entries += len;
+    }
+    const std::size_t sb = mv.row_ptr[i];
+    const std::size_t se = mv.row_ptr[i + 1];
+    old_segs[idx] = se - sb;
+    if (se - sb != nr.seg_k.size()) {
+      structural = true;
+      continue;
+    }
+    std::size_t entry = sb == 0 ? 0 : mv.seg_end[sb - 1];
+    for (std::size_t s = 0; s < nr.seg_k.size(); ++s) {
+      const std::size_t seg_entries = mv.seg_end[sb + s] - entry;
+      entry = mv.seg_end[sb + s];
+      if (mv.seg_k[sb + s] != nr.seg_k[s] || seg_entries != nr.seg_len[s]) {
+        structural = true;
+        break;
+      }
+    }
+  }
+
+  if (!structural) {
+    // Layout unchanged: overwrite the affected rows' col/val spans in place.
+    for (std::size_t idx = 0; idx < rows.size(); ++idx) {
+      const std::size_t i = rows[idx];
+      const std::size_t sb = mv.row_ptr[i];
+      std::size_t entry = sb == 0 ? 0 : mv.seg_end[sb - 1];
+      for (std::size_t s = 0; s < fresh[idx].seg_k.size(); ++s) {
+        const la::SparseMatrix& src = slices_[fresh[idx].seg_k[s]];
+        const std::size_t begin = src.row_ptr()[i];
+        const std::size_t len = fresh[idx].seg_len[s];
+        std::copy_n(src.col_idx().begin() + begin, len,
+                    mv.col.begin() + entry);
+        std::copy_n(src.values().begin() + begin, len,
+                    mv.val.begin() + entry);
+        entry += len;
+      }
+    }
+    return rows.size();
+  }
+
+  // Structural change: gap-copy seg_k/col/val with bulk runs for untouched
+  // rows and regenerated spans for the edited ones, rebuilding the seg_end
+  // offsets in the same pass. Every read of the old offsets happens before
+  // row_ptr is patched below.
+  const auto old_entry_at = [&mv](std::size_t seg) {
+    return seg == 0 ? std::size_t{0} : mv.seg_end[seg - 1];
+  };
+  std::ptrdiff_t seg_delta = 0;
+  std::ptrdiff_t entry_delta = 0;
+  for (std::size_t idx = 0; idx < rows.size(); ++idx) {
+    const std::size_t i = rows[idx];
+    const std::size_t old_entries =
+        old_entry_at(mv.row_ptr[i + 1]) - old_entry_at(mv.row_ptr[i]);
+    seg_delta += static_cast<std::ptrdiff_t>(fresh[idx].seg_k.size()) -
+                 static_cast<std::ptrdiff_t>(old_segs[idx]);
+    entry_delta += static_cast<std::ptrdiff_t>(fresh[idx].entries) -
+                   static_cast<std::ptrdiff_t>(old_entries);
+  }
+  std::vector<std::uint32_t> new_seg_k;
+  std::vector<std::size_t> new_seg_end;
+  std::vector<std::uint32_t> new_col;
+  std::vector<double> new_val;
+  new_seg_k.reserve(static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(mv.seg_k.size()) + seg_delta));
+  new_seg_end.reserve(new_seg_k.capacity());
+  new_col.reserve(static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(mv.col.size()) + entry_delta));
+  new_val.reserve(new_col.capacity());
+  const auto bulk_copy = [&](std::size_t row_begin, std::size_t row_end) {
+    const std::size_t a = mv.row_ptr[row_begin];
+    const std::size_t b = mv.row_ptr[row_end];
+    if (b <= a) return;
+    const std::size_t ea = old_entry_at(a);
+    const std::size_t eb = old_entry_at(b);
+    const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(new_col.size()) -
+                                 static_cast<std::ptrdiff_t>(ea);
+    new_seg_k.insert(new_seg_k.end(), mv.seg_k.begin() + a,
+                     mv.seg_k.begin() + b);
+    for (std::size_t s = a; s < b; ++s) {
+      new_seg_end.push_back(static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(mv.seg_end[s]) + shift));
+    }
+    new_col.insert(new_col.end(), mv.col.begin() + ea, mv.col.begin() + eb);
+    new_val.insert(new_val.end(), mv.val.begin() + ea, mv.val.begin() + eb);
+  };
+  std::size_t src_row = 0;
+  for (std::size_t idx = 0; idx < rows.size(); ++idx) {
+    const std::size_t i = rows[idx];
+    bulk_copy(src_row, i);
+    const NewRow& nr = fresh[idx];
+    for (std::size_t s = 0; s < nr.seg_k.size(); ++s) {
+      const la::SparseMatrix& sl = slices_[nr.seg_k[s]];
+      const std::size_t begin = sl.row_ptr()[i];
+      const std::size_t len = nr.seg_len[s];
+      new_seg_k.push_back(nr.seg_k[s]);
+      new_col.insert(new_col.end(), sl.col_idx().begin() + begin,
+                     sl.col_idx().begin() + begin + len);
+      new_val.insert(new_val.end(), sl.values().begin() + begin,
+                     sl.values().begin() + begin + len);
+      new_seg_end.push_back(new_col.size());
+    }
+    src_row = i + 1;
+  }
+  bulk_copy(src_row, n_);
+  // Patch row_ptr in place: offsets past an edited row shift by the
+  // cumulative segment-count delta. Old counts were captured above, so the
+  // ascending Set pass never re-reads an offset it already rewrote.
+  std::ptrdiff_t cum = 0;
+  std::size_t ri = 0;
+  for (std::size_t r = rows.front() + 1; r <= n_; ++r) {
+    while (ri < rows.size() && rows[ri] < r) {
+      cum += static_cast<std::ptrdiff_t>(fresh[ri].seg_k.size()) -
+             static_cast<std::ptrdiff_t>(old_segs[ri]);
+      ++ri;
+    }
+    mv.row_ptr.Set(r, static_cast<std::size_t>(
+                          static_cast<std::ptrdiff_t>(mv.row_ptr[r]) + cum));
+  }
+  mv.row_ptr.FitWidth();
+  mv.seg_k = std::move(new_seg_k);
+  mv.seg_end = la::IndexArray::FromOffsets(std::move(new_seg_end));
+  mv.col = std::move(new_col);
+  mv.val = std::move(new_val);
+
+  // Keep the existing shard plan unless a multi-row mode-1 shard now
+  // streams more than the budget the plan was built against (raised to the
+  // kMaxMergedShards floor, as the planner does); then rebuild the plan —
+  // and only the plan.
+  bool need_reshard = n_ > 0 && mv.shard_rows.size() < 2;
+  if (!need_reshard && n_ > 0) {
+    const RowBytes row_bytes(mv);
+    const std::size_t shards = mv.shard_rows.size() - 1;
+    std::vector<std::size_t> shard_cost(shards, 0);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t i = mv.shard_rows[s]; i < mv.shard_rows[s + 1]; ++i) {
+        shard_cost[s] += row_bytes(mv, i);
+      }
+      total += shard_cost[s];
+    }
+    const std::size_t budget =
+        EffectiveMergedShardBudget(mv.shard_budget_bytes, total);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (mv.shard_rows[s + 1] - mv.shard_rows[s] > 1 &&
+          shard_cost[s] > budget) {
+        need_reshard = true;
+        break;
+      }
+    }
+  }
+  if (need_reshard) {
+    BuildShardPlan(n_, &mv);
+    if (resharded != nullptr) *resharded = true;
+  }
+  return rows.size();
 }
 
 double SparseTensor3::At(std::size_t i, std::size_t j, std::size_t k) const {

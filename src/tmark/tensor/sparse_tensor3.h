@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tmark/la/panel_f32.h"
@@ -179,8 +180,46 @@ class SparseTensor3 {
     bool built = false;
   };
 
+  // --- Incremental patch support (hin::HinDelta) --------------------------
+  // Unlike MutableSlice, these mutate a slice WITHOUT invalidating a built
+  // merged view: only the affected view rows are refreshed. When the edited
+  // rows keep their segment layout (same relations, same per-segment entry
+  // counts) the col/val spans are overwritten in place; otherwise the
+  // structure arrays are gap-copied around the edited rows, with the
+  // row_ptr offsets patched through the IndexArray in-place mutators and
+  // seg_end re-assembled at the width a from-scratch build would pick. The
+  // shard plan is kept unless a mode-1 shard's byte budget is now violated
+  // (or the plan is missing), in which case the plan — and only the plan —
+  // is rebuilt and *resharded is set to true (never cleared). Each returns
+  // the number of merged-view rows refreshed. The patched view is
+  // byte-identical to PrepareMergedView on the patched slices.
+
+  /// Replaces slice k wholesale, refreshing every merged-view row whose
+  /// stored bytes differ between the old and new slice.
+  std::size_t ReplaceSlice(std::size_t k, la::SparseMatrix slice,
+                           bool* resharded = nullptr);
+
+  /// Applies full-row edits to slice k (la::SparseMatrix::ApplyRowEdits)
+  /// and refreshes those merged-view rows.
+  std::size_t PatchSliceRows(std::size_t k, std::vector<la::RowEdit> edits,
+                             bool* resharded = nullptr);
+
+  /// Value-only edits: overwrites slice k's stored values at the given
+  /// (entry position, new value) pairs and mirrors them into the merged
+  /// view in place (no structure or plan change possible).
+  std::size_t PatchSliceValues(
+      std::size_t k,
+      const std::vector<std::pair<std::size_t, double>>& edits);
+
+  /// Read access to the merged view (prepared on demand) — the patched-vs-
+  /// rebuilt equivalence tests compare these arrays byte for byte. Shard
+  /// plans are excluded from that contract (correctness-neutral).
+  const MergedView& merged_view() const { return MergedSlices(); }
+
  private:
   const MergedView& MergedSlices() const;
+  std::size_t RefreshMergedRows(std::vector<std::uint32_t> rows,
+                                bool* resharded);
 
   std::size_t n_;
   std::size_t m_;

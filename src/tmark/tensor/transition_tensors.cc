@@ -1,6 +1,9 @@
 #include "tmark/tensor/transition_tensors.h"
 
 #include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
 
 #include "tmark/common/check.h"
 #include "tmark/la/microkernel.h"
@@ -116,6 +119,182 @@ TransitionTensors TransitionTensors::Build(const SparseTensor3& adjacency) {
     span.AddField("nnz", adjacency.NumNonZeros());
   }
   return t;
+}
+
+std::size_t TransitionTensors::ApplyPatch(
+    const std::vector<const la::SparseMatrix*>& adjacency,
+    const AdjacencyDelta& delta) {
+  TMARK_CHECK(adjacency.size() == m_);
+  obs::TraceSpan span("tensor.transition.patch");
+  obs::ScopedTimer timer("tensor.transition.patch_ms");
+  std::size_t rows_touched = 0;
+  std::size_t reshards = 0;
+
+  // O: renormalize the edited slices through the full-build kernel
+  // (NormalizeColumnsSparse on the mutated adjacency slice — the identical
+  // computation Build runs, so the slice is bit-identical by construction),
+  // and rebuild their dangling-column lists wholesale.
+  std::vector<char> edited(m_, 0);
+  for (std::size_t k : delta.relations) {
+    TMARK_CHECK(k < m_);
+    edited[k] = 1;
+    std::vector<bool> dangling;
+    la::SparseMatrix o_new = adjacency[k]->NormalizeColumnsSparse(&dangling);
+    dangling_cols_[k].clear();
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (dangling[j]) {
+        dangling_cols_[k].push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    bool reshard = false;
+    rows_touched += o_.ReplaceSlice(k, std::move(o_new), &reshard);
+    if (reshard) ++reshards;
+  }
+
+  // Totals sum_k A[i,j,k] for the pairs that need one, accumulated over
+  // relations in ascending k — the same sequential chain (and therefore the
+  // same doubles) as the full build's SumOverRelations. Relations without
+  // the entry contribute +0.0, a bit-level no-op on the positive partials.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> totals;
+  const auto total_of = [&](std::uint32_t i, std::uint32_t j) {
+    const auto it = totals.find({i, j});
+    if (it != totals.end()) return it->second;
+    double total = 0.0;
+    for (std::size_t k = 0; k < m_; ++k) total += adjacency[k]->At(i, j);
+    totals.emplace(std::make_pair(i, j), total);
+    return total;
+  };
+
+  // R: rows whose stored structure changed are regenerated wholesale (every
+  // entry re-divided — unchanged pairs fetch the same totals, hence the
+  // same doubles); every other affected pair gets a value-only edit at the
+  // entry position the aligned adjacency structure dictates.
+  for (std::size_t k = 0; k < m_; ++k) {
+    const la::SparseMatrix& adj = *adjacency[k];
+    std::vector<std::uint32_t> structural_rows;
+    if (edited[k]) {
+      const la::SparseMatrix& old_r = r_.Slice(k);
+      std::vector<la::RowEdit> row_edits;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t ob = old_r.row_ptr()[i];
+        const std::size_t oe = old_r.row_ptr()[i + 1];
+        const std::size_t nb = adj.row_ptr()[i];
+        const std::size_t ne = adj.row_ptr()[i + 1];
+        bool structural = (oe - ob) != (ne - nb);
+        if (!structural && oe != ob) {
+          structural = std::memcmp(old_r.col_idx().data() + ob,
+                                   adj.col_idx().data() + nb,
+                                   (oe - ob) * sizeof(std::uint32_t)) != 0;
+        }
+        if (!structural) continue;
+        structural_rows.push_back(static_cast<std::uint32_t>(i));
+        la::RowEdit e;
+        e.row = i;
+        e.cols.assign(adj.col_idx().begin() + nb, adj.col_idx().begin() + ne);
+        e.values.reserve(ne - nb);
+        for (std::size_t p = nb; p < ne; ++p) {
+          e.values.push_back(
+              adj.values()[p] /
+              total_of(static_cast<std::uint32_t>(i), adj.col_idx()[p]));
+        }
+        row_edits.push_back(std::move(e));
+      }
+      if (!row_edits.empty()) {
+        bool reshard = false;
+        rows_touched += r_.PatchSliceRows(k, std::move(row_edits), &reshard);
+        if (reshard) ++reshards;
+      }
+    }
+    std::vector<std::pair<std::size_t, double>> value_edits;
+    for (const std::pair<std::uint32_t, std::uint32_t>& pr : delta.pairs) {
+      if (std::binary_search(structural_rows.begin(), structural_rows.end(),
+                             pr.first)) {
+        continue;
+      }
+      const std::size_t pos = adj.FindEntry(pr.first, pr.second);
+      if (pos == la::SparseMatrix::npos) continue;
+      value_edits.emplace_back(pos,
+                               adj.values()[pos] /
+                                   total_of(pr.first, pr.second));
+    }
+    if (!value_edits.empty()) {
+      rows_touched += r_.PatchSliceValues(k, value_edits);
+    }
+  }
+
+  // Linked mask: splice the pairs that transitioned linked <-> unlinked
+  // (values all 1.0, columns kept sorted — the content FromTriplets on the
+  // mutated totals support would assemble).
+  {
+    std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, bool>>>
+        changes;
+    for (const std::pair<std::uint32_t, std::uint32_t>& pr : delta.pairs) {
+      const bool now = total_of(pr.first, pr.second) > 0.0;
+      const bool was =
+          linked_mask_.FindEntry(pr.first, pr.second) != la::SparseMatrix::npos;
+      if (now != was) changes[pr.first].emplace_back(pr.second, now);
+    }
+    if (!changes.empty()) {
+      std::vector<la::RowEdit> edits;
+      edits.reserve(changes.size());
+      for (auto& change : changes) {
+        const std::uint32_t i = change.first;
+        std::vector<std::pair<std::uint32_t, bool>>& mods = change.second;
+        std::sort(mods.begin(), mods.end());
+        la::RowEdit e;
+        e.row = i;
+        std::size_t mp = 0;
+        for (std::size_t p = linked_mask_.row_ptr()[i];
+             p < linked_mask_.row_ptr()[i + 1]; ++p) {
+          const std::uint32_t c = linked_mask_.col_idx()[p];
+          while (mp < mods.size() && mods[mp].first < c) {
+            if (mods[mp].second) {
+              e.cols.push_back(mods[mp].first);
+              e.values.push_back(1.0);
+            }
+            ++mp;
+          }
+          if (mp < mods.size() && mods[mp].first == c) {
+            ++mp;  // A stored column in the change list is a removal.
+            continue;
+          }
+          e.cols.push_back(c);
+          e.values.push_back(1.0);
+        }
+        for (; mp < mods.size(); ++mp) {
+          if (mods[mp].second) {
+            e.cols.push_back(mods[mp].first);
+            e.values.push_back(1.0);
+          }
+        }
+        edits.push_back(std::move(e));
+      }
+      linked_mask_.ApplyRowEdits(std::move(edits));
+    }
+  }
+
+  obs::IncrCounter("update.rows_touched",
+                   static_cast<std::int64_t>(rows_touched));
+  if (reshards > 0) {
+    obs::IncrCounter("update.reshards", static_cast<std::int64_t>(reshards));
+  }
+  if (obs::MetricsEnabled()) {
+    obs::SetGauge("tensor.merged.bytes",
+                  static_cast<double>(o_.MergedViewStorageBytes() +
+                                      r_.MergedViewStorageBytes()));
+    obs::SetGauge("tensor.merged.index_bits",
+                  static_cast<double>(std::max(o_.MergedViewIndexBits(),
+                                               r_.MergedViewIndexBits())));
+    obs::SetGauge("tensor.merged.shards",
+                  static_cast<double>(o_.MergedShardCount() +
+                                      r_.MergedShardCount()));
+  }
+  if (span.active()) {
+    span.AddField("relations", delta.relations.size());
+    span.AddField("pairs", delta.pairs.size());
+    span.AddField("rows", rows_touched);
+  }
+  return rows_touched;
 }
 
 la::Vector TransitionTensors::ApplyO(const la::Vector& x,

@@ -2,6 +2,8 @@
 #define TMARK_TENSOR_TRANSITION_TENSORS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tmark/la/dense_matrix.h"
@@ -112,6 +114,30 @@ class TransitionTensors {
 
   /// 0/1 sparse mask of linked (i,j) pairs: sum_k A[i,j,k] > 0.
   const la::SparseMatrix& linked_mask() const { return linked_mask_; }
+
+  /// Names the parts of an adjacency mutation for ApplyPatch: every
+  /// relation whose slice changed at all, and every (i, j) pair whose total
+  /// link weight sum_k A[i,j,k] changed (each edge add/remove/reweight
+  /// lands its pair here). Both lists sorted and unique.
+  struct AdjacencyDelta {
+    std::vector<std::size_t> relations;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;  ///< (i, j).
+  };
+
+  /// Incrementally re-derives O, R, the dangling-column lists, and the
+  /// linked mask after the adjacency mutated: the edited O slices
+  /// renormalize through the exact full-build kernel, affected R rows
+  /// re-divide against totals recomputed in the full build's accumulation
+  /// order, and the merged views patch in place (resharding only on budget
+  /// violation — see SparseTensor3). `adjacency` holds the POST-mutation
+  /// relation slices (one per relation, all n x n); requires this operator
+  /// set was built from the pre-mutation adjacency and `delta` covers every
+  /// change. The patched operators are bit-identical to Build() on the
+  /// mutated adjacency. Returns the number of merged-view rows refreshed
+  /// (also added to the "update.rows_touched" counter, with plan rebuilds
+  /// counted by "update.reshards").
+  std::size_t ApplyPatch(const std::vector<const la::SparseMatrix*>& adjacency,
+                         const AdjacencyDelta& delta);
 
  private:
   TransitionTensors() : n_(0), m_(0) {}

@@ -10,6 +10,7 @@
 
 #include "tmark/common/status.h"
 #include "tmark/core/model_io.h"
+#include "tmark/hin/hin_delta.h"
 #include "tmark/hin/hin_io.h"
 
 #ifndef TMARK_TEST_DATA_DIR
@@ -53,6 +54,42 @@ INSTANTIATE_TEST_SUITE_P(
         HinCase{"negative_weight.hin", StatusCode::kParseError},
         HinCase{"hostile_dimensions.hin", StatusCode::kParseError}),
     [](const ::testing::TestParamInfo<HinCase>& info) {
+      std::string name = info.param.file;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '/') ch = '_';
+      }
+      return name;
+    });
+
+struct DeltaCase {
+  const char* file;
+  StatusCode expected;
+};
+
+class CorruptDeltaCorpusTest : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(CorruptDeltaCorpusTest, YieldsExpectedStatus) {
+  const DeltaCase& c = GetParam();
+  const Result<hin::HinDelta> result =
+      hin::LoadHinDeltaFromFile(CorpusPath(c.file));
+  ASSERT_FALSE(result.ok()) << c.file;
+  EXPECT_EQ(result.status().code(), c.expected)
+      << c.file << ": " << result.status().ToString();
+  EXPECT_NE(result.status().message().find(c.file), std::string::npos)
+      << result.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorruptDeltaCorpusTest,
+    ::testing::Values(
+        DeltaCase{"delta_bad_header.delta", StatusCode::kParseError},
+        DeltaCase{"delta_unknown_directive.delta", StatusCode::kParseError},
+        DeltaCase{"delta_nan_weight.delta", StatusCode::kParseError},
+        DeltaCase{"delta_negative_weight.delta", StatusCode::kParseError},
+        DeltaCase{"delta_duplicate_op.delta", StatusCode::kParseError},
+        DeltaCase{"delta_overflowing_index.delta",
+                  StatusCode::kParseError}),
+    [](const ::testing::TestParamInfo<DeltaCase>& info) {
       std::string name = info.param.file;
       for (char& ch : name) {
         if (ch == '.' || ch == '/') ch = '_';

@@ -1,0 +1,226 @@
+#include "tmark/hin/hin_delta.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/status.h"
+#include "tmark/hin/hin.h"
+#include "tmark/hin/hin_builder.h"
+#include "tmark/hin/hin_io.h"
+
+namespace tmark::hin {
+namespace {
+
+// 4 nodes, 2 relations, 2 classes, 3 feature dims — small enough that every
+// mutation is checkable by eye.
+Hin MakeTestHin() {
+  HinBuilder b(4, 3);
+  b.AddRelation("r0");
+  b.AddRelation("r1");
+  b.AddClass("A");
+  b.AddClass("B");
+  b.AddDirectedEdge(0, /*src=*/0, /*dst=*/1, 1.0);
+  b.AddDirectedEdge(0, /*src=*/2, /*dst=*/1, 2.0);
+  b.AddDirectedEdge(1, /*src=*/1, /*dst=*/2, 0.5);
+  b.SetLabel(0, 0);
+  b.SetLabel(3, 1);
+  b.AddFeature(0, 0, 1.0);
+  b.AddFeature(1, 1, 2.0);
+  b.AddFeature(1, 2, 3.0);
+  return std::move(b).Build();
+}
+
+std::string Serialized(const Hin& hin) {
+  std::stringstream ss;
+  SaveHin(hin, ss);
+  return ss.str();
+}
+
+TEST(HinDeltaTest, AppliedDeltaMatchesFromScratchBuild) {
+  Hin hin = MakeTestHin();
+  HinDelta delta;
+  delta.AddEdge(/*relation=*/1, /*src=*/3, /*dst=*/0, 4.0);
+  delta.RemoveEdge(/*relation=*/0, /*src=*/0, /*dst=*/1);
+  delta.ReweightEdge(/*relation=*/0, /*src=*/2, /*dst=*/1, 7.5);
+  delta.UpdateFeatureRow(1, {{2, 1.5}, {0, 0.5}, {1, 0.0}});
+  delta.AddLabel(2, 0);
+  ASSERT_TRUE(hin.ApplyDelta(delta).ok());
+
+  HinBuilder b(4, 3);
+  b.AddRelation("r0");
+  b.AddRelation("r1");
+  b.AddClass("A");
+  b.AddClass("B");
+  b.AddDirectedEdge(0, 2, 1, 7.5);
+  b.AddDirectedEdge(1, 1, 2, 0.5);
+  b.AddDirectedEdge(1, 3, 0, 4.0);
+  b.SetLabel(0, 0);
+  b.SetLabel(2, 0);
+  b.SetLabel(3, 1);
+  b.AddFeature(0, 0, 1.0);
+  b.AddFeature(1, 0, 0.5);  // explicit zero at dim 1 dropped
+  b.AddFeature(1, 2, 1.5);
+  const Hin expected = std::move(b).Build();
+
+  EXPECT_EQ(Serialized(hin), Serialized(expected));
+}
+
+TEST(HinDeltaTest, LabelAddsKeepSetsSorted) {
+  Hin hin = MakeTestHin();
+  HinDelta delta;
+  delta.AddLabel(3, 0);  // node 3 already carries class 1
+  ASSERT_TRUE(hin.ApplyDelta(delta).ok());
+  EXPECT_EQ(hin.labels(3), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(hin.PrimaryLabel(3), 0u);
+}
+
+TEST(HinDeltaTest, ValidationErrorsAreTypedAndLeaveHinUntouched) {
+  Hin hin = MakeTestHin();
+  const std::string before = Serialized(hin);
+  struct Case {
+    HinDelta delta;
+    StatusCode expected;
+  };
+  std::vector<Case> cases;
+  {
+    HinDelta d;  // relation out of range
+    d.AddEdge(5, 0, 1, 1.0);
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // node out of range
+    d.AddEdge(0, 9, 1, 1.0);
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // NaN weight
+    d.ReweightEdge(0, 0, 1, std::nan(""));
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // negative weight
+    d.AddEdge(1, 0, 0, -3.0);
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // duplicate ops on one edge in one batch
+    d.ReweightEdge(0, 0, 1, 2.0);
+    d.RemoveEdge(0, 0, 1);
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // feature dim out of range
+    d.UpdateFeatureRow(0, {{7, 1.0}});
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // duplicate dim within one row update
+    d.UpdateFeatureRow(0, {{1, 1.0}, {1, 2.0}});
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // class out of range
+    d.AddLabel(0, 6);
+    cases.push_back({std::move(d), StatusCode::kInvalidArgument});
+  }
+  {
+    HinDelta d;  // removing an edge that does not exist
+    d.RemoveEdge(1, 0, 3);
+    cases.push_back({std::move(d), StatusCode::kNotFound});
+  }
+  {
+    HinDelta d;  // reweighting an edge that does not exist
+    d.ReweightEdge(0, 3, 3, 1.0);
+    cases.push_back({std::move(d), StatusCode::kNotFound});
+  }
+  {
+    HinDelta d;  // adding an edge that already exists
+    d.AddEdge(0, 0, 1, 1.0);
+    cases.push_back({std::move(d), StatusCode::kFailedPrecondition});
+  }
+  {
+    HinDelta d;  // adding a label the node already carries
+    d.AddLabel(0, 0);
+    cases.push_back({std::move(d), StatusCode::kFailedPrecondition});
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Status status = hin.ApplyDelta(cases[i].delta);
+    EXPECT_EQ(status.code(), cases[i].expected)
+        << "case " << i << ": " << status.ToString();
+    EXPECT_EQ(Serialized(hin), before) << "case " << i << " mutated the HIN";
+  }
+}
+
+TEST(HinDeltaTest, PartiallyInvalidBatchLeavesHinUntouched) {
+  Hin hin = MakeTestHin();
+  const std::string before = Serialized(hin);
+  HinDelta delta;
+  delta.AddEdge(1, 3, 0, 4.0);   // valid
+  delta.RemoveEdge(1, 0, 3);     // invalid: no such edge
+  EXPECT_EQ(hin.ApplyDelta(delta).code(), StatusCode::kNotFound);
+  EXPECT_EQ(Serialized(hin), before);
+}
+
+TEST(HinDeltaTest, SaveLoadRoundTrip) {
+  HinDelta delta;
+  delta.AddEdge(1, 3, 0, 0.123456789012345);
+  delta.RemoveEdge(0, 0, 1);
+  delta.ReweightEdge(0, 2, 1, 7.5);
+  delta.UpdateFeatureRow(1, {{0, 0.5}, {2, 1.5}});
+  delta.AddLabel(2, 0);
+  std::stringstream ss;
+  SaveHinDelta(delta, ss);
+  const Result<HinDelta> back = LoadHinDelta(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Equality via effect: both deltas produce byte-identical networks.
+  Hin a = MakeTestHin();
+  Hin b = MakeTestHin();
+  ASSERT_TRUE(a.ApplyDelta(delta).ok());
+  ASSERT_TRUE(b.ApplyDelta(*back).ok());
+  EXPECT_EQ(Serialized(a), Serialized(b));
+}
+
+TEST(HinDeltaTest, LoadRejectsMalformedInput) {
+  const auto code = [](const std::string& content) {
+    std::stringstream ss(content);
+    return LoadHinDelta(ss).status().code();
+  };
+  EXPECT_EQ(code("add_edge 0 1 0 1.0\n"), StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nbogus 1 2\n"), StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nadd_edge 0 1 0 nan\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nadd_edge 0 1 0 -1.0\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nadd_edge 0 1 0 1.0\n"
+                 "reweight_edge 0 1 0 2.0\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nfeat 0 1:1.0 1:2.0\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nlabel 0 0\nlabel 0 0\n"),
+            StatusCode::kParseError);
+  EXPECT_EQ(code("# tmark-delta v1\nremove_edge 0 1\n"),
+            StatusCode::kParseError);
+}
+
+TEST(HinDeltaTest, LoadErrorsCarryLineNumber) {
+  std::stringstream ss("# tmark-delta v1\nadd_edge 0 1 0 1.0\nlabel 0\n");
+  const Result<HinDelta> result = LoadHinDelta(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(HinDeltaTest, MissingFileIsNotFound) {
+  const Result<HinDelta> result =
+      LoadHinDeltaFromFile("/nonexistent/path/x.delta");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tmark::hin
