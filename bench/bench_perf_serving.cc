@@ -1,0 +1,183 @@
+// Closed-loop serving bench (docs/SERVING.md "Throughput"): drives the
+// in-process ServingDaemon — the same object tmark_served wraps in a
+// socket — with `width` concurrent clients, each issuing seed-walk `rank`
+// requests back to back. The batching scheduler coalesces whatever arrives
+// within one straggler window into a row-major panel, so the per-request
+// cost falls as the width grows: every coalesced column shares one
+// streaming pass over the O/R/W operators instead of paying for its own.
+//
+// One table goes into the TMARK_BENCH_JSON dump (and stdout):
+//   * "serving latency" — per (dataset, width) the closed-loop wall time
+//     (min over TMARK_BENCH_REPEATS), throughput (qps), the per-request
+//     cost wall_ms/requests (single-core wall approximates CPU cost, which
+//     is what coalescing amortizes), and client-observed latency
+//     percentiles p50/p95/p99 across every timed request.
+//     scripts/check_serving_bench.py gates width 8 at >= 2x lower
+//     per-request cost than width 1 (with slack) on the DBLP preset.
+//
+// Knobs: TMARK_SERVING_REQUESTS (total requests per width, default 480)
+// and TMARK_SERVING_WINDOW_US (batch window, default 200 — the tmark_served
+// default). The ctest gate runs a reduced request count; the committed
+// docs/bench/perf_serving.json uses the defaults.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+
+#include "tmark/common/check.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/dblp.h"
+#include "tmark/hin/hin.h"
+#include "tmark/serve/daemon.h"
+#include "tmark/serve/protocol.h"
+
+namespace {
+
+using namespace tmark;
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const unsigned long long v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? fallback : static_cast<std::size_t>(v);
+}
+
+std::vector<std::size_t> LabeledThirds(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) {
+    if (!hin.labels(i).empty()) labeled.push_back(i);
+  }
+  return labeled;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// One closed-loop run: `width` clients, `requests` rank queries total,
+/// per-request latencies appended to `latencies_ms`. Returns the wall time.
+double RunClosedLoop(serve::ServingDaemon* daemon, std::size_t width,
+                     std::size_t requests, std::size_t num_nodes,
+                     std::vector<double>* latencies_ms) {
+  const std::size_t per_client = requests / width;
+  std::vector<std::vector<double>> per_thread(width);
+  std::vector<std::thread> clients;
+  clients.reserve(width);
+  obs::Stopwatch wall;
+  for (std::size_t t = 0; t < width; ++t) {
+    clients.emplace_back([daemon, t, per_client, num_nodes, &per_thread] {
+      per_thread[t].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        serve::Request request;
+        request.kind = serve::RequestKind::kRank;
+        request.node = (t * 7919 + i * 131) % num_nodes;
+        request.top_k = 10;
+        obs::Stopwatch watch;
+        const Result<serve::Response> response = daemon->Execute(request);
+        per_thread[t].push_back(watch.ElapsedMs());
+        TMARK_CHECK_MSG(response.ok(), response.status().ToString().c_str());
+        benchmark::DoNotOptimize(response->entries);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double wall_ms = wall.ElapsedMs();
+  for (const std::vector<double>& lat : per_thread) {
+    latencies_ms->insert(latencies_ms->end(), lat.begin(), lat.end());
+  }
+  return wall_ms;
+}
+
+void RunServingStudy() {
+  const std::size_t base_requests = EnvSize("TMARK_SERVING_REQUESTS", 480);
+  const std::size_t window_us = EnvSize("TMARK_SERVING_WINDOW_US", 200);
+  const int repeats = std::max(1, bench::BenchTimer::Repeats());
+
+  hin::Hin dblp = datasets::MakeDblp();
+  const std::size_t num_nodes = dblp.num_nodes();
+  const std::vector<std::size_t> labeled = LabeledThirds(dblp);
+  TMARK_CHECK(!labeled.empty());
+
+  const std::vector<std::string> headers = {
+      "dataset", "width",          "requests", "batch_window_us",
+      "wall_ms", "qps",            "cost_ms_per_req",
+      "p50_ms",  "p95_ms",         "p99_ms"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (const std::size_t width : {1u, 2u, 4u, 8u, 16u}) {
+    // Fresh daemon per width so each row starts from an identical bundle
+    // (generation 1) and an empty scheduler queue.
+    serve::DaemonOptions options;
+    options.batcher.batch_window_us = window_us;
+    options.batcher.max_batch = 16;
+    options.batcher.max_queue = 1024;  // closed loop never fills this
+    options.query = serve::MakeQueryOptions(options.config);
+    serve::ServingDaemon daemon(dblp, labeled, options);
+    {
+      const Status status = daemon.Init();
+      TMARK_CHECK_MSG(status.ok(), status.ToString().c_str());
+    }
+
+    const std::size_t requests =
+        std::max<std::size_t>(width, base_requests / width * width);
+    // Warm-up pass outside the timed region (page-in, pool spin-up).
+    {
+      std::vector<double> discard;
+      RunClosedLoop(&daemon, width, width * 2, num_nodes, &discard);
+    }
+    double wall_ms = -1.0;
+    std::vector<double> latencies_ms;
+    for (int r = 0; r < repeats; ++r) {
+      const double ms =
+          RunClosedLoop(&daemon, width, requests, num_nodes, &latencies_ms);
+      if (wall_ms < 0.0 || ms < wall_ms) wall_ms = ms;
+    }
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+
+    const double qps = static_cast<double>(requests) / (wall_ms / 1000.0);
+    const double cost = wall_ms / static_cast<double>(requests);
+    rows.push_back({"dblp", std::to_string(width), std::to_string(requests),
+                    std::to_string(window_us), FormatDouble(wall_ms, 3),
+                    FormatDouble(qps, 1), FormatDouble(cost, 4),
+                    FormatDouble(Percentile(latencies_ms, 0.50), 3),
+                    FormatDouble(Percentile(latencies_ms, 0.95), 3),
+                    FormatDouble(Percentile(latencies_ms, 0.99), 3)});
+  }
+
+  std::cout << "serving latency\n";
+  eval::TablePrinter printer(headers);
+  for (const std::vector<std::string>& row : rows) {
+    printer.AddRow(std::vector<std::string>(row));
+  }
+  printer.Print(std::cout);
+  std::cout << "(closed loop, min wall over " << repeats
+            << " repeats; cost = wall_ms / requests on one daemon; "
+               "percentiles over every timed request)\n";
+  if (bench::BenchObsSession* session = bench::BenchObsSession::active()) {
+    session->RecordTable({"serving latency", headers, rows});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tmark::bench::BenchObsSession obs_session(argv[0]);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RunServingStudy();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

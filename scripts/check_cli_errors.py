@@ -143,6 +143,24 @@ def main():
                            ["info", "--hin", good, "--profile-counters", "1"],
                            "info unknown --profile-counters")
 
+        # Serving flags honor the same contract: a serve command that cannot
+        # start must exit 2 with a single error line, not hang or abort.
+        expect_usage_error(args.cli, ["serve", "--hin", good],
+                           "serve without --serve-socket")
+        sock = os.path.join(tmp, "serve.sock")
+        expect_usage_error(args.cli,
+                           ["serve", "--hin", good, "--serve-socket", sock,
+                            "--batch-window-us", "fast"],
+                           "serve non-numeric --batch-window-us")
+        expect_usage_error(args.cli,
+                           ["serve", "--hin", good, "--serve-socket", sock,
+                            "--max-queue", "0"],
+                           "serve zero --max-queue")
+        expect_error(args.cli,
+                     ["serve", "--hin", os.path.join(tmp, "missing.hin"),
+                      "--serve-socket", sock],
+                     "serve missing hin")
+
         # Observability sinks compose: one run may write the span tree as
         # both tmark JSON and a Chrome trace, plus the profile document.
         trace_json = os.path.join(tmp, "trace.json")

@@ -25,7 +25,9 @@ import sys
 BOUNDARY_SOURCES = [
     "src/tmark/hin/hin_io.cc",
     "src/tmark/core/model_io.cc",
+    "src/tmark/serve/protocol.cc",
     "tools/tmark_cli.cc",
+    "tools/tmark_served.cc",
 ]
 BOUNDARY_GLOB_DIRS = ["src/tmark/datasets"]
 

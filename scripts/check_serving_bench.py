@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate for the closed-loop serving bench (docs/SERVING.md "Throughput").
+
+Reads a TMARK_BENCH_JSON dump from bench_perf_serving and asserts, on the
+"serving latency" table's DBLP rows:
+
+  * coalescing pays: the per-request cost (wall_ms / requests) at width 8
+    is at least 2x lower than at width 1, divided by --slack headroom
+    (default 1.5x — generous on purpose, like check_update_bench.py: the
+    gate catches a scheduler that stopped coalescing into panels, not
+    timing noise on a loaded CI machine),
+  * every row is sane: positive qps and per-request cost, and latency
+    percentiles that are positive and ordered p50 <= p95 <= p99 (p99 is
+    the number the serving docs quote for sustained load).
+
+Usage: check_serving_bench.py FILE [--slack 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+TABLE_TITLE = "serving latency"
+CLAIMED_COST_RATIO = 2.0  # width-1 cost / width-8 cost
+CLAIM_DATASET = "dblp"
+CLAIM_WIDE = 8
+CLAIM_NARROW = 1
+
+
+def fail(message):
+    print(f"check_serving_bench: {message}", file=sys.stderr)
+    return 1
+
+
+def find_table(doc, title, path):
+    table = next((t for t in doc.get("tables", [])
+                  if t.get("title") == title), None)
+    if table is None:
+        raise KeyError(f"{path}: no '{title}' table "
+                       "(bench_perf_serving out of date?)")
+    return table
+
+
+def columns(table, names, path):
+    headers = table["headers"]
+    try:
+        return [headers.index(name) for name in names]
+    except ValueError as e:
+        raise KeyError(f"{path}: table missing column: {e}")
+
+
+def check_serving(table, slack, path):
+    cols = columns(
+        table,
+        ["dataset", "width", "qps", "cost_ms_per_req", "p50_ms", "p95_ms",
+         "p99_ms"], path)
+    if not table["rows"]:
+        raise ValueError(f"{path}: '{TABLE_TITLE}' table has no rows")
+    cost_by_width = {}
+    for row in table["rows"]:
+        dataset, width, qps, cost, p50, p95, p99 = (row[c] for c in cols)
+        width = int(width)
+        qps, cost = float(qps), float(cost)
+        p50, p95, p99 = float(p50), float(p95), float(p99)
+        where = f"{dataset} width={width}"
+        if qps <= 0.0 or cost <= 0.0:
+            raise ValueError(f"{path}: {where}: non-positive qps ({qps}) "
+                             f"or per-request cost ({cost})")
+        if not 0.0 < p50 <= p95 <= p99:
+            raise ValueError(
+                f"{path}: {where}: latency percentiles are not positive "
+                f"and ordered: p50={p50} p95={p95} p99={p99}")
+        if dataset == CLAIM_DATASET:
+            cost_by_width[width] = cost
+        print(f"check_serving_bench: {where}: {qps:.1f} qps, "
+              f"{cost:.4f} ms/req, p50/p95/p99 = "
+              f"{p50:.3f}/{p95:.3f}/{p99:.3f} ms")
+    for needed_width in (CLAIM_NARROW, CLAIM_WIDE):
+        if needed_width not in cost_by_width:
+            raise ValueError(
+                f"{path}: no '{CLAIM_DATASET}' row at width {needed_width} "
+                f"— the {CLAIMED_COST_RATIO}x coalescing claim was never "
+                "checked")
+    ratio = cost_by_width[CLAIM_NARROW] / cost_by_width[CLAIM_WIDE]
+    needed = CLAIMED_COST_RATIO / slack
+    if ratio < needed:
+        raise ValueError(
+            f"{path}: {CLAIM_DATASET}: width-{CLAIM_WIDE} per-request cost "
+            f"is only {ratio:.2f}x below width-{CLAIM_NARROW} "
+            f"({cost_by_width[CLAIM_NARROW]:.4f} vs "
+            f"{cost_by_width[CLAIM_WIDE]:.4f} ms/req); the claimed "
+            f"{CLAIMED_COST_RATIO}x is gated at >= {needed:.2f}x with "
+            f"slack {slack} — did the scheduler stop coalescing?")
+    print(f"check_serving_bench: coalescing ratio "
+          f"width{CLAIM_NARROW}/width{CLAIM_WIDE} = {ratio:.2f}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--slack", type=float, default=1.5,
+                        help="allowed coalescing-ratio headroom")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read {args.file}: {e}")
+
+    try:
+        check_serving(find_table(doc, TABLE_TITLE, args.file), args.slack,
+                      args.file)
+    except (KeyError, ValueError) as e:
+        return fail(str(e).strip("'"))
+
+    print(f"check_serving_bench: ok (slack {args.slack})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

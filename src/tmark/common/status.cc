@@ -16,6 +16,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -36,6 +38,8 @@ std::string_view StatusCodeMetricSuffix(StatusCode code) {
       return "failed_precondition";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
     case StatusCode::kInternal:
       return "internal";
   }
@@ -78,6 +82,10 @@ Status FailedPreconditionError(std::string_view message) {
 
 Status DataLossError(std::string_view message) {
   return Status(StatusCode::kDataLoss, std::string(message));
+}
+
+Status ResourceExhaustedError(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, std::string(message));
 }
 
 Status InternalError(std::string_view message) {

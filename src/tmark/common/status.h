@@ -48,6 +48,10 @@ enum class StatusCode {
   kFailedPrecondition,
   /// An I/O write or read failed midway; bytes may be missing or torn.
   kDataLoss,
+  /// A bounded resource is full (serving admission queue, frame size
+  /// limit). The request was refused before doing work; retrying after
+  /// backoff is legitimate, unlike for the codes above.
+  kResourceExhausted,
   /// A bug inside the library surfaced at an input boundary; file an issue.
   kInternal,
 };
@@ -100,6 +104,7 @@ Status ParseError(std::string_view message);
 Status NotFoundError(std::string_view message);
 Status FailedPreconditionError(std::string_view message);
 Status DataLossError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
 Status InternalError(std::string_view message);
 
 /// Exception form of a non-OK Status, thrown only by the *OrThrow

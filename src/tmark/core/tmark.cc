@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <string>
 #include <utility>
 
@@ -121,8 +122,95 @@ Status TMarkClassifier::Update(hin::Hin* hin, const hin::HinDelta& delta,
   const bool compatible = confidences_.rows() == hin->num_nodes() &&
                           confidences_.cols() == hin->num_classes() &&
                           link_importance_.rows() == hin->num_relations();
+  if (compatible && !ops_affected && external != nullptr) {
+    // Label-only delta against a validated operator bundle: classes the
+    // delta provably did not perturb keep their previous stationary
+    // columns and skip the iteration loop entirely.
+    ComputeRetireHints(*hin, delta, labeled);
+  }
   FitInternal(*hin, labeled, /*warm_start=*/compatible, external);
   return Status::Ok();
+}
+
+void TMarkClassifier::ComputeRetireHints(
+    const hin::Hin& hin, const hin::HinDelta& delta,
+    const std::vector<std::size_t>& labeled) {
+  retire_hints_.clear();
+  const std::size_t n = hin.num_nodes();
+  const std::size_t q = hin.num_classes();
+  if (last_labeled_.empty() || traces_.size() != q) return;
+  std::vector<std::size_t> sorted(labeled);
+  std::sort(sorted.begin(), sorted.end());
+  // Hints only hold when the training set grew: a node leaving it changes
+  // every restart vector in ways the analysis below does not cover.
+  if (!std::includes(sorted.begin(), sorted.end(), last_labeled_.begin(),
+                     last_labeled_.end())) {
+    return;
+  }
+  std::vector<std::size_t> joined;
+  std::set_difference(sorted.begin(), sorted.end(), last_labeled_.begin(),
+                      last_labeled_.end(), std::back_inserter(joined));
+  // Joined nodes must be explained by the delta's label wave — a training
+  // set rearranged for some other reason is outside the hints' contract.
+  for (const std::size_t node : joined) {
+    const bool in_delta = std::any_of(
+        delta.label_adds().begin(), delta.label_adds().end(),
+        [node](const hin::LabelAdd& add) { return add.node == node; });
+    if (!in_delta) return;
+  }
+
+  // perturbed[c] — class c's restart vector may have moved. Conservative
+  // union of everything InitialLabelVector / UpdatedLabelVector read.
+  std::vector<bool> perturbed(q, false);
+  for (std::size_t c = 0; c < q; ++c) {
+    if (!traces_[c].converged) perturbed[c] = true;
+  }
+  // A label landing on a training node enters that class's restart vector.
+  for (const hin::LabelAdd& add : delta.label_adds()) {
+    if (std::binary_search(sorted.begin(), sorted.end(), add.node)) {
+      perturbed[add.cls] = true;
+    }
+  }
+  if (!joined.empty()) {
+    // Per class, the previous stationary maximum over the *old* unlabeled
+    // nodes — the reference of the ICA acceptance cutoff (Eq. 12).
+    std::vector<bool> was_labeled(n, false);
+    for (const std::size_t node : last_labeled_) was_labeled[node] = true;
+    std::vector<double> max_unlabeled(q, 0.0);
+    if (config_.ica_update) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (was_labeled[i]) continue;
+        for (std::size_t c = 0; c < q; ++c) {
+          max_unlabeled[c] = std::max(max_unlabeled[c], confidences_.At(i, c));
+        }
+      }
+    }
+    for (const std::size_t v : joined) {
+      for (std::size_t c = 0; c < q; ++c) {
+        if (hin.HasLabel(v, c)) {
+          // v now contributes to l_c as a labeled carrier of c.
+          perturbed[c] = true;
+        } else if (config_.ica_update) {
+          // v leaving the unlabeled pool keeps l_c intact only when it
+          // neither set the unlabeled maximum (the cutoff would move) nor
+          // sat above the cutoff (it was ICA-accepted and now is not).
+          const double xv = confidences_.At(v, c);
+          const bool safe = xv < max_unlabeled[c] &&
+                            xv <= config_.lambda * max_unlabeled[c];
+          if (!safe) perturbed[c] = true;
+        }
+      }
+    }
+  }
+  bool any_hint = false;
+  retire_hints_.assign(q, false);
+  for (std::size_t c = 0; c < q; ++c) {
+    if (!perturbed[c]) {
+      retire_hints_[c] = true;
+      any_hint = true;
+    }
+  }
+  if (!any_hint) retire_hints_.clear();
 }
 
 void TMarkClassifier::FitInternal(const hin::Hin& hin,
@@ -172,11 +260,40 @@ void TMarkClassifier::FitInternal(const hin::Hin& hin,
   traces_.assign(q, ConvergenceTrace{});
   for (std::size_t c = 0; c < q; ++c) traces_[c].class_index = c;
 
-  if (config_.fit_mode == FitMode::kBatched) {
-    FitBatched(hin, labeled, warm_start, *ops, prev_x, prev_z);
-  } else {
-    FitPerClass(hin, labeled, warm_start, *ops, prev_x, prev_z, &fit_span);
+  // Consume one-shot retirement hints (Update, label-only deltas): hinted
+  // classes keep their previous stationary columns — converged, zero
+  // iterations, empty residual trace — and never enter an engine.
+  std::vector<bool> retired;
+  if (warm_start && retire_hints_.size() == q) {
+    retired = std::move(retire_hints_);
   }
+  retire_hints_.clear();
+  std::size_t hinted = 0;
+  for (std::size_t c = 0; c < q; ++c) {
+    if (retired.empty() || !retired[c]) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      confidences_.At(i, c) = prev_x.At(i, c);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      link_importance_.At(k, c) = prev_z.At(k, c);
+    }
+    traces_[c].converged = true;
+    ++hinted;
+  }
+  if (hinted > 0) {
+    obs::IncrCounter("update.hinted_classes",
+                     static_cast<std::int64_t>(hinted));
+    fit_span.AddField("hinted_classes", hinted);
+  }
+
+  if (config_.fit_mode == FitMode::kBatched) {
+    FitBatched(hin, labeled, warm_start, *ops, prev_x, prev_z, retired);
+  } else {
+    FitPerClass(hin, labeled, warm_start, *ops, prev_x, prev_z, retired,
+                &fit_span);
+  }
+  last_labeled_ = labeled;
+  std::sort(last_labeled_.begin(), last_labeled_.end());
 
   // Convergence diagnostics (Theorems 1-3, Fig. 10): the per-iteration
   // contraction rate rho_{t+1}/rho_t, its geometric-mean estimate, and the
@@ -233,6 +350,7 @@ void TMarkClassifier::FitPerClass(const hin::Hin& hin,
                                   const PreparedOperators& ops,
                                   const la::DenseMatrix& prev_x,
                                   const la::DenseMatrix& prev_z,
+                                  const std::vector<bool>& retired,
                                   obs::TraceSpan* fit_span) {
   const std::size_t n = hin.num_nodes();
   const std::size_t m = hin.num_relations();
@@ -255,6 +373,7 @@ void TMarkClassifier::FitPerClass(const hin::Hin& hin,
   // stitched back under fit_span in class order after the join.
   std::vector<obs::SpanNode> class_nodes(q);
   parallel::ParallelFor(q, /*grain=*/1, [&](std::size_t c) {
+    if (!retired.empty() && retired[c]) return;  // Settled by FitInternal.
     obs::TraceSpan class_span("tmark.fit.class", &class_nodes[c]);
     class_span.AddField("class", c);
     obs::ScopedTimer class_timer("tmark.fit.class_ms");
@@ -325,8 +444,9 @@ void TMarkClassifier::FitPerClass(const hin::Hin& hin,
     for (std::size_t k = 0; k < m; ++k) link_importance_.At(k, c) = z[k];
     traces_[c] = std::move(trace);
   });
-  for (obs::SpanNode& node : class_nodes) {
-    fit_span->AdoptChild(std::move(node));
+  for (std::size_t c = 0; c < q; ++c) {
+    if (!retired.empty() && retired[c]) continue;  // No span was opened.
+    fit_span->AdoptChild(std::move(class_nodes[c]));
   }
 }
 
@@ -335,7 +455,8 @@ void TMarkClassifier::FitBatched(const hin::Hin& hin,
                                  bool warm_start,
                                  const PreparedOperators& ops,
                                  const la::DenseMatrix& prev_x,
-                                 const la::DenseMatrix& prev_z) {
+                                 const la::DenseMatrix& prev_z,
+                                 const std::vector<bool>& retired) {
   const std::size_t n = hin.num_nodes();
   const std::size_t m = hin.num_relations();
   const std::size_t q = hin.num_classes();
@@ -362,29 +483,38 @@ void TMarkClassifier::FitBatched(const hin::Hin& hin,
   la::DenseMatrix wx_panel(n, q);
   la::PanelF32 x_f32;
   if (config_.fp32_panels) x_f32.Resize(n, q);
-  std::vector<std::size_t> cls(q);
+  // Retired classes (retirement hints, FitInternal) never occupy a slot:
+  // the panel starts at the width of the still-active classes. Slot s
+  // carries class cls[s]; without hints this is the identity layout.
+  std::vector<std::size_t> cls;
+  cls.reserve(q);
+  for (std::size_t c = 0; c < q; ++c) {
+    if (retired.empty() || !retired[c]) cls.push_back(c);
+  }
+  std::size_t width = cls.size();
   std::vector<std::string> series_names(q);
   std::vector<la::Vector> ica_cols(q);  // per-slot ICA extraction scratch
-  for (std::size_t c = 0; c < q; ++c) {
-    cls[c] = c;
+  for (std::size_t s = 0; s < width; ++s) {
+    const std::size_t c = cls[s];
     series_names[c] = "tmark.fit.residual.c" + std::to_string(c);
     traces_[c].residuals.reserve(
         static_cast<std::size_t>(config_.max_iterations));
     const la::Vector l = hin::InitialLabelVector(hin, labeled, c);
-    la::SetColumn(l, c, &l_panel);
-    if (!warm_start) la::SetColumn(l, c, &x_panel);
+    la::SetColumn(l, s, &l_panel);
+    if (warm_start) {
+      la::SetColumn(prev_x.Col(c), s, &x_panel);
+      la::SetColumn(prev_z.Col(c), s, &z_panel);
+    } else {
+      la::SetColumn(l, s, &x_panel);
+    }
   }
-  if (warm_start) {
-    x_panel = prev_x;
-    z_panel = prev_z;
-  } else {
+  if (!warm_start) {
     const double u = 1.0 / static_cast<double>(m);
     for (std::size_t k = 0; k < m; ++k) {
-      for (std::size_t c = 0; c < q; ++c) z_panel.At(k, c) = u;
+      for (std::size_t s = 0; s < width; ++s) z_panel.At(k, s) = u;
     }
   }
 
-  std::size_t width = q;
   std::size_t iterations = 0;
   la::Vector rho_x;
   la::Vector rho_z;

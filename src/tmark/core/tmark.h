@@ -163,6 +163,12 @@ class TMarkClassifier : public hin::CollectiveClassifier {
   /// enter O/R/W, so a single post-mutation fingerprint both validates the
   /// held bundle and keeps it honest — which is why label waves see the
   /// largest end-to-end speedups (bench_perf_updates).
+  /// Label-only deltas additionally compute *retirement hints*: a class
+  /// whose restart vector provably cannot have moved (no label it reads
+  /// changed, and any node joining the training set was neither the
+  /// ICA-confidence maximum nor above the acceptance cutoff at the previous
+  /// stationary point) keeps its previous stationary column outright and
+  /// never enters the iteration loop ("update.hinted_classes").
   /// On a validation error the network, operators, and model state are all
   /// unchanged. The end-to-end path is timed as "update.total_ms"; the
   /// operator patch records "update.{edges,rows_touched,reshards}".
@@ -202,17 +208,31 @@ class TMarkClassifier : public hin::CollectiveClassifier {
 
   /// Per-class engine: q independent chains, parallelized over classes.
   /// Worker-side spans are stitched back under `fit_span` in class order.
+  /// `retired` (empty, or one flag per class) marks classes FitInternal
+  /// already settled from retirement hints; their chains are skipped.
   void FitPerClass(const hin::Hin& hin,
                    const std::vector<std::size_t>& labeled, bool warm_start,
                    const PreparedOperators& ops, const la::DenseMatrix& prev_x,
-                   const la::DenseMatrix& prev_z, obs::TraceSpan* fit_span);
+                   const la::DenseMatrix& prev_z,
+                   const std::vector<bool>& retired, obs::TraceSpan* fit_span);
 
   /// Batched engine: all chains advance on n x q panels with one structure
   /// pass per iteration; bit-identical to FitPerClass column for column.
+  /// Hinted classes (`retired`) never occupy a panel slot.
   void FitBatched(const hin::Hin& hin,
                   const std::vector<std::size_t>& labeled, bool warm_start,
                   const PreparedOperators& ops, const la::DenseMatrix& prev_x,
-                  const la::DenseMatrix& prev_z);
+                  const la::DenseMatrix& prev_z,
+                  const std::vector<bool>& retired);
+
+  /// Delta-aware retirement hints (Update, label-only deltas): fills
+  /// retire_hints_ with one flag per class, true when the class's previous
+  /// stationary solution is provably still stationary after `delta`.
+  /// Conservative — any doubt (unconverged previous trace, shrunk training
+  /// set, a joined node near the ICA cutoff) clears the flag or abandons
+  /// the hints entirely.
+  void ComputeRetireHints(const hin::Hin& hin, const hin::HinDelta& delta,
+                          const std::vector<std::size_t>& labeled);
 
   la::DenseMatrix confidences_;      ///< n x q.
   la::DenseMatrix link_importance_;  ///< m x q.
@@ -220,6 +240,12 @@ class TMarkClassifier : public hin::CollectiveClassifier {
   /// Fingerprint-checked operator cache: reused by FitInternal while the
   /// HIN content is unchanged, rebuilt (and replaced) when it is not.
   std::shared_ptr<const PreparedOperators> prepared_;
+  /// One-shot retirement hints for the next FitInternal (set by Update,
+  /// consumed — and cleared — by the next fit). Empty means no hints.
+  std::vector<bool> retire_hints_;
+  /// The training set of the last fit, sorted; the hints above are only
+  /// valid against a training set that grew from this one.
+  std::vector<std::size_t> last_labeled_;
 };
 
 }  // namespace tmark::core

@@ -1,0 +1,229 @@
+#include "tmark/serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tmark/common/check.h"
+#include "tmark/obs/metrics.h"
+#include "tmark/obs/trace.h"
+
+namespace tmark::serve {
+namespace {
+
+/// Top-k (index, score) entries of `values`, scores descending, ties by
+/// ascending index (the same order la::ArgSortDescending yields, so
+/// truncated rankings match the full ones the CLI prints).
+std::vector<ScoredEntry> TopKEntries(const la::Vector& values,
+                                     std::size_t top_k) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const std::size_t k = std::min(top_k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  std::vector<ScoredEntry> entries(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    entries[i] = ScoredEntry{idx[i], values[idx[i]]};
+  }
+  return entries;
+}
+
+}  // namespace
+
+BatchingScheduler::BatchingScheduler(BatcherOptions options,
+                                     QueryEngineOptions engine_options,
+                                     BundleHolder* bundles)
+    : options_(options), engine_(engine_options), bundles_(bundles) {
+  TMARK_CHECK(bundles != nullptr);
+  TMARK_CHECK_MSG(options.max_batch > 0, "max_batch must be >= 1");
+  TMARK_CHECK_MSG(options.max_queue > 0, "max_queue must be >= 1");
+}
+
+BatchingScheduler::~BatchingScheduler() { Stop(); }
+
+void BatchingScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void BatchingScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+Result<Response> BatchingScheduler::Execute(const Request& request) {
+  obs::Stopwatch stopwatch;
+  obs::IncrCounter("serve.requests");
+  if (request.kind == RequestKind::kUpdate) {
+    return InvalidArgumentError(
+        "update requests are routed by the daemon, not the scheduler");
+  }
+  if (request.kind == RequestKind::kClassify) {
+    Result<Response> response = ServeClassify(request);
+    if (response.ok()) {
+      obs::ObserveHistogram("serve.request_ms", stopwatch.ElapsedMs());
+    }
+    return response;
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->request = request;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      return FailedPreconditionError("scheduler is not running");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      obs::IncrCounter("serve.rejected");
+      return ResourceExhaustedError(
+          "admission queue full (" + std::to_string(options_.max_queue) +
+          " requests waiting); retry after backoff");
+    }
+    queue_.push_back(pending);
+    queue_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return pending->done; });
+  }
+  if (!pending->status.ok()) return pending->status;
+  obs::ObserveHistogram("serve.request_ms", stopwatch.ElapsedMs());
+  return std::move(pending->response);
+}
+
+Result<Response> BatchingScheduler::ServeClassify(const Request& request) {
+  const BundleHolder::View view = bundles_->Acquire();
+  if (view.bundle == nullptr) {
+    return FailedPreconditionError("no serving bundle published yet");
+  }
+  const ServingBundle& bundle = *view.bundle;
+  if (request.node >= bundle.num_nodes()) {
+    return InvalidArgumentError(
+        "node " + std::to_string(request.node) + " out of range [0, " +
+        std::to_string(bundle.num_nodes()) + ")");
+  }
+  Response response;
+  response.kind = RequestKind::kClassify;
+  response.node = request.node;
+  response.stale = view.stale;
+  response.generation = bundle.generation;
+  response.fingerprint = bundle.fingerprint;
+  la::Vector row(bundle.num_classes());
+  for (std::size_t c = 0; c < bundle.num_classes(); ++c) {
+    row[c] = bundle.confidences.At(request.node, c);
+  }
+  response.entries = TopKEntries(row, row.size());
+  if (view.stale) obs::IncrCounter("serve.stale");
+  return response;
+}
+
+void BatchingScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (stopping_) break;
+    if (options_.batch_window_us > 0 && queue_.size() < options_.max_batch) {
+      // Hold the batch open for stragglers. Under sustained load the queue
+      // already holds a full batch and this never sleeps.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.batch_window_us);
+      while (!stopping_ && queue_.size() < options_.max_batch) {
+        if (queue_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stopping_) break;
+    }
+    std::deque<std::shared_ptr<Pending>> batch;
+    const std::size_t take = std::min(queue_.size(), options_.max_batch);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    ServeBatch(&batch);
+    lock.lock();
+    for (const std::shared_ptr<Pending>& pending : batch) {
+      pending->done = true;
+    }
+    done_cv_.notify_all();
+  }
+  // Stopping: fail whatever is still queued so no caller blocks forever.
+  while (!queue_.empty()) {
+    const std::shared_ptr<Pending> pending = std::move(queue_.front());
+    queue_.pop_front();
+    pending->status = FailedPreconditionError("scheduler stopped");
+    pending->done = true;
+  }
+  done_cv_.notify_all();
+}
+
+void BatchingScheduler::ServeBatch(
+    std::deque<std::shared_ptr<Pending>>* batch) {
+  obs::Stopwatch stopwatch;
+  const BundleHolder::View view = bundles_->Acquire();
+  std::vector<std::size_t> seeds;
+  std::vector<Pending*> active;
+  seeds.reserve(batch->size());
+  active.reserve(batch->size());
+  for (const std::shared_ptr<Pending>& pending : *batch) {
+    if (view.bundle == nullptr) {
+      pending->status =
+          FailedPreconditionError("no serving bundle published yet");
+      continue;
+    }
+    if (pending->request.node >= view.bundle->num_nodes()) {
+      pending->status = InvalidArgumentError(
+          "node " + std::to_string(pending->request.node) +
+          " out of range [0, " + std::to_string(view.bundle->num_nodes()) +
+          ")");
+      continue;
+    }
+    seeds.push_back(pending->request.node);
+    active.push_back(pending.get());
+  }
+  if (active.empty()) return;
+
+  const ServingBundle& bundle = *view.bundle;
+  std::vector<SeedQueryResult> results;
+  engine_.Run(*bundle.ops, seeds, &results);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    Pending* pending = active[i];
+    Response& response = pending->response;
+    response.kind = pending->request.kind;
+    response.node = pending->request.node;
+    response.stale = view.stale;
+    response.generation = bundle.generation;
+    response.fingerprint = bundle.fingerprint;
+    const SeedQueryResult& result = results[i];
+    response.entries =
+        TopKEntries(pending->request.kind == RequestKind::kRank ? result.z
+                                                                : result.x,
+                    pending->request.top_k);
+    if (view.stale) obs::IncrCounter("serve.stale");
+  }
+  if (active.size() >= 2) {
+    obs::IncrCounter("serve.batched",
+                     static_cast<std::int64_t>(active.size()));
+  }
+  obs::AppendSeries("serve.batch_width",
+                    static_cast<double>(active.size()));
+  obs::ObserveHistogram("serve.batch_exec_ms", stopwatch.ElapsedMs());
+}
+
+}  // namespace tmark::serve

@@ -1,0 +1,101 @@
+#ifndef TMARK_SERVE_BATCHER_H_
+#define TMARK_SERVE_BATCHER_H_
+
+// Request coalescing for the serving daemon (docs/SERVING.md).
+//
+// Seed queries (rank/topk) pay one sparse-structure sweep per fixed-point
+// iteration whether the panel carries 1 column or 16 — so the scheduler
+// holds the first request of a burst for a small window
+// (`batch_window_us`) and folds every request that arrives in the
+// meantime into one PanelQueryEngine batch, up to `max_batch` columns.
+// Under load the window never waits: the queue refills while a batch
+// computes, and the next batch departs full. Classify lookups bypass the
+// queue entirely (they are O(q) reads of the bundle).
+//
+// Backpressure: at most `max_queue` requests wait for the worker; beyond
+// that, Execute refuses immediately with kResourceExhausted so overload
+// degrades into fast typed rejections instead of unbounded latency.
+//
+// Observability: serve.requests / serve.batched / serve.rejected /
+// serve.stale counters, the serve.request_ms end-to-end latency histogram
+// (queue wait included), serve.batch_exec_ms per batch, and the
+// serve.batch_width series.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "tmark/common/status.h"
+#include "tmark/serve/bundle.h"
+#include "tmark/serve/protocol.h"
+#include "tmark/serve/query_engine.h"
+
+namespace tmark::serve {
+
+struct BatcherOptions {
+  /// How long the worker holds an under-full batch open for stragglers.
+  /// 0 disables coalescing-by-time (batches still merge whatever already
+  /// queued).
+  std::size_t batch_window_us = 200;
+  /// Panel width cap per batch.
+  std::size_t max_batch = 16;
+  /// Admission bound: requests waiting for the worker beyond this are
+  /// rejected with kResourceExhausted.
+  std::size_t max_queue = 256;
+};
+
+/// Coalescing scheduler over one BundleHolder. Start() spawns the worker
+/// thread; Execute blocks the calling (connection) thread until its
+/// request is served. Thread-safe.
+class BatchingScheduler {
+ public:
+  BatchingScheduler(BatcherOptions options, QueryEngineOptions engine_options,
+                    BundleHolder* bundles);
+  ~BatchingScheduler();
+
+  BatchingScheduler(const BatchingScheduler&) = delete;
+  BatchingScheduler& operator=(const BatchingScheduler&) = delete;
+
+  void Start();
+
+  /// Stops the worker; queued requests fail with kFailedPrecondition.
+  void Stop();
+
+  /// Serves one classify/rank/topk request (update is routed by the
+  /// daemon, not here). Typed failures: kFailedPrecondition before the
+  /// first bundle publish or after Stop, kInvalidArgument for an
+  /// out-of-range node, kResourceExhausted when the admission queue is
+  /// full.
+  Result<Response> Execute(const Request& request);
+
+ private:
+  struct Pending {
+    Request request;
+    Response response;
+    Status status;
+    bool done = false;
+  };
+
+  void WorkerLoop();
+  void ServeBatch(std::deque<std::shared_ptr<Pending>>* batch);
+  Result<Response> ServeClassify(const Request& request);
+
+  const BatcherOptions options_;
+  PanelQueryEngine engine_;  ///< Worker-thread only.
+  BundleHolder* const bundles_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< Worker wake-ups.
+  std::condition_variable done_cv_;   ///< Completion broadcasts.
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread worker_;
+};
+
+}  // namespace tmark::serve
+
+#endif  // TMARK_SERVE_BATCHER_H_

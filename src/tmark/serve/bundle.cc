@@ -1,0 +1,38 @@
+#include "tmark/serve/bundle.h"
+
+#include <utility>
+
+namespace tmark::serve {
+
+BundleHolder::View BundleHolder::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return View{bundle_, refreshing_};
+}
+
+void BundleHolder::Publish(std::shared_ptr<const ServingBundle> bundle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bundle_ = std::move(bundle);
+  refreshing_ = false;
+}
+
+void BundleHolder::BeginRefresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refreshing_ = true;
+}
+
+void BundleHolder::AbortRefresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refreshing_ = false;
+}
+
+bool BundleHolder::refreshing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return refreshing_;
+}
+
+std::uint64_t BundleHolder::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundle_ == nullptr ? 0 : bundle_->generation;
+}
+
+}  // namespace tmark::serve

@@ -1,0 +1,83 @@
+#ifndef TMARK_SERVE_BUNDLE_H_
+#define TMARK_SERVE_BUNDLE_H_
+
+// The serving side of the fingerprint honesty rule (docs/SERVING.md).
+//
+// A ServingBundle is one immutable snapshot of everything a query needs:
+// the prepared operators, the fitted posteriors, and the link-importance
+// panel, stamped with the operators' content fingerprint and a serving
+// generation. Queries acquire a shared_ptr snapshot and keep computing on
+// it even while an update publishes a successor — a bundle is never
+// mutated after Publish, so readers can be lock-free after the one
+// acquisition and can never observe a torn mix of old and new state.
+//
+// BundleHolder is the swap point: Acquire() hands out the current bundle
+// plus a `stale` flag that is true while a background refresh is running
+// (graceful degradation — the daemon keeps answering from the previous
+// stationary state instead of blocking or failing).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "tmark/core/prepared_operators.h"
+#include "tmark/la/dense_matrix.h"
+
+namespace tmark::serve {
+
+/// One immutable generation of serving state. `ops` is shared with the
+/// fitting classifier, which is what makes updates copy-on-write: while a
+/// query holds this bundle, TMarkClassifier::Update sees use_count > 1 and
+/// patches a copy, leaving the served operators untouched.
+struct ServingBundle {
+  std::shared_ptr<const core::PreparedOperators> ops;
+  la::DenseMatrix confidences;      ///< n x q stationary posteriors.
+  la::DenseMatrix link_importance;  ///< m x q stationary z panels.
+  std::uint64_t fingerprint = 0;    ///< == ops->fingerprint().
+  std::uint64_t generation = 0;     ///< 1 on first publish, +1 per swap.
+
+  std::size_t num_nodes() const { return confidences.rows(); }
+  std::size_t num_classes() const { return confidences.cols(); }
+  std::size_t num_relations() const { return link_importance.rows(); }
+};
+
+/// Thread-safe holder of the current bundle. Publish is atomic with
+/// respect to Acquire: a reader sees either the whole old bundle or the
+/// whole new one.
+class BundleHolder {
+ public:
+  struct View {
+    std::shared_ptr<const ServingBundle> bundle;
+    /// True when a refresh was running at acquisition time: the answer is
+    /// correct for the pre-update network, flagged so clients can tell.
+    bool stale = false;
+  };
+
+  /// Snapshot of the current bundle (null before the first Publish).
+  View Acquire() const;
+
+  /// Swaps in `bundle` and ends any running refresh window.
+  void Publish(std::shared_ptr<const ServingBundle> bundle);
+
+  /// Marks the start of a background refresh: views acquired from now
+  /// until the next Publish (or AbortRefresh) report stale = true.
+  void BeginRefresh();
+
+  /// Ends a refresh window without publishing (the update failed; the
+  /// current bundle stays authoritative and is no longer stale).
+  void AbortRefresh();
+
+  bool refreshing() const;
+
+  /// Generation of the current bundle (0 before the first Publish).
+  std::uint64_t generation() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingBundle> bundle_;
+  bool refreshing_ = false;
+};
+
+}  // namespace tmark::serve
+
+#endif  // TMARK_SERVE_BUNDLE_H_

@@ -1,0 +1,92 @@
+#ifndef TMARK_SERVE_QUERY_ENGINE_H_
+#define TMARK_SERVE_QUERY_ENGINE_H_
+
+// Panel fixed-point engine behind the rank/topk verbs (docs/SERVING.md).
+//
+// A seed query runs the paper's fixed point (Eqs. 8 and 10) personalized
+// to one node: the restart vector is e_seed instead of a class label
+// vector, and the ICA refresh is off (there is no class to refresh
+// toward). The stationary x ranks every node by relevance to the seed and
+// the stationary z ranks the link types the seed's neighborhood leans on —
+// the same two headline outputs the paper reports per class, specialized
+// to one walker.
+//
+// The perf point: a batch of seeds advances on one row-major n x width
+// panel through the same fused kernels as the batched fit engine
+// (ApplyOPanel -> ApplyPanel + FusedCombineColumns -> ApplyRPanel ->
+// FusedNormalizeDistanceColumns), so each sparse structure is streamed
+// once per iteration for the whole batch and serving cost scales with
+// panel width. Every panel kernel performs, per column, exactly the
+// floating-point operations of its single-vector counterpart in the same
+// order (la/panel.h), and converged columns retire by compaction without
+// touching their neighbors — so a query's answer is bit-identical no
+// matter which batch the scheduler coalesced it into (pinned by
+// tests/serve/batcher_test.cc).
+
+#include <cstddef>
+#include <vector>
+
+#include "tmark/core/prepared_operators.h"
+#include "tmark/la/dense_matrix.h"
+#include "tmark/la/panel.h"
+#include "tmark/la/vector_ops.h"
+
+namespace tmark::serve {
+
+/// Fixed-point knobs of the seed walk; same semantics as TMarkConfig
+/// (alpha restarts to e_seed, beta = gamma * (1 - alpha) weights the
+/// feature walk).
+struct QueryEngineOptions {
+  double alpha = 0.8;
+  double gamma = 0.6;
+  double epsilon = 1e-8;
+  int max_iterations = 100;
+
+  double beta() const { return gamma * (1.0 - alpha); }
+};
+
+/// One converged seed walk.
+struct SeedQueryResult {
+  la::Vector x;  ///< n: stationary node relevance to the seed.
+  la::Vector z;  ///< m: stationary link-type importance for the seed.
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs batches of seed walks on shared panels. Not thread-safe: the
+/// batching scheduler owns one instance on its worker thread, which is
+/// what lets the panel buffers persist across batches without locking.
+class PanelQueryEngine {
+ public:
+  explicit PanelQueryEngine(QueryEngineOptions options);
+
+  /// Runs one walk per seed (all seeds must be < ops.num_nodes()), batch
+  /// width = seeds.size(). `results` is resized to match; results[i]
+  /// belongs to seeds[i].
+  void Run(const core::PreparedOperators& ops,
+           const std::vector<std::size_t>& seeds,
+           std::vector<SeedQueryResult>* results);
+
+ private:
+  /// (Re)sizes the panel buffers for `n` x `m` operators at `width`
+  /// columns; keeps capacity across batches of the same shape.
+  void EnsureCapacity(std::size_t n, std::size_t m, std::size_t width);
+
+  QueryEngineOptions options_;
+  la::PanelWorkspace ws_;
+  la::DenseMatrix x_panel_;
+  la::DenseMatrix z_panel_;
+  la::DenseMatrix l_panel_;
+  la::DenseMatrix x_next_;
+  la::DenseMatrix z_next_;
+  la::DenseMatrix wx_panel_;
+  std::vector<std::size_t> slot_result_;
+  la::Vector rho_x_;
+  la::Vector rho_z_;
+  la::Vector x_sums_;
+  la::Vector z_sums_;
+};
+
+}  // namespace tmark::serve
+
+#endif  // TMARK_SERVE_QUERY_ENGINE_H_

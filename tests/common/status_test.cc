@@ -27,6 +27,8 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_EQ(FailedPreconditionError("bad").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(DataLossError("bad").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("bad").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(InternalError("bad").code(), StatusCode::kInternal);
   EXPECT_EQ(ParseError("bad edge").message(), "bad edge");
   EXPECT_FALSE(ParseError("x").ok());
@@ -48,6 +50,8 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
             "FAILED_PRECONDITION");
   EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
 }
 
@@ -56,6 +60,8 @@ TEST(StatusTest, MetricSuffixesAreStable) {
   EXPECT_EQ(StatusCodeMetricSuffix(StatusCode::kNotFound), "not_found");
   EXPECT_EQ(StatusCodeMetricSuffix(StatusCode::kInvalidArgument),
             "invalid_argument");
+  EXPECT_EQ(StatusCodeMetricSuffix(StatusCode::kResourceExhausted),
+            "resource_exhausted");
 }
 
 TEST(StatusTest, WithContextPrependsOutermostFirst) {

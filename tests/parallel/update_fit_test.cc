@@ -204,6 +204,104 @@ TEST(UpdateFitTest, UpdatePatchesOperatorsInsteadOfRebuilding) {
             core::FingerprintOperators(hin, config.similarity));
 }
 
+// Delta-aware retirement hints (core/tmark.h): a label-only wave that
+// touches no training node leaves every restart vector — and therefore
+// every fixed point — untouched. Update must keep the previous stationary
+// columns bitwise and never enter the iteration loop (empty residual
+// traces), with the ICA update ON, where the hint analysis has to reason
+// about the acceptance cutoff.
+TEST(UpdateFitTest, LabelWaveOffTheTrainingSetRetiresEveryClass) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 4}) {
+    parallel::SetNumThreads(threads);
+    hin::Hin hin = MakeTestHin();
+    const std::vector<std::size_t> labeled = EveryThirdLabeled(hin);
+    core::TMarkClassifier clf;  // defaults: ica_update = true, batched
+    clf.Fit(hin, labeled);
+    for (const core::ConvergenceTrace& trace : clf.Traces()) {
+      ASSERT_TRUE(trace.converged);
+    }
+    const la::DenseMatrix before_x = clf.Confidences();
+    const la::DenseMatrix before_z = clf.LinkImportance();
+
+    // Nodes 1 and 2 are never in EveryThirdLabeled (it steps by 3 from 0).
+    hin::HinDelta delta;
+    for (const std::size_t node : {std::size_t{1}, std::size_t{2}}) {
+      for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+        if (!hin.HasLabel(node, c)) {
+          delta.AddLabel(node, c);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(delta.label_adds().size(), 2u);
+    ASSERT_TRUE(clf.Update(&hin, delta, labeled).ok());
+
+    EXPECT_DOUBLE_EQ(clf.Confidences().MaxAbsDiff(before_x), 0.0);
+    EXPECT_DOUBLE_EQ(clf.LinkImportance().MaxAbsDiff(before_z), 0.0);
+    for (const core::ConvergenceTrace& trace : clf.Traces()) {
+      EXPECT_TRUE(trace.converged) << "class " << trace.class_index;
+      EXPECT_TRUE(trace.residuals.empty())
+          << "class " << trace.class_index << " iterated after a no-op wave";
+    }
+  }
+}
+
+// A label landing on a node that then joins the training set perturbs
+// exactly the classes that node carries: those iterate, the rest retire
+// with empty traces, and the result still agrees with a cold fit on the
+// mutated network (unique fixed point, Theorem 3).
+TEST(UpdateFitTest, LabelJoiningTrainingSetIteratesOnlyAffectedClasses) {
+  ThreadCountGuard guard;
+  core::TMarkConfig config;
+  config.ica_update = false;  // fixed restart set -> unique fixed point
+  config.epsilon = 1e-13;
+  config.max_iterations = 500;
+  for (const int threads : {1, 4}) {
+    parallel::SetNumThreads(threads);
+    hin::Hin hin = MakeTestHin();
+    const std::vector<std::size_t> labeled = EveryThirdLabeled(hin);
+    core::TMarkClassifier warm(config);
+    warm.Fit(hin, labeled);
+    for (const core::ConvergenceTrace& trace : warm.Traces()) {
+      ASSERT_TRUE(trace.converged);
+    }
+
+    // Node 7 is outside the training set; give it one new class and then
+    // add it to the training set for the refresh.
+    const std::size_t joiner = 7;
+    hin::HinDelta delta;
+    for (std::size_t c = 0; c < hin.num_classes(); ++c) {
+      if (!hin.HasLabel(joiner, c)) {
+        delta.AddLabel(joiner, c);
+        break;
+      }
+    }
+    ASSERT_EQ(delta.label_adds().size(), 1u);
+    std::vector<std::size_t> grown = labeled;
+    grown.push_back(joiner);
+    ASSERT_TRUE(warm.Update(&hin, delta, grown).ok());
+
+    for (const core::ConvergenceTrace& trace : warm.Traces()) {
+      if (hin.HasLabel(joiner, trace.class_index)) {
+        EXPECT_FALSE(trace.residuals.empty())
+            << "class " << trace.class_index
+            << " gained a restart node but did not iterate";
+      } else {
+        EXPECT_TRUE(trace.converged);
+        EXPECT_TRUE(trace.residuals.empty())
+            << "class " << trace.class_index
+            << " iterated though its restart vector is unchanged";
+      }
+    }
+
+    core::TMarkClassifier cold(config);
+    cold.Fit(hin, grown);
+    EXPECT_LE(warm.Confidences().MaxAbsDiff(cold.Confidences()), 1e-10);
+    EXPECT_LE(warm.LinkImportance().MaxAbsDiff(cold.LinkImportance()), 1e-10);
+  }
+}
+
 TEST(UpdateFitTest, StaleCacheCannotSurviveOutOfBandMutation) {
   ThreadCountGuard guard;
   parallel::SetNumThreads(4);

@@ -1,0 +1,215 @@
+// Coalescing-scheduler tests (serve/batcher.h): batched seed queries are
+// bit-identical to width-1 runs (the panel kernels perform per-column
+// exactly the single-vector ops, in order), classify answers come straight
+// from the published bundle, and an overfull admission queue degrades into
+// typed kResourceExhausted rejections instead of unbounded latency. Runs
+// under the `sanitize` ctest label (TSAN covers the queue/worker handoff).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "tmark/common/status.h"
+#include "tmark/core/tmark.h"
+#include "tmark/datasets/synthetic_hin.h"
+#include "tmark/hin/hin.h"
+#include "tmark/serve/batcher.h"
+#include "tmark/serve/bundle.h"
+#include "tmark/serve/daemon.h"
+#include "tmark/serve/query_engine.h"
+
+namespace tmark::serve {
+namespace {
+
+hin::Hin MakeTestHin() {
+  datasets::SyntheticHinConfig config;
+  config.num_nodes = 180;
+  config.class_names = {"A", "B", "C"};
+  config.relations = {{"r0", 0.85, 0.0, 3.0, {}, false},
+                      {"r1", 0.6, 0.2, 2.0, {}, true}};
+  config.seed = 321;
+  return datasets::GenerateSyntheticHin(config);
+}
+
+std::vector<std::size_t> EveryThirdLabeled(const hin::Hin& hin) {
+  std::vector<std::size_t> labeled;
+  for (std::size_t i = 0; i < hin.num_nodes(); i += 3) {
+    if (!hin.labels(i).empty()) labeled.push_back(i);
+  }
+  return labeled;
+}
+
+TEST(PanelQueryEngineTest, BatchedSeedWalksBitIdenticalToWidthOne) {
+  hin::Hin hin = MakeTestHin();
+  core::TMarkClassifier clf;
+  clf.Fit(hin, EveryThirdLabeled(hin));
+  const core::PreparedOperators& ops = *clf.prepared_operators();
+
+  QueryEngineOptions options;
+  const std::vector<std::size_t> seeds = {3, 57, 3, 120, 88};  // dup included
+  PanelQueryEngine wide(options);
+  std::vector<SeedQueryResult> batched;
+  wide.Run(ops, seeds, &batched);
+  ASSERT_EQ(batched.size(), seeds.size());
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    PanelQueryEngine narrow(options);
+    std::vector<SeedQueryResult> single;
+    narrow.Run(ops, {seeds[i]}, &single);
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(batched[i].converged, single[0].converged);
+    EXPECT_EQ(batched[i].iterations, single[0].iterations);
+    ASSERT_EQ(batched[i].x.size(), single[0].x.size());
+    for (std::size_t j = 0; j < single[0].x.size(); ++j) {
+      ASSERT_EQ(batched[i].x[j], single[0].x[j])
+          << "seed " << seeds[i] << " x[" << j << "]";
+    }
+    for (std::size_t k = 0; k < single[0].z.size(); ++k) {
+      ASSERT_EQ(batched[i].z[k], single[0].z[k])
+          << "seed " << seeds[i] << " z[" << k << "]";
+    }
+  }
+}
+
+TEST(BatchingSchedulerTest, ClassifyAnswersComeFromThePublishedBundle) {
+  hin::Hin hin = MakeTestHin();
+  DaemonOptions options;
+  ServingDaemon daemon(std::move(hin), EveryThirdLabeled(MakeTestHin()),
+                       options);
+  ASSERT_TRUE(daemon.Init().ok());
+  const BundleHolder::View view = daemon.bundles().Acquire();
+  ASSERT_NE(view.bundle, nullptr);
+
+  Request request;
+  request.kind = RequestKind::kClassify;
+  request.node = 11;
+  const Result<Response> response = daemon.Execute(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->stale);
+  EXPECT_EQ(response->generation, 1u);
+  EXPECT_EQ(response->fingerprint, view.bundle->fingerprint);
+  ASSERT_EQ(response->entries.size(), view.bundle->num_classes());
+  // Entries are (class, confidence) sorted by decreasing confidence and
+  // read verbatim from the bundle's posterior row.
+  for (std::size_t i = 0; i + 1 < response->entries.size(); ++i) {
+    EXPECT_GE(response->entries[i].score, response->entries[i + 1].score);
+  }
+  for (const ScoredEntry& entry : response->entries) {
+    EXPECT_EQ(entry.score, view.bundle->confidences.At(11, entry.index));
+  }
+}
+
+TEST(BatchingSchedulerTest, ConcurrentSeedQueriesCoalesceAndStayCorrect) {
+  hin::Hin hin = MakeTestHin();
+  DaemonOptions options;
+  options.batcher.batch_window_us = 20000;  // generous straggler window
+  options.batcher.max_batch = 8;
+  ServingDaemon daemon(std::move(hin), EveryThirdLabeled(MakeTestHin()),
+                       options);
+  ASSERT_TRUE(daemon.Init().ok());
+
+  // Width-1 reference answers through the same engine configuration.
+  PanelQueryEngine reference(MakeQueryOptions(options.config));
+  const core::PreparedOperators& ops =
+      *daemon.bundles().Acquire().bundle->ops;
+
+  const std::vector<std::size_t> seeds = {5, 17, 40, 77};
+  std::vector<Result<Response>> responses(
+      seeds.size(), Result<Response>(InternalError("unset")));
+  std::vector<std::thread> clients;
+  clients.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    clients.emplace_back([&, i] {
+      Request request;
+      request.kind = RequestKind::kTopK;
+      request.node = seeds[i];
+      request.top_k = 4;
+      responses[i] = daemon.Execute(request);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << responses[i].status().ToString();
+    std::vector<SeedQueryResult> expected;
+    reference.Run(ops, {seeds[i]}, &expected);
+    ASSERT_EQ(responses[i]->entries.size(), 4u);
+    for (const ScoredEntry& entry : responses[i]->entries) {
+      // Coalescing must not change a single bit of the answer.
+      EXPECT_EQ(entry.score, expected[0].x[entry.index])
+          << "seed " << seeds[i];
+    }
+  }
+}
+
+TEST(BatchingSchedulerTest, OverfullAdmissionQueueRejectsTyped) {
+  hin::Hin hin = MakeTestHin();
+  DaemonOptions options;
+  // One queue slot, and a long straggler window so the occupied slot is
+  // not freed between the concurrent requests below: whoever loses the
+  // admission race must be refused immediately with the retryable code —
+  // never blocked behind the winner.
+  options.batcher.batch_window_us = 1000000;
+  options.batcher.max_batch = 8;
+  options.batcher.max_queue = 1;
+  ServingDaemon daemon(std::move(hin), EveryThirdLabeled(MakeTestHin()),
+                       options);
+  ASSERT_TRUE(daemon.Init().ok());
+
+  constexpr std::size_t kClients = 3;
+  std::vector<std::thread> clients;
+  std::vector<Result<Response>> results(
+      kClients, Result<Response>(InternalError("unset")));
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      Request request;
+      request.kind = RequestKind::kRank;
+      request.node = i;
+      request.top_k = 2;
+      results[i] = daemon.scheduler().Execute(request);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  for (const Result<Response>& r : results) {
+    if (r.ok()) {
+      ++served;
+    } else {
+      ++rejected;
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << r.status().ToString();
+      EXPECT_NE(r.status().message().find("retry"), std::string::npos);
+    }
+  }
+  EXPECT_GE(served, 1u);
+  EXPECT_GE(rejected, 1u) << "admission queue never filled";
+}
+
+TEST(BatchingSchedulerTest, RequestsBeforeInitAndAfterStopFailTyped) {
+  hin::Hin hin = MakeTestHin();
+  DaemonOptions options;
+  ServingDaemon daemon(std::move(hin), EveryThirdLabeled(MakeTestHin()),
+                       options);
+  Request request;
+  request.kind = RequestKind::kRank;
+  request.node = 1;
+  request.top_k = 1;
+  // Scheduler not started yet (Init not called).
+  const Result<Response> early = daemon.scheduler().Execute(request);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(daemon.Init().ok());
+  daemon.scheduler().Stop();
+  const Result<Response> late = daemon.scheduler().Execute(request);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tmark::serve

@@ -1,0 +1,125 @@
+// Round-trip and boundary tests for the serving wire protocol
+// (serve/protocol.h): framing, request grammar, and response formatting.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tmark/common/status.h"
+#include "tmark/serve/protocol.h"
+
+namespace tmark::serve {
+namespace {
+
+TEST(FrameTest, WriteThenReadRoundTrips) {
+  std::stringstream stream;
+  ASSERT_TRUE(WriteFrame(stream, "classify 7").ok());
+  ASSERT_TRUE(WriteFrame(stream, "").ok());
+  ASSERT_TRUE(WriteFrame(stream, "rank 3 5").ok());
+  std::string payload;
+  Result<bool> got = ReadFrame(stream, ProtocolLimits{}, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value());
+  EXPECT_EQ(payload, "classify 7");
+  got = ReadFrame(stream, ProtocolLimits{}, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value());
+  EXPECT_EQ(payload, "");
+  got = ReadFrame(stream, ProtocolLimits{}, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value());
+  EXPECT_EQ(payload, "rank 3 5");
+  // Clean EOF at the frame boundary is not an error.
+  got = ReadFrame(stream, ProtocolLimits{}, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got.value());
+}
+
+TEST(FrameTest, PayloadAtTheLimitPassesOneByteOverFails) {
+  ProtocolLimits limits;
+  limits.max_frame_bytes = 8;
+  std::stringstream at_limit("8\n12345678");
+  std::string payload;
+  Result<bool> got = ReadFrame(at_limit, limits, &payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(payload, "12345678");
+  std::stringstream over("9\n123456789");
+  got = ReadFrame(over, limits, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RequestTest, ParsesEveryVerb) {
+  Result<Request> r = ParseRequest("classify 42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, RequestKind::kClassify);
+  EXPECT_EQ(r->node, 42u);
+
+  r = ParseRequest("rank 3 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, RequestKind::kRank);
+  EXPECT_EQ(r->node, 3u);
+  EXPECT_EQ(r->top_k, 5u);
+
+  r = ParseRequest("topk 0 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, RequestKind::kTopK);
+
+  r = ParseRequest("update /var/deltas/wave 3.delta");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, RequestKind::kUpdate);
+  EXPECT_EQ(r->path, "/var/deltas/wave 3.delta");  // spaces survive
+}
+
+TEST(RequestTest, FormatParsesBack) {
+  for (const char* wire : {"classify 7", "rank 3 5", "topk 12 1"}) {
+    const Result<Request> parsed = ParseRequest(wire);
+    ASSERT_TRUE(parsed.ok()) << wire;
+    EXPECT_EQ(FormatRequest(parsed.value()), wire);
+  }
+}
+
+TEST(ResponseTest, OkResponseRoundTripsExactly) {
+  Response response;
+  response.kind = RequestKind::kTopK;
+  response.node = 12;
+  response.stale = true;
+  response.generation = 3;
+  response.fingerprint = 0xDEADBEEFCAFEF00DULL;
+  response.entries = {{7, 0.25}, {2, 0.125000000000000017}};
+  const Result<Response> parsed = ParseResponse(FormatResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, RequestKind::kTopK);
+  EXPECT_EQ(parsed->node, 12u);
+  EXPECT_TRUE(parsed->stale);
+  EXPECT_EQ(parsed->generation, 3u);
+  EXPECT_EQ(parsed->fingerprint, 0xDEADBEEFCAFEF00DULL);
+  ASSERT_EQ(parsed->entries.size(), 2u);
+  EXPECT_EQ(parsed->entries[0].index, 7u);
+  // %.17g preserves doubles bit-exactly through the text protocol.
+  EXPECT_EQ(parsed->entries[0].score, 0.25);
+  EXPECT_EQ(parsed->entries[1].score, 0.125000000000000017);
+}
+
+TEST(ResponseTest, ErrorResponseTransportsTheStatus) {
+  const Status refusal =
+      ResourceExhaustedError("admission queue full (256 requests waiting)");
+  const Result<Response> parsed = ParseResponse(FormatError(refusal));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(parsed.status().message().find("admission queue full"),
+            std::string::npos);
+}
+
+TEST(ResponseTest, MalformedResponsesAreRejected) {
+  for (const char* wire :
+       {"", "ok", "ok classify 1 2 3 4", "ok classify 1 0 1",
+        "ok bogus 1 0 1 99", "ok classify 1 0 1 99 7:NaN",
+        "ok classify 1 0 1 99 7", "error", "error BOGUS_CODE msg"}) {
+    EXPECT_FALSE(ParseResponse(wire).ok()) << "accepted: " << wire;
+  }
+}
+
+}  // namespace
+}  // namespace tmark::serve

@@ -47,6 +47,10 @@
 #include "tmark/obs/metrics.h"
 #include "tmark/obs/trace.h"
 #include "tmark/parallel/thread_pool.h"
+#include "tmark/serve/daemon.h"
+#include "tmark/serve/server.h"
+
+#include <csignal>
 
 namespace {
 
@@ -121,6 +125,12 @@ int Usage() {
                "           [--fit-mode per_class|batched] "
                "[--fp32-panels on|off]\n"
                "           [--save-model FILE | --model FILE]\n"
+               "  serve    --hin FILE --serve-socket PATH | --serve-port N\n"
+               "           [--train-fraction F] [--alpha A] [--gamma G]\n"
+               "           [--seed S] [--batch-window-us U] [--max-batch B]\n"
+               "           [--max-queue Q] [--max-requests R]\n"
+               "           (see docs/SERVING.md; tmark_served is the\n"
+               "            standalone daemon with the same protocol)\n"
                "global flags (any command):\n"
                "  --log-level debug|info|warn|error|off\n"
                "  --metrics-json FILE   dump metrics snapshot on exit\n"
@@ -387,6 +397,68 @@ Status Rank(const Args& args) {
   return Status::Ok();
 }
 
+serve::SocketServer* g_server = nullptr;
+
+void HandleSigint(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+Status Serve(const Args& args) {
+  TMARK_ASSIGN_OR_RETURN(hin::Hin hin, LoadHinFlag(args));
+  const std::string socket_path = args.Get("serve-socket", "");
+  const std::size_t port = args.GetSize("serve-port", 0);
+  if (socket_path.empty() && args.flags.count("serve-port") == 0) {
+    return InvalidArgumentError(
+        "serve requires --serve-socket PATH or --serve-port N");
+  }
+  if (port > 65535) {
+    return InvalidArgumentError("--serve-port must be at most 65535");
+  }
+  const double fraction = args.GetDouble("train-fraction", 0.3);
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return InvalidArgumentError("--train-fraction must be in (0, 1]");
+  }
+  serve::DaemonOptions options;
+  options.config.alpha = args.GetDouble("alpha", 0.8);
+  options.config.gamma = args.GetDouble("gamma", 0.6);
+  options.config.fit_mode = GetFitMode(args);
+  options.batcher.batch_window_us = args.GetSize("batch-window-us", 200);
+  options.batcher.max_batch = args.GetSize("max-batch", 16);
+  options.batcher.max_queue = args.GetSize("max-queue", 256);
+  if (options.batcher.max_batch == 0) {
+    return InvalidArgumentError("--max-batch must be >= 1");
+  }
+  if (options.batcher.max_queue == 0) {
+    return InvalidArgumentError("--max-queue must be >= 1");
+  }
+  options.query = serve::MakeQueryOptions(options.config);
+  Rng rng(args.GetSize("seed", 13));
+  const auto labeled = eval::StratifiedSplit(hin, fraction, &rng);
+  serve::ServingDaemon daemon(std::move(hin), labeled, options);
+  TMARK_RETURN_IF_ERROR(daemon.Init());
+  serve::ServerOptions server_options;
+  server_options.unix_socket = socket_path;
+  server_options.tcp_port = static_cast<int>(port);
+  server_options.max_requests = args.GetSize("max-requests", 0);
+  serve::SocketServer server(&daemon, server_options);
+  TMARK_RETURN_IF_ERROR(server.Start());
+  const std::string endpoint =
+      socket_path.empty() ? "127.0.0.1:" + std::to_string(server.port())
+                          : socket_path;
+  std::printf("serving on %s (batch window %zu us, max batch %zu, "
+              "max queue %zu)\n",
+              endpoint.c_str(), options.batcher.batch_window_us,
+              options.batcher.max_batch, options.batcher.max_queue);
+  std::fflush(stdout);
+  g_server = &server;
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  server.Wait();
+  g_server = nullptr;
+  server.Stop();
+  return Status::Ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,6 +474,8 @@ int main(int argc, char** argv) {
       status = Classify(args);
     } else if (args.command == "rank") {
       status = Rank(args);
+    } else if (args.command == "serve") {
+      status = Serve(args);
     } else {
       return Usage();
     }
